@@ -1,0 +1,222 @@
+package liteview
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus the design-choice ablations from DESIGN.md and micro-benchmarks
+// of the hot substrate paths. The figure/table benchmarks run the full
+// simulated experiment per iteration — their ns/op is the cost of
+// regenerating the result, while correctness of the regenerated shapes
+// is asserted by the internal/bench test suite.
+
+import (
+	"testing"
+
+	"liteview/internal/bench"
+	"liteview/internal/mac"
+	"liteview/internal/medium"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/sim"
+	"liteview/internal/stack"
+)
+
+// runExperiment drives one regenerated experiment per iteration with a
+// rotating seed so the benchmark also doubles as a robustness sweep.
+func runExperiment(b *testing.B, run func(seed uint64) (*bench.Result, error)) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := run(uint64(i) + 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res == nil {
+			b.Fatal("nil result")
+		}
+	}
+}
+
+// BenchmarkResponseDelayPing regenerates E1 (the 500 ms command window
+// of neighborhood management and single-hop ping).
+func BenchmarkResponseDelayPing(b *testing.B) { runExperiment(b, bench.ResponseDelays) }
+
+// BenchmarkTracerouteDelay regenerates Figure 5 (per-hop traceroute
+// response delay on the eight-hop line).
+func BenchmarkTracerouteDelay(b *testing.B) { runExperiment(b, bench.Figure5) }
+
+// BenchmarkPathRSSI regenerates Figure 6 (per-hop forward/backward RSSI
+// at power levels 10 and 25).
+func BenchmarkPathRSSI(b *testing.B) { runExperiment(b, bench.Figure6) }
+
+// BenchmarkTracerouteOverhead regenerates Figure 7 (control packets vs
+// hops, <50 at 8 hops).
+func BenchmarkTracerouteOverhead(b *testing.B) { runExperiment(b, bench.Figure7) }
+
+// BenchmarkFootprintAccounting regenerates T1 (binary footprints and
+// zero-overhead-when-inactive).
+func BenchmarkFootprintAccounting(b *testing.B) { runExperiment(b, bench.FootprintTable) }
+
+// BenchmarkSingleHopPing regenerates T2 (the paper's sample ping
+// transcript numbers).
+func BenchmarkSingleHopPing(b *testing.B) { runExperiment(b, bench.PingSample) }
+
+// BenchmarkPaddingCapacity regenerates T3 (the 24-hop padding bound of
+// a 16-byte probe).
+func BenchmarkPaddingCapacity(b *testing.B) { runExperiment(b, bench.PaddingCapacity) }
+
+// BenchmarkPingVsTraceroute runs ablation D2 (padding-bounded multi-hop
+// ping vs per-hop-report traceroute).
+func BenchmarkPingVsTraceroute(b *testing.B) { runExperiment(b, bench.PingVsTraceroute) }
+
+// BenchmarkAdaptiveBatch runs ablation D3 (adaptive vs fixed batch size
+// in the reliable exchange protocol).
+func BenchmarkAdaptiveBatch(b *testing.B) { runExperiment(b, bench.AdaptiveBatch) }
+
+// BenchmarkNeighborSharing runs ablation D4 (kernel-shared vs
+// per-protocol neighbor tables).
+func BenchmarkNeighborSharing(b *testing.B) { runExperiment(b, bench.NeighborSharing) }
+
+// BenchmarkProtocolComparison runs ablation D5 (the same ping command
+// over geographic forwarding and the on-demand protocol).
+func BenchmarkProtocolComparison(b *testing.B) { runExperiment(b, bench.ProtocolComparison) }
+
+// BenchmarkEnergyTuning runs ablation D6 (transmit-power tuning vs the
+// deployment's energy budget).
+func BenchmarkEnergyTuning(b *testing.B) { runExperiment(b, bench.EnergyTuning) }
+
+// BenchmarkDutyCycling runs ablation D7 (always-on vs low-power
+// listening).
+func BenchmarkDutyCycling(b *testing.B) { runExperiment(b, bench.DutyCycling) }
+
+// --- Ablation D1 and substrate micro-benchmarks ---
+
+// BenchmarkPortDispatch measures the port-map dispatch path of the
+// communication stack (ablation D1: the price of protocol independence
+// over a hardwired call).
+func BenchmarkPortDispatch(b *testing.B) {
+	eng := sim.NewEngine(1)
+	model := phys.DefaultModel(1)
+	med := medium.New(eng, model)
+	rad, err := radio.New(17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var st *stack.Stack
+	m, err := mac.New(eng, med, rad, 1, phys.Position{}, mac.DefaultConfig(),
+		func(f mac.Frame, info medium.RxInfo) { st.OnFrame(f, info) })
+	if err != nil {
+		b.Fatal(err)
+	}
+	st = stack.New(eng, m)
+	sink := 0
+	if err := st.Subscribe(10, func(p *stack.Packet, _ phys.NodeID, _ medium.RxInfo) { sink += len(p.Data) }); err != nil {
+		b.Fatal(err)
+	}
+	pkt := &stack.Packet{Port: 10, Origin: 2, Dst: 1, TTL: 4, Data: make([]byte, 32)}
+	raw, err := pkt.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	frame := mac.Frame{Type: mac.TypeData, Dst: 1, Src: 2, Payload: raw}
+	info := medium.RxInfo{From: 2, LQI: 108, RSSI: -10}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.OnFrame(frame, info)
+	}
+	_ = sink
+}
+
+// BenchmarkDirectDispatch is the baseline for D1: the same handler
+// invoked without the port map (decode plus direct call).
+func BenchmarkDirectDispatch(b *testing.B) {
+	sink := 0
+	handler := func(p *stack.Packet) { sink += len(p.Data) }
+	pkt := &stack.Packet{Port: 10, Origin: 2, Dst: 1, TTL: 4, Data: make([]byte, 32)}
+	raw, err := pkt.Encode()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := stack.DecodePacket(raw)
+		if err != nil {
+			b.Fatal(err)
+		}
+		handler(p)
+	}
+	_ = sink
+}
+
+// BenchmarkCRC measures the CRC-16/CCITT over a max-size frame.
+func BenchmarkCRC(b *testing.B) {
+	data := make([]byte, mac.MaxFrameLen)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	b.SetBytes(int64(len(data)))
+	for i := 0; i < b.N; i++ {
+		mac.Checksum(data)
+	}
+}
+
+// BenchmarkFrameRoundTrip measures MAC frame encode+decode.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	f := mac.Frame{Type: mac.TypeControl, Dst: 2, Src: 1, Payload: make([]byte, 64)}
+	for i := 0; i < b.N; i++ {
+		raw, err := f.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := mac.Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPacketRoundTrip measures stack packet encode+decode with a
+// full padding region.
+func BenchmarkPacketRoundTrip(b *testing.B) {
+	p := &stack.Packet{Port: 10, Origin: 1, Dst: 9, TTL: 16, Flags: stack.FlagPad, Data: make([]byte, 16)}
+	for i := 0; i < 24; i++ {
+		if err := p.AppendPad(stack.LinkQuality{LQI: 100, RSSI: -20}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for i := 0; i < b.N; i++ {
+		raw, err := p.Encode()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stack.DecodePacket(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineEvents measures the simulator's event throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	eng := sim.NewEngine(1)
+	var tick func()
+	n := 0
+	tick = func() {
+		n++
+		if n < b.N {
+			eng.MustSchedule(1000, tick)
+		}
+	}
+	eng.MustSchedule(1000, tick)
+	b.ResetTimer()
+	eng.Run()
+}
+
+// BenchmarkPRR measures the SNR→packet-reception-rate computation.
+func BenchmarkPRR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		phys.PRR(float64(i%20)-5, 64)
+	}
+}
+
+// BenchmarkLQI measures the SNR→LQI mapping.
+func BenchmarkLQI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		radio.LQI(float64(i % 30))
+	}
+}

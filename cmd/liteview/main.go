@@ -1,0 +1,113 @@
+// Command liteview starts an interactive LiteView management session on
+// a simulated sensor network testbed.
+//
+// The deployment is built from flags, LiteView is installed on every
+// node, and a LiteOS-style shell reads commands from stdin:
+//
+//	liteview -topo line -nodes 9 -spacing 20
+//	$ cd 192.168.0.1
+//	$ ping 192.168.0.2 round=1 length=32
+//	$ traceroute 192.168.0.9 round=1 length=32 port=10
+//
+// Use -c to run a semicolon-separated script instead of the REPL, and
+// -trace to record every transmission to a CSV file.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"liteview/internal/cli"
+	"liteview/internal/phys"
+	"liteview/internal/routing"
+	"liteview/internal/shell"
+)
+
+func main() {
+	var dep cli.DeploymentFlags
+	dep.Register(flag.CommandLine)
+	var (
+		root    = flag.Int("root", 1, "collection tree root node id")
+		script  = flag.String("c", "", "run these semicolon-separated commands and exit")
+		traceTo = flag.String("trace", "", "record every transmission to this CSV file")
+	)
+	flag.Parse()
+
+	tb, err := dep.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "liteview:", err)
+		os.Exit(1)
+	}
+	for _, attach := range []func() error{
+		func() error { return tb.AttachGeographic(routing.DefaultConfig()) },
+		func() error { return tb.AttachFlooding(routing.DefaultConfig()) },
+		func() error { return tb.AttachTree(phys.NodeID(*root), routing.DefaultConfig()) },
+		func() error { return tb.AttachOnDemand(routing.DefaultConfig()) },
+	} {
+		if err := attach(); err != nil {
+			fmt.Fprintln(os.Stderr, "liteview:", err)
+			os.Exit(1)
+		}
+	}
+	if _, err := tb.InstallLiteView(); err != nil {
+		fmt.Fprintln(os.Stderr, "liteview:", err)
+		os.Exit(1)
+	}
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "liteview:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		stop := tb.RecordTrace(f)
+		defer stop()
+	}
+	fmt.Printf("LiteView: %d nodes (%s), warming up %v of virtual time...\n", len(tb.Nodes), dep.Topo, dep.Warmup)
+	tb.WarmUp(dep.Warmup)
+
+	// The workstation starts next to node 1.
+	ws, err := tb.NewWorkstation(tb.Node(0).Position())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "liteview:", err)
+		os.Exit(1)
+	}
+	sh, err := shell.NewForTestbed(tb, ws, os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "liteview:", err)
+		os.Exit(1)
+	}
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			fmt.Printf("%s$ %s\n", sh.Cwd(), line)
+			if err := sh.Exec(line); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	fmt.Println("Ready. Type 'help' for commands, 'exit' to quit.")
+	in := bufio.NewScanner(os.Stdin)
+	for {
+		fmt.Printf("%s$ ", sh.Cwd())
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := in.Text()
+		if line == "exit" || line == "quit" {
+			return
+		}
+		if err := sh.Exec(line); err != nil {
+			fmt.Println("error:", err)
+		}
+	}
+}

@@ -1,0 +1,70 @@
+// Command lvbench regenerates the paper's evaluation: every table and
+// figure plus the design-choice ablations, printed as aligned tables
+// with shape checks.
+//
+//	lvbench                  # run everything
+//	lvbench -exp f5          # one experiment
+//	lvbench -seed 7 -csv     # alternate seed, CSV output
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"liteview/internal/bench"
+)
+
+func main() {
+	var (
+		expID = flag.String("exp", "all", "experiment id (e1,f5,f6,f7,t1,t2,t3,d2,d3,d4) or all")
+		seed  = flag.Uint64("seed", 42, "simulation seed")
+		csv   = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Name)
+		}
+		return
+	}
+
+	var exps []bench.Experiment
+	if *expID == "all" {
+		exps = bench.All()
+	} else {
+		e, ok := bench.ByID(*expID)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "lvbench: unknown experiment %q (use -list)\n", *expID)
+			os.Exit(1)
+		}
+		exps = []bench.Experiment{e}
+	}
+
+	failed := 0
+	for _, e := range exps {
+		res, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "lvbench: %s: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		if *csv {
+			fmt.Printf("# %s: %s\n", res.ID, res.Title)
+			if res.Table != nil {
+				fmt.Print(res.Table.CSV())
+			}
+		} else {
+			fmt.Println(res)
+		}
+		if !res.Passed() {
+			failed++
+		}
+	}
+	if failed > 0 {
+		fmt.Fprintf(os.Stderr, "lvbench: %d experiment(s) failed their shape checks\n", failed)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,68 @@
+// Command lvtopo prints a deployment's radio map: node placements and
+// the predicted quality of every link (received power, RSSI register,
+// LQI, packet reception rate), before any packet flows. Deployment
+// planners use it to pick spacings and power levels; it is also how the
+// repository documents what its propagation model predicts.
+//
+//	lvtopo -topo line -nodes 9 -spacing 20 -power 31
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"liteview/internal/cli"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/trace"
+)
+
+func main() {
+	var dep cli.DeploymentFlags
+	dep.Register(flag.CommandLine)
+	var (
+		power  = flag.Int("power", radio.MaxPowerLevel, "transmit power level (3..31)")
+		frame  = flag.Int("frame", 48, "frame size in bytes for PRR prediction")
+		minPRR = flag.Float64("minprr", 0.01, "hide links below this predicted PRR")
+	)
+	flag.Parse()
+
+	tb, err := dep.Build()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvtopo:", err)
+		os.Exit(1)
+	}
+
+	fmt.Println("Nodes:")
+	pos := trace.NewTable("id", "name", "path", "x_m", "y_m")
+	for _, n := range tb.Nodes {
+		pos.AddRow(int(n.ID()), n.Name(), n.Path(), n.Position().X, n.Position().Y)
+	}
+	fmt.Println(pos)
+
+	txDBm := radio.PowerDBm(*power)
+	fmt.Printf("Links at power level %d (%.1f dBm), %d-byte frames:\n", *power, txDBm, *frame)
+	links := trace.NewTable("from", "to", "dist_m", "rx_dBm", "RSSI", "LQI", "PRR")
+	for _, a := range tb.Nodes {
+		for _, b := range tb.Nodes {
+			if a.ID() == b.ID() {
+				continue
+			}
+			rx := tb.Model.ReceivedPower(txDBm, a.ID(), b.ID(), a.Position(), b.Position())
+			if rx < radio.SensitivityDBm {
+				continue
+			}
+			snr := tb.Model.SNR(rx)
+			prr := phys.PRR(snr, *frame)
+			if prr < *minPRR {
+				continue
+			}
+			links.AddRow(int(a.ID()), int(b.ID()),
+				a.Position().Distance(b.Position()), rx,
+				radio.RSSIRegister(rx), radio.LQI(snr), prr)
+		}
+	}
+	fmt.Println(links)
+	fmt.Printf("%d audible directed links\n", links.Rows())
+}

@@ -1,0 +1,19 @@
+// Package liteview is a full reproduction, in pure Go, of "End-User
+// Diagnosis of Communication Paths in Sensor Network Systems" (Cao,
+// Wang, Abdelzaher — ICPP 2009): the LiteView interactive toolkit for
+// diagnosing communication paths in wireless sensor networks, together
+// with every substrate it needs — a discrete-event simulator, a CC2420
+// radio and RF propagation model, an 802.15.4 CSMA/CA MAC, a port-based
+// communication stack with link-quality padding, a LiteOS-like node OS,
+// three routing protocols, and the testbeds and benchmark harness that
+// regenerate the paper's evaluation.
+//
+// Start with the README, run the quickstart example, or explore:
+//
+//	go run ./cmd/liteview -topo line -nodes 9 -spacing 20   # interactive shell
+//	go run ./cmd/lvbench                                    # regenerate the paper's figures
+//	go run ./cmd/lvtopo -nodes 9 -spacing 20                # radio map of a deployment
+package liteview
+
+// Version identifies this reproduction release.
+const Version = "1.0.0"

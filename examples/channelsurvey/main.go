@@ -1,0 +1,128 @@
+// Deployment tuning survey — the workflow from the paper's
+// introduction: probe the instantaneous communication environment and
+// optimise the deployment "much like the way network administrators
+// configure router settings".
+//
+// For each candidate power level the operator measures a reference link
+// with ping (RTT, LQI, loss), then picks the lowest power whose link
+// quality still clears a target — transmitting louder than needed
+// wastes energy and creates interference. Finally the survey moves the
+// pair to a different 802.15.4 channel and verifies the link there.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"liteview/internal/core"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/routing"
+	"liteview/internal/testbed"
+)
+
+func main() {
+	opt := testbed.DefaultOptions(3)
+	tb, err := testbed.Line(2, 18, opt)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tb.AttachGeographic(routing.DefaultConfig()); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := tb.InstallLiteView(); err != nil {
+		log.Fatal(err)
+	}
+	tb.WarmUp(15 * time.Second)
+	ws, err := tb.NewWorkstation(phys.Position{X: -2})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const (
+		rounds    = 5
+		targetLQI = 95 // quality bar for a production link
+	)
+	fmt.Println("power survey of the 192.168.0.1 ↔ 192.168.0.2 link (18 m):")
+	fmt.Println("level  dBm    recv  meanLQI  meanRSSI  verdict")
+	node1, _ := tb.ByID(1)
+	node2, _ := tb.ByID(2)
+	chosen := -1
+	for _, level := range []int{31, 27, 23, 19, 15, 11, 7, 3} {
+		// Both ends must transmit at the candidate level. Management is
+		// one-hop, so the operator walks to each node to configure it —
+		// at the lowest levels the nodes can only be reached up close.
+		ws.MoveTo(node1.Position())
+		if err := ws.SetPower(1, level); err != nil {
+			log.Fatal(err)
+		}
+		ws.MoveTo(node2.Position())
+		if err := ws.SetPower(2, level); err != nil {
+			log.Fatal(err)
+		}
+		ws.MoveTo(node1.Position())
+		out, err := ws.Ping(1, core.PingOptions{Dst: 2, Rounds: rounds, Length: 32})
+		if err != nil {
+			log.Fatal(err)
+		}
+		lqi, rssi, n := 0, 0, 0
+		for _, r := range out.Results {
+			if r.Lost {
+				continue
+			}
+			lqi += int(r.LQIFwd+r.LQIBwd) / 2
+			rssi += int(r.RSSIFwd+r.RSSIBwd) / 2
+			n++
+		}
+		verdict := "too weak"
+		if n > 0 {
+			lqi /= n
+			rssi /= n
+			if out.Lost == 0 && lqi >= targetLQI {
+				verdict = "ok"
+				chosen = level // keep lowering; the last ok wins
+			}
+		}
+		fmt.Printf("%5d  %5.1f  %d/%d   %7d  %8d  %s\n",
+			level, radio.PowerDBm(level), out.Received, rounds, lqi, rssi, verdict)
+	}
+	if chosen < 0 {
+		fmt.Println("\nno power level met the quality bar; keep full power")
+		chosen = radio.MaxPowerLevel
+	} else {
+		fmt.Printf("\nlowest power meeting LQI ≥ %d with zero loss: level %d (%.1f dBm)\n",
+			targetLQI, chosen, radio.PowerDBm(chosen))
+	}
+	for _, target := range []phys.NodeID{1, 2} {
+		n, _ := tb.ByID(target)
+		ws.MoveTo(n.Position())
+		if err := ws.SetPower(target, chosen); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Println("\nchannel check: moving the pair to channel 26...")
+	// Retune each node up close, then follow with the workstation radio.
+	ws.MoveTo(node2.Position())
+	if err := ws.SetChannel(2, 26); err != nil {
+		log.Fatal(err)
+	}
+	ws.MoveTo(node1.Position())
+	if err := ws.SetChannel(1, 26); err != nil {
+		log.Fatal(err)
+	}
+	if err := ws.Radio().SetChannel(26); err != nil {
+		log.Fatal(err)
+	}
+	out, err := ws.Ping(1, core.PingOptions{Dst: 2, Rounds: 3, Length: 32})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("on channel 26 at level %d: received %d/3, lost %d\n", chosen, out.Received, out.Lost)
+	if len(out.Results) > 0 && !out.Results[0].Lost {
+		r := out.Results[0]
+		fmt.Printf("sample: RTT = %.1f ms, LQI = %d/%d, RSSI = %d/%d, Channel = %d\n",
+			float64(r.RTT)/1000, r.LQIFwd, r.LQIBwd, r.RSSIFwd, r.RSSIBwd, r.Channel)
+	}
+}

@@ -1,0 +1,3 @@
+module liteview
+
+go 1.22

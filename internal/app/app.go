@@ -1,0 +1,293 @@
+// Package app provides a deployable sensing application — the kind of
+// workload LiteView manages but must not depend on. The paper's
+// motivation is the EnviroMic acoustic-storage deployment, whose
+// communication behaviour (periodic samples converging on collection
+// points) exposed exactly the path problems LiteView diagnoses.
+//
+// A Sampler process on each node periodically sends a reading toward a
+// sink over whichever routing protocol the deployment runs; the Sink
+// process absorbs readings and keeps delivery statistics. Both are
+// ordinary LiteOS processes on ordinary stack ports: LiteView neither
+// knows nor cares that they exist, and they keep running while the
+// operator pings and tracerouts around them — the application-
+// independence property, made testable.
+package app
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"liteview/internal/liteos"
+	"liteview/internal/medium"
+	"liteview/internal/phys"
+	"liteview/internal/routing"
+	"liteview/internal/sim"
+	"liteview/internal/stack"
+)
+
+// DataPort is the application's stack port.
+const DataPort byte = 50
+
+// SamplerBinary is the sampler's flash/RAM footprint (comparable to the
+// paper's command binaries).
+var SamplerBinary = liteos.Binary{Name: "sampler", Flash: 1900, RAM: 180}
+
+// SinkBinary is the sink's footprint.
+var SinkBinary = liteos.Binary{Name: "sink", Flash: 1500, RAM: 220}
+
+// Reading is one decoded sample.
+type Reading struct {
+	// Origin is the sampling node.
+	Origin phys.NodeID
+	// Seq is the per-node sample counter.
+	Seq uint32
+	// Value is the synthetic sensor value.
+	Value uint16
+	// SentAt is the origination time (sender clock).
+	SentAt sim.Time
+}
+
+// reading wire: seq(4) value(2) sentAtMs(4).
+const readingLen = 10
+
+func encodeReading(r Reading) []byte {
+	buf := make([]byte, readingLen)
+	binary.BigEndian.PutUint32(buf[0:4], r.Seq)
+	binary.BigEndian.PutUint16(buf[4:6], r.Value)
+	binary.BigEndian.PutUint32(buf[6:10], uint32(r.SentAt/time.Millisecond))
+	return buf
+}
+
+func decodeReading(origin phys.NodeID, data []byte) (Reading, error) {
+	if len(data) != readingLen {
+		return Reading{}, errors.New("app: malformed reading")
+	}
+	return Reading{
+		Origin: origin,
+		Seq:    binary.BigEndian.Uint32(data[0:4]),
+		Value:  binary.BigEndian.Uint16(data[4:6]),
+		SentAt: sim.Time(binary.BigEndian.Uint32(data[6:10])) * time.Millisecond,
+	}, nil
+}
+
+// SamplerStats counts a sampler's activity.
+type SamplerStats struct {
+	Generated uint64
+	SendFail  uint64
+}
+
+// Sampler is the sensing process on one node.
+type Sampler struct {
+	eng    *sim.Engine
+	os     *liteos.Node
+	router *routing.Router
+	sink   phys.NodeID
+	period sim.Time
+	rng    *sim.Rand
+	proc   *liteos.Process
+	seq    uint32
+	gen    uint64 // invalidates pending ticks after Stop
+	stats  SamplerStats
+}
+
+// NewSampler installs the sampler binary on the node and prepares a
+// process that samples every period and ships readings to sink via
+// router. Call Start to begin.
+func NewSampler(os *liteos.Node, router *routing.Router, sink phys.NodeID, period sim.Time) (*Sampler, error) {
+	if router == nil {
+		return nil, errors.New("app: sampler needs a routing protocol")
+	}
+	if period <= 0 {
+		period = time.Second
+	}
+	if err := os.InstallBinary(SamplerBinary); err != nil {
+		return nil, err
+	}
+	return &Sampler{
+		eng:    os.Engine(),
+		os:     os,
+		router: router,
+		sink:   sink,
+		period: period,
+		rng:    os.Engine().Rand().Fork(fmt.Sprintf("sampler-%d", os.ID())),
+	}, nil
+}
+
+// Start launches the sampler process.
+func (s *Sampler) Start() error {
+	if s.proc != nil {
+		return errors.New("app: sampler already running")
+	}
+	s.os.SysSetParamBuffer(fmt.Sprintf("%d period=%d", s.sink, s.period/time.Millisecond))
+	proc, err := s.os.StartProcess(SamplerBinary.Name)
+	if err != nil {
+		return err
+	}
+	s.proc = proc
+	s.gen++
+	gen := s.gen
+	s.eng.MustSchedule(s.rng.Jitter(s.period), func() { s.tick(gen) })
+	return nil
+}
+
+// Stop exits the sampler process.
+func (s *Sampler) Stop() error {
+	if s.proc == nil {
+		return errors.New("app: sampler not running")
+	}
+	err := s.proc.Exit()
+	s.proc = nil
+	s.gen++
+	return err
+}
+
+// Running reports whether the process is live.
+func (s *Sampler) Running() bool { return s.proc != nil }
+
+// Stats returns a snapshot of the sampler counters.
+func (s *Sampler) Stats() SamplerStats { return s.stats }
+
+func (s *Sampler) tick(gen uint64) {
+	if s.proc == nil || gen != s.gen {
+		return
+	}
+	s.seq++
+	r := Reading{
+		Origin: s.os.ID(),
+		Seq:    s.seq,
+		Value:  uint16(s.rng.Intn(1024)), // a 10-bit ADC reading
+		SentAt: s.eng.Now(),
+	}
+	s.stats.Generated++
+	if s.os.ID() == s.sink {
+		// Local sensing on the sink itself.
+		if err := s.os.Stack().SendLocal(&stack.Packet{Port: DataPort, Origin: s.os.ID(), Dst: s.sink, Data: encodeReading(r)}); err != nil {
+			s.stats.SendFail++
+		}
+	} else if err := s.router.SendTo(s.sink, DataPort, encodeReading(r), false, false); err != nil {
+		s.stats.SendFail++
+	}
+	s.eng.MustSchedule(s.period+s.rng.Jitter(s.period/8), func() { s.tick(gen) })
+}
+
+// SinkStats summarises what a sink absorbed.
+type SinkStats struct {
+	Received  uint64
+	Malformed uint64
+	// PerOrigin counts readings by sampling node.
+	PerOrigin map[phys.NodeID]uint64
+	// LatencySum accumulates end-to-end latency for Received readings
+	// (sender and sink share the simulation clock, so this is exact —
+	// a luxury the paper's motes lacked).
+	LatencySum sim.Time
+}
+
+// MeanLatency returns the average end-to-end delivery latency.
+func (s *SinkStats) MeanLatency() sim.Time {
+	if s.Received == 0 {
+		return 0
+	}
+	return s.LatencySum / sim.Time(s.Received)
+}
+
+// Sink is the collection process on one node.
+type Sink struct {
+	eng   *sim.Engine
+	os    *liteos.Node
+	proc  *liteos.Process
+	stats SinkStats
+	// OnReading, when set, observes every absorbed reading.
+	OnReading func(Reading)
+}
+
+// NewSink installs and starts the sink process, subscribing DataPort.
+func NewSink(os *liteos.Node) (*Sink, error) {
+	if err := os.InstallBinary(SinkBinary); err != nil {
+		return nil, err
+	}
+	os.SysSetParamBuffer("")
+	proc, err := os.StartProcess(SinkBinary.Name)
+	if err != nil {
+		return nil, err
+	}
+	k := &Sink{eng: os.Engine(), os: os, proc: proc}
+	k.stats.PerOrigin = make(map[phys.NodeID]uint64)
+	if err := os.Stack().Subscribe(DataPort, k.onPacket); err != nil {
+		_ = proc.Exit()
+		return nil, err
+	}
+	return k, nil
+}
+
+// Stats returns a snapshot of what arrived.
+func (k *Sink) Stats() SinkStats {
+	out := k.stats
+	out.PerOrigin = make(map[phys.NodeID]uint64, len(k.stats.PerOrigin))
+	for id, n := range k.stats.PerOrigin {
+		out.PerOrigin[id] = n
+	}
+	return out
+}
+
+// Close exits the sink process and frees its port.
+func (k *Sink) Close() error {
+	k.os.Stack().Unsubscribe(DataPort)
+	if k.proc != nil {
+		err := k.proc.Exit()
+		k.proc = nil
+		return err
+	}
+	return nil
+}
+
+func (k *Sink) onPacket(p *stack.Packet, _ phys.NodeID, _ medium.RxInfo) {
+	r, err := decodeReading(p.Origin, p.Data)
+	if err != nil {
+		k.stats.Malformed++
+		return
+	}
+	k.stats.Received++
+	k.stats.PerOrigin[r.Origin]++
+	if lat := k.eng.Now() - r.SentAt; lat > 0 {
+		k.stats.LatencySum += lat
+	}
+	if k.OnReading != nil {
+		k.OnReading(r)
+	}
+}
+
+// DeployCollection wires a whole testbed-style deployment: a sink at
+// sinkID and a sampler on every other node, all using the router
+// resolved per node. Returns the sink and the samplers (started).
+func DeployCollection(nodes []*liteos.Node, routers func(phys.NodeID) *routing.Router, sinkID phys.NodeID, period sim.Time) (*Sink, []*Sampler, error) {
+	var sink *Sink
+	var samplers []*Sampler
+	for _, n := range nodes {
+		if n.ID() == sinkID {
+			k, err := NewSink(n)
+			if err != nil {
+				return nil, nil, err
+			}
+			sink = k
+			continue
+		}
+		r := routers(n.ID())
+		if r == nil {
+			return nil, nil, fmt.Errorf("app: no router for node %d", n.ID())
+		}
+		s, err := NewSampler(n, r, sinkID, period)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := s.Start(); err != nil {
+			return nil, nil, err
+		}
+		samplers = append(samplers, s)
+	}
+	if sink == nil {
+		return nil, nil, fmt.Errorf("app: sink node %d not in deployment", sinkID)
+	}
+	return sink, samplers, nil
+}

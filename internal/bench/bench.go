@@ -1,0 +1,112 @@
+// Package bench regenerates every table and figure in the paper's
+// evaluation section (Section V) plus the ablations DESIGN.md calls
+// out. Each experiment returns a Result holding the regenerated rows,
+// explanatory notes, and shape checks — the assertions that the
+// qualitative claims of the paper hold on our simulated substrate (who
+// wins, what grows linearly, what exceeds what), rather than absolute
+// numbers from the authors' physical testbed.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"liteview/internal/trace"
+)
+
+// Check is one shape assertion of an experiment.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Result is the outcome of one regenerated experiment.
+type Result struct {
+	// ID is the experiment identifier from DESIGN.md (E1, F5, ...).
+	ID string
+	// Title describes what the paper shows.
+	Title string
+	// Table holds the regenerated rows.
+	Table *trace.Table
+	// Notes carries free-form observations.
+	Notes []string
+	// Checks holds the shape assertions.
+	Checks []Check
+}
+
+// check records one assertion.
+func (r *Result) check(name string, pass bool, format string, args ...any) {
+	r.Checks = append(r.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// note records one observation.
+func (r *Result) note(format string, args ...any) {
+	r.Notes = append(r.Notes, fmt.Sprintf(format, args...))
+}
+
+// Passed reports whether every shape check held.
+func (r *Result) Passed() bool {
+	for _, c := range r.Checks {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the experiment for terminal output.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s: %s ===\n", r.ID, r.Title)
+	if r.Table != nil {
+		b.WriteString(r.Table.String())
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	for _, c := range r.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(&b, "check [%s] %s: %s\n", status, c.Name, c.Detail)
+	}
+	return b.String()
+}
+
+// Experiment is a regenerable experiment.
+type Experiment struct {
+	ID   string
+	Name string
+	Run  func(seed uint64) (*Result, error)
+}
+
+// All returns every experiment in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		{"e1", "response delays of one-hop commands", ResponseDelays},
+		{"f5", "traceroute response delay vs hops (Figure 5)", Figure5},
+		{"f6", "per-hop RSSI at two power levels (Figure 6)", Figure6},
+		{"f7", "traceroute control-packet overhead (Figure 7)", Figure7},
+		{"t1", "command footprints and zero-inactive-overhead", FootprintTable},
+		{"t2", "single-hop ping sample (paper §III-B.3)", PingSample},
+		{"t3", "link-quality padding capacity (paper §IV-C.3)", PaddingCapacity},
+		{"d2", "ablation: multi-hop ping vs traceroute", PingVsTraceroute},
+		{"d3", "ablation: adaptive vs fixed batch size", AdaptiveBatch},
+		{"d4", "ablation: kernel-shared vs per-protocol neighbor tables", NeighborSharing},
+		{"d5", "ablation: one ping command over two routing protocols", ProtocolComparison},
+		{"d6", "ablation: transmit-power tuning vs energy", EnergyTuning},
+		{"d7", "ablation: always-on vs low-power listening", DutyCycling},
+	}
+}
+
+// ByID finds an experiment by its identifier.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+func TestSeedRobustness(t *testing.T) {
+	for _, seed := range []uint64{1, 7, 99, 1234} {
+		for _, exp := range All() {
+			res, err := exp.Run(seed)
+			if err != nil {
+				t.Errorf("seed %d %s: %v", seed, exp.ID, err)
+				continue
+			}
+			for _, c := range res.Checks {
+				if !c.Pass {
+					t.Errorf("seed %d %s check %q: %s", seed, exp.ID, c.Name, c.Detail)
+				}
+			}
+		}
+	}
+}

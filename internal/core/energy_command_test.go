@@ -1,0 +1,80 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+
+	"liteview/internal/core"
+	"liteview/internal/shell"
+)
+
+func TestEnergyCommand(t *testing.T) {
+	_, ws := deploy(t, 2, 5, 71)
+	es, err := ws.Energy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The node listened through the warm-up: RX energy dominates.
+	if es.RXuJ == 0 {
+		t.Fatalf("no idle-listening energy recorded: %+v", es)
+	}
+	if es.TXuJ == 0 {
+		t.Fatalf("beacons cost no TX energy: %+v", es)
+	}
+	if es.RXuJ < es.TXuJ {
+		t.Fatalf("idle listening should dominate: %+v", es)
+	}
+	if es.RemainingPermille == 0 || es.RemainingPermille > 1000 {
+		t.Fatalf("battery fraction: %d‰", es.RemainingPermille)
+	}
+	if !es.HasLifetime || es.EstimatedLifetimeHours == 0 {
+		t.Fatalf("lifetime estimate missing: %+v", es)
+	}
+	// An always-on CC2420 mote on 2×AA lives on the order of days.
+	if es.EstimatedLifetimeHours < 24 || es.EstimatedLifetimeHours > 24*30 {
+		t.Fatalf("lifetime = %d h, implausible", es.EstimatedLifetimeHours)
+	}
+}
+
+func TestEnergyDiffersByActivity(t *testing.T) {
+	tb, ws := deploy(t, 2, 5, 72)
+	before1, err := ws.Energy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A burst of multi-round pings costs node 1 extra TX energy.
+	for i := 0; i < 3; i++ {
+		if _, err := ws.Ping(1, core.PingOptions{Dst: 2, Rounds: 10, Length: 48}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after1, err := ws.Energy(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after1.TXuJ <= before1.TXuJ {
+		t.Fatalf("ping burst cost no TX energy: %d → %d µJ", before1.TXuJ, after1.TXuJ)
+	}
+	_ = tb
+}
+
+func TestEnergyShellCommand(t *testing.T) {
+	tb, ws := deploy(t, 2, 5, 73)
+	var sb strings.Builder
+	sh, err := shell.NewForTestbed(tb, ws, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Exec("cd 192.168.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Exec("energy"); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"battery of 192.168.0.1", "% remaining", "idle listening", "projected lifetime"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("energy output missing %q:\n%s", want, got)
+		}
+	}
+}

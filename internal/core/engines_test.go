@@ -1,0 +1,239 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"liteview/internal/liteos"
+	"liteview/internal/medium"
+	"liteview/internal/phys"
+	"liteview/internal/routing"
+	"liteview/internal/sim"
+)
+
+// engineFixture builds bare nodes with ping/traceroute engines and
+// geographic routing, without controllers or a workstation — unit-level
+// access to the command engines.
+type engineFixture struct {
+	eng   *sim.Engine
+	nodes []*liteos.Node
+	pings []*PingEngine
+	trs   []*TracerouteEngine
+}
+
+func newEngineFixture(t *testing.T, n int, spacing float64, seed uint64) *engineFixture {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	model := phys.DefaultModel(seed)
+	model.ShadowSigma = 0
+	model.AsymSigma = 0
+	med := medium.New(eng, model)
+	f := &engineFixture{eng: eng}
+	routers := make(map[phys.NodeID]*routing.Router)
+	locator := func(id phys.NodeID) (phys.Position, bool) {
+		if int(id) >= 1 && int(id) <= n {
+			return phys.Position{X: float64(id-1) * spacing}, true
+		}
+		return phys.Position{}, false
+	}
+	for i := 1; i <= n; i++ {
+		node, err := liteos.NewNode(eng, med, liteos.Config{
+			ID:   phys.NodeID(i),
+			Name: "192.168.0." + string(rune('0'+i)),
+			Pos:  phys.Position{X: float64(i-1) * spacing},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := routing.NewGeographic(eng, node.Stack(), node.SysNeighborTable(), locator, routing.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		routers[node.ID()] = r
+		lookup := func(id phys.NodeID) RouterLookup {
+			return func(port byte) (*routing.Router, bool) {
+				if port == routing.GeographicPort {
+					return routers[id], true
+				}
+				return nil, false
+			}
+		}(node.ID())
+		pe, err := NewPingEngine(eng, node, lookup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		te, err := NewTracerouteEngine(eng, node, lookup)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.nodes = append(f.nodes, node)
+		f.pings = append(f.pings, pe)
+		f.trs = append(f.trs, te)
+		node.Neighbors().Start()
+	}
+	eng.RunUntil(15 * time.Second)
+	return f
+}
+
+func TestPingOptionValidation(t *testing.T) {
+	f := newEngineFixture(t, 2, 5, 31)
+	pe := f.pings[0]
+	if err := pe.Start(PingOptions{Dst: 1}, nil); err == nil {
+		t.Fatal("ping to self accepted")
+	}
+	if err := pe.Start(PingOptions{Dst: 2, Rounds: 500}, nil); err == nil {
+		t.Fatal("500 rounds accepted")
+	}
+	if err := pe.Start(PingOptions{Dst: 2, Length: 100}, nil); err == nil {
+		t.Fatal("oversized probe accepted")
+	}
+	if err := pe.Start(PingOptions{Dst: 2, RouterPort: 99}, nil); err == nil {
+		t.Fatal("unknown protocol port accepted")
+	}
+}
+
+func TestPingDefaults(t *testing.T) {
+	f := newEngineFixture(t, 2, 5, 32)
+	var got []PingResult
+	if err := f.pings[0].Start(PingOptions{Dst: 2}, func(rs []PingResult) { got = rs }); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunUntil(f.eng.Now() + 2*time.Second)
+	if len(got) != 1 { // default 1 round
+		t.Fatalf("results = %d", len(got))
+	}
+	if got[0].Lost {
+		t.Fatal("default ping lost")
+	}
+}
+
+func TestPingTinyLengthClampsToHeader(t *testing.T) {
+	f := newEngineFixture(t, 2, 5, 33)
+	var got []PingResult
+	if err := f.pings[0].Start(PingOptions{Dst: 2, Length: 1}, func(rs []PingResult) { got = rs }); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunUntil(f.eng.Now() + 2*time.Second)
+	if len(got) != 1 || got[0].Lost {
+		t.Fatalf("tiny probe: %+v", got)
+	}
+}
+
+func TestConcurrentPingTasks(t *testing.T) {
+	// Two independent ping tasks from the same node must not cross.
+	f := newEngineFixture(t, 3, 10, 34)
+	var a, b []PingResult
+	if err := f.pings[0].Start(PingOptions{Dst: 2, Rounds: 3}, func(rs []PingResult) { a = rs }); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.pings[0].Start(PingOptions{Dst: 3, Rounds: 3}, func(rs []PingResult) { b = rs }); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunUntil(f.eng.Now() + 5*time.Second)
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("results: a=%d b=%d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Lost || b[i].Lost {
+			t.Fatalf("concurrent tasks lost rounds: %+v %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestTracerouteOptionValidation(t *testing.T) {
+	f := newEngineFixture(t, 2, 5, 35)
+	te := f.trs[0]
+	if err := te.Start(TrOptions{Dst: 1, RouterPort: routing.GeographicPort}, nil, nil); err == nil {
+		t.Fatal("traceroute to self accepted")
+	}
+	if err := te.Start(TrOptions{Dst: 2}, nil, nil); err == nil {
+		t.Fatal("missing router port accepted")
+	}
+	if err := te.Start(TrOptions{Dst: 2, RouterPort: 99}, nil, nil); err == nil {
+		t.Fatal("unknown protocol accepted")
+	}
+	if err := te.Start(TrOptions{Dst: 2, RouterPort: routing.GeographicPort, Length: 200}, nil, nil); err == nil {
+		t.Fatal("oversized probe accepted")
+	}
+}
+
+func TestTracerouteMaxHopsBound(t *testing.T) {
+	f := newEngineFixture(t, 5, 20, 36)
+	var reports []TrHopReport
+	done := false
+	err := f.trs[0].Start(TrOptions{Dst: 5, RouterPort: routing.GeographicPort, MaxHops: 2},
+		func(rep TrHopReport) { reports = append(reports, rep) },
+		func() { done = true })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunUntil(f.eng.Now() + 10*time.Second)
+	if !done {
+		t.Fatal("session never finished")
+	}
+	// The walk stops at the hop budget: we must not see reports beyond
+	// MaxHops.
+	for _, rep := range reports {
+		if rep.Hop > 2 {
+			t.Fatalf("report beyond MaxHops: %+v", rep)
+		}
+	}
+}
+
+func TestTracerouteOnDoneFires(t *testing.T) {
+	f := newEngineFixture(t, 3, 15, 37)
+	done := 0
+	err := f.trs[0].Start(TrOptions{Dst: 3, RouterPort: routing.GeographicPort},
+		nil, func() { done++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunUntil(f.eng.Now() + 10*time.Second)
+	if done != 1 {
+		t.Fatalf("onDone fired %d times", done)
+	}
+}
+
+func TestTracerouteConcurrentSessions(t *testing.T) {
+	// Sessions from two different sources share intermediate nodes;
+	// segment keys include the source so they must not collide.
+	f := newEngineFixture(t, 4, 15, 38)
+	var fromA, fromB []TrHopReport
+	doneA, doneB := false, false
+	if err := f.trs[0].Start(TrOptions{Dst: 4, RouterPort: routing.GeographicPort},
+		func(r TrHopReport) { fromA = append(fromA, r) }, func() { doneA = true }); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.trs[3].Start(TrOptions{Dst: 1, RouterPort: routing.GeographicPort},
+		func(r TrHopReport) { fromB = append(fromB, r) }, func() { doneB = true }); err != nil {
+		t.Fatal(err)
+	}
+	f.eng.RunUntil(f.eng.Now() + 15*time.Second)
+	if !doneA || !doneB {
+		t.Fatalf("sessions incomplete: a=%v b=%v", doneA, doneB)
+	}
+	okA, okB := false, false
+	for _, r := range fromA {
+		if r.Final && !r.Lost {
+			okA = true
+		}
+	}
+	for _, r := range fromB {
+		if r.Final && !r.Lost {
+			okB = true
+		}
+	}
+	if !okA || !okB {
+		t.Fatalf("concurrent traceroutes: a final=%v b final=%v (%d/%d reports)", okA, okB, len(fromA), len(fromB))
+	}
+}
+
+func TestPingEngineSubscriptionConflict(t *testing.T) {
+	f := newEngineFixture(t, 2, 5, 39)
+	if _, err := NewPingEngine(f.eng, f.nodes[0], nil); err == nil {
+		t.Fatal("second ping engine on the same node accepted")
+	}
+	if _, err := NewTracerouteEngine(f.eng, f.nodes[0], nil); err == nil {
+		t.Fatal("second traceroute engine on the same node accepted")
+	}
+}

@@ -1,0 +1,208 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"liteview/internal/core"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/routing"
+	"liteview/internal/testbed"
+)
+
+// The paper's abstract: "it allows users to identify broken links ...
+// which are likely to become traffic bottlenecks". These tests inject
+// failures and assert the toolkit localises them.
+
+func TestTracerouteLocalizesDeadNode(t *testing.T) {
+	tb, ws := deploy(t, 5, 20, 21)
+	// Node 3 dies after discovery (battery out): radio off.
+	tb.Node(2).Radio().SetState(radio.Off)
+	out, err := ws.Traceroute(1, core.TrOptions{Dst: 5, Length: 32, RouterPort: routing.GeographicPort, MaxHops: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reports) == 0 {
+		t.Fatal("no reports at all")
+	}
+	last := out.Reports[len(out.Reports)-1]
+	if !last.Lost {
+		t.Fatalf("dead node not flagged: %+v", last)
+	}
+	// The lost hop must point at the dead node: its predecessor probed
+	// it and timed out.
+	if last.From != 3 {
+		t.Fatalf("lost hop points at %d, want the dead node 3", last.From)
+	}
+	// Hops before the break report normally.
+	for _, rep := range out.Reports[:len(out.Reports)-1] {
+		if rep.Lost {
+			t.Fatalf("hop %d before the break reported lost", rep.Hop)
+		}
+	}
+}
+
+func TestPingDetectsDeadDestination(t *testing.T) {
+	tb, ws := deploy(t, 2, 5, 22)
+	tb.Node(1).Radio().SetState(radio.Off)
+	out, err := ws.Ping(1, core.PingOptions{Dst: 2, Rounds: 3, Length: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Lost != 3 || out.Received != 0 {
+		t.Fatalf("dead destination: %+v", out)
+	}
+}
+
+func TestBlacklistBreaksThenRestoresPath(t *testing.T) {
+	// On a line with no alternative relay, blacklisting the only next
+	// hop must break the path (traceroute shows it), and removing the
+	// blacklist must restore it — the interactive observe-adjust-observe
+	// loop the paper advocates.
+	tb, ws := deploy(t, 4, 20, 23)
+	_ = tb
+	// Node 1 hears node 2 (strong) and node 3 (marginal, 40 m); the
+	// router falls back to marginal links rather than strand traffic,
+	// so stranding node 1 requires blacklisting both.
+	if err := ws.Blacklist(1, 2, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Blacklist(1, 3, true); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ws.Traceroute(1, core.TrOptions{Dst: 4, Length: 32, RouterPort: routing.GeographicPort})
+	if err == nil {
+		t.Fatal("traceroute succeeded with every forward neighbor blacklisted")
+	}
+	if err := ws.Blacklist(1, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ws.Blacklist(1, 3, false); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ws.Traceroute(1, core.TrOptions{Dst: 4, Length: 32, RouterPort: routing.GeographicPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := out.Reports[len(out.Reports)-1]
+	if !last.Final || last.From != 4 {
+		t.Fatalf("path did not recover: %+v", last)
+	}
+}
+
+func TestLogCommands(t *testing.T) {
+	_, ws := deploy(t, 2, 5, 24)
+	// Logging is off by default: a ping leaves no trace.
+	if _, err := ws.Ping(1, core.PingOptions{Dst: 2, Rounds: 1}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := ws.LogDump(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("disabled log has %d entries", len(entries))
+	}
+	// Enable, ping, dump: the ping trail appears.
+	if err := ws.LogControl(1, true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ws.Ping(1, core.PingOptions{Dst: 2, Rounds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	entries, err = ws.LogDump(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foundPing, foundController := false, false
+	for _, e := range entries {
+		if e.Tag == "ping" {
+			foundPing = true
+		}
+		if e.Tag == "controller" {
+			foundController = true
+		}
+	}
+	if !foundPing || !foundController {
+		t.Fatalf("log lacks expected trails: %+v", entries)
+	}
+	// Bounded dump returns exactly the newest entries. (The dump
+	// command itself logs a controller event, so the tail moves between
+	// dumps; asserting on the count and the tag suffices.)
+	two, err := ws.LogDump(1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(two) != 2 {
+		t.Fatalf("bounded dump returned %d", len(two))
+	}
+	if two[len(two)-1].Tag != "controller" {
+		t.Fatalf("newest entry should be the dump command's own trail, got %+v", two[len(two)-1])
+	}
+	// Disable again.
+	if err := ws.LogControl(1, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGroupRadioGet(t *testing.T) {
+	opt := testbed.DefaultOptions(25)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Grid(3, 3, 8, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.InstallLiteView(); err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(10 * time.Second)
+	ws, _ := tb.NewWorkstation(phys.Position{X: 8, Y: 8})
+	// Skew one node's settings so the survey is informative.
+	tb.Node(4).Radio().SetPowerLevel(10)
+	got, err := ws.GroupRadioGet(time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) < 7 {
+		t.Fatalf("only %d/9 nodes answered", len(got))
+	}
+	if ri, ok := got[5]; ok && ri.Power != 10 {
+		t.Fatalf("node 5 reported power %d, want 10", ri.Power)
+	}
+}
+
+func TestChannelPartitionIsolation(t *testing.T) {
+	// Nodes on different channels cannot hear each other at all: moving
+	// a node to another channel removes it from its old neighborhood
+	// over time and from reachability immediately.
+	tb, ws := deploy(t, 2, 5, 26)
+	if err := ws.SetChannel(2, 24); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ws.Ping(1, core.PingOptions{Dst: 2, Rounds: 2, Length: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Received != 0 {
+		t.Fatalf("cross-channel ping delivered %d", out.Received)
+	}
+	_ = tb
+}
+
+func TestWorkstationWalk(t *testing.T) {
+	// The management protocol is one-hop: a distant node is
+	// unreachable until the operator walks over.
+	tb, ws := deploy(t, 4, 30, 27)
+	if _, err := ws.RadioGet(4); err == nil {
+		t.Fatal("command to a node 90 m away succeeded")
+	}
+	ws.MoveTo(tb.Node(3).Position())
+	if _, err := ws.RadioGet(4); err != nil {
+		t.Fatalf("command after walking over: %v", err)
+	}
+	if ws.Position() != tb.Node(3).Position() {
+		t.Fatal("position not updated")
+	}
+}

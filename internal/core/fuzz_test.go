@@ -1,0 +1,43 @@
+package core
+
+import "testing"
+
+// FuzzDecodeCommand hardens the management command parser: hostile
+// bytes on the control port must never panic the controller.
+func FuzzDecodeCommand(f *testing.F) {
+	f.Add(EncodeCommand(Command{Kind: KindPing, Dst: 9, Rounds: 1, Length: 32, RouterPort: 10}))
+	f.Add(EncodeCommand(Command{Kind: KindNbrBlacklist, Target: 3, On: true}))
+	f.Add([]byte{})
+	f.Add([]byte{200, 1, 2})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		cmd, err := DecodeCommand(raw)
+		if err != nil {
+			return
+		}
+		// Accepted commands re-encode without panicking; the wire form
+		// need not match byte-for-byte (trailing garbage is tolerated),
+		// but a re-decode of the re-encode must agree.
+		re := EncodeCommand(cmd)
+		cmd2, err := DecodeCommand(re)
+		if err != nil {
+			t.Fatalf("re-encoded command rejected: %v", err)
+		}
+		if cmd2 != cmd {
+			t.Fatalf("round-trip drift: %+v vs %+v", cmd2, cmd)
+		}
+	})
+}
+
+// FuzzDecodeReply hardens the interpreter against hostile reply bytes.
+func FuzzDecodeReply(f *testing.F) {
+	f.Add(EncodeStatus(Status{Code: StatusOK, Msg: "ok"}))
+	f.Add(EncodePingResult(PingResult{Seq: 1, RTT: 4700}))
+	f.Add(EncodeTrHopReport(TrHopReport{Hop: 2, From: 3, Final: true}))
+	f.Add(EncodeNbrEntry(NbrEntry{ID: 5, Name: "192.168.0.5", WithLink: true, LQI: 100}))
+	f.Add(EncodeEnergyStats(EnergyStats{TXuJ: 1, RXuJ: 2, HasLifetime: true, EstimatedLifetimeHours: 3}))
+	f.Add([]byte{})
+	f.Add([]byte{255})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		_, _ = DecodeReply(raw) // must not panic
+	})
+}

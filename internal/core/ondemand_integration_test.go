@@ -1,0 +1,99 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"liteview/internal/core"
+	"liteview/internal/phys"
+	"liteview/internal/routing"
+	"liteview/internal/testbed"
+)
+
+// deployOnDemand builds a line with the on-demand protocol + LiteView.
+func deployOnDemand(t *testing.T, n int, spacing float64, seed uint64) (*testbed.Testbed, *core.Workstation) {
+	t.Helper()
+	opt := testbed.DefaultOptions(seed)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Line(n, spacing, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AttachOnDemand(routing.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.InstallLiteView(); err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(15 * time.Second)
+	ws, err := tb.NewWorkstation(phys.Position{X: -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tb, ws
+}
+
+// TestPingOverOnDemand shows the protocol-independence claim at the
+// command level: the same multi-hop ping works over a protocol that
+// did not even have a route until the probe forced discovery.
+func TestPingOverOnDemand(t *testing.T) {
+	_, ws := deployOnDemand(t, 4, 20, 61)
+	out, err := ws.Ping(1, core.PingOptions{
+		Dst: 4, Rounds: 2, Length: 16, RouterPort: routing.OnDemandPort,
+		// The first round pays the route-discovery latency.
+		Timeout: 3 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Received < 1 {
+		t.Fatalf("ping over on-demand: %+v", out)
+	}
+	if out.Protocol != "on-demand (AODV-style)" {
+		t.Fatalf("protocol = %q", out.Protocol)
+	}
+	// Padding worked across the discovered route.
+	for _, r := range out.Results {
+		if r.Lost {
+			continue
+		}
+		if len(r.HopQuality) < 2 {
+			t.Fatalf("hop quality records = %d", len(r.HopQuality))
+		}
+	}
+}
+
+// TestTracerouteOverOnDemand: traceroute needs an existing path (its
+// NextHop query does not wait for discovery), so the workflow is
+// ping-then-traceroute — exactly how an operator probes an on-demand
+// network.
+func TestTracerouteOverOnDemand(t *testing.T) {
+	_, ws := deployOnDemand(t, 4, 20, 62)
+	// Cold start: traceroute fails, telling the user there is no path
+	// yet.
+	if _, err := ws.Traceroute(1, core.TrOptions{Dst: 4, RouterPort: routing.OnDemandPort}); err == nil {
+		t.Fatal("cold traceroute over on-demand succeeded")
+	}
+	// Warm the route with a ping...
+	if _, err := ws.Ping(1, core.PingOptions{Dst: 4, Rounds: 1, Length: 16,
+		RouterPort: routing.OnDemandPort, Timeout: 3 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	// ...then walk it. Intermediate nodes also need routes back to the
+	// source for their reports; the discovery flood installed them.
+	out, err := ws.Traceroute(1, core.TrOptions{Dst: 4, RouterPort: routing.OnDemandPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reports) == 0 {
+		t.Fatal("no reports")
+	}
+	last := out.Reports[len(out.Reports)-1]
+	if !last.Final || last.From != 4 {
+		t.Fatalf("traceroute over on-demand did not complete: %+v", last)
+	}
+	if out.Protocol != "on-demand (AODV-style)" {
+		t.Fatalf("protocol = %q", out.Protocol)
+	}
+}

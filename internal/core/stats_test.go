@@ -1,0 +1,176 @@
+package core_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"liteview/internal/core"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/routing"
+	"liteview/internal/shell"
+	"liteview/internal/testbed"
+)
+
+func TestStatsCommand(t *testing.T) {
+	tb, ws := deploy(t, 3, 15, 41)
+	// Generate some traffic first so counters are non-trivial.
+	if _, err := ws.Ping(1, core.PingOptions{Dst: 2, Rounds: 2}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ws.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Node.MACSent == 0 || out.Node.MACReceived == 0 {
+		t.Fatalf("MAC counters empty: %+v", out.Node)
+	}
+	if out.Node.UptimeMs == 0 {
+		t.Fatal("uptime zero")
+	}
+	if out.Node.RAMUsed == 0 || out.Node.RAMFree == 0 {
+		t.Fatalf("RAM accounting missing: %+v", out.Node)
+	}
+	if int(out.Node.RAMUsed)+int(out.Node.RAMFree) != 4096 {
+		t.Fatalf("RAM does not sum to 4 KB: %+v", out.Node)
+	}
+	if len(out.Routers) != 1 {
+		t.Fatalf("routers = %d, want 1 (geographic)", len(out.Routers))
+	}
+	if out.Routers[0].Name != "geographic forwarding" || out.Routers[0].Port != 10 {
+		t.Fatalf("router record: %+v", out.Routers[0])
+	}
+	if out.Routers[0].HasParent {
+		t.Fatal("geographic forwarding reported a tree parent")
+	}
+	_ = tb
+}
+
+func TestStatsShowsTreeParent(t *testing.T) {
+	opt := testbed.DefaultOptions(42)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Line(3, 20, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AttachTree(1, routing.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.InstallLiteView(); err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(40 * time.Second)
+	ws, _ := tb.NewWorkstation(phys.Position{X: 42}) // next to node 3
+	out, err := ws.Stats(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Routers) != 1 {
+		t.Fatalf("routers = %d", len(out.Routers))
+	}
+	rt := out.Routers[0]
+	if rt.Name != "collection tree" {
+		t.Fatalf("router = %+v", rt)
+	}
+	if !rt.HasParent || rt.Parent != 2 {
+		t.Fatalf("tree parent not visible: %+v", rt)
+	}
+	if rt.CostCentile == 0 {
+		t.Fatal("tree cost missing")
+	}
+}
+
+func TestStatsRevealsLossHotspot(t *testing.T) {
+	// Probing a dead node leaves NoAck marks at the prober — the stats
+	// command is how an operator localises "hotspots of lost packets".
+	tb, ws := deploy(t, 3, 15, 43)
+	tb.Node(2).Radio().SetState(radio.Off)
+	if _, err := ws.Ping(1, core.PingOptions{Dst: 3, Rounds: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ws.Stats(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Node.MACNoAck == 0 && out.Node.MACRetries == 0 {
+		t.Fatalf("loss left no trace in the counters: %+v", out.Node)
+	}
+}
+
+func TestStatsShellCommand(t *testing.T) {
+	tb, ws := deploy(t, 2, 5, 44)
+	var sb strings.Builder
+	sh, err := shell.NewForTestbed(tb, ws, &sb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Exec("cd 192.168.0.1"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Exec("stats"); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	for _, want := range []string{"mac: sent=", "stack: delivered=", "ram:", `protocol "geographic forwarding"`} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestFsListCommand(t *testing.T) {
+	_, ws := deploy(t, 2, 5, 45)
+	root, err := ws.FsList(1, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs := map[string]bool{}
+	for _, e := range root {
+		if !e.Dir {
+			t.Fatalf("root entry %q not a directory", e.Name)
+		}
+		dirs[e.Name] = true
+	}
+	for _, want := range []string{"apps", "proc", "dev"} {
+		if !dirs[want] {
+			t.Fatalf("root listing missing %q: %v", want, root)
+		}
+	}
+	apps, err := ws.FsList(1, "apps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[string]uint32{}
+	for _, e := range apps {
+		found[e.Name] = e.Size
+	}
+	if found["ping"] != 2148 || found["traceroute"] != 2820 {
+		t.Fatalf("apps listing = %v", found)
+	}
+	procs, err := ws.FsList(1, "proc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller process is running.
+	ok := false
+	for _, e := range procs {
+		if strings.Contains(e.Name, "liteview-controller") && e.Size == 310 {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatalf("proc listing = %v", procs)
+	}
+	if _, err := ws.FsList(1, "nope"); err == nil {
+		t.Fatal("phantom directory accepted")
+	}
+	dev, err := ws.FsList(1, "/dev")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dev) < 3 {
+		t.Fatalf("dev listing = %v", dev)
+	}
+}

@@ -1,0 +1,741 @@
+// Package core implements LiteView, the paper's contribution: an
+// interactive, application-independent toolkit for end-user diagnosis of
+// communication paths in sensor networks.
+//
+// The toolkit has two halves joined by a reliable one-hop exchange
+// protocol:
+//
+//   - a command interpreter on the management workstation (package
+//     core's Workstation type), which translates user commands into
+//     radio messages, tracks session context, and formats replies; and
+//   - a runtime controller on every node (Controller), a process that
+//     executes commands by calling kernel system calls, reconfiguring
+//     the radio, reading the neighbor table, and spawning the ping and
+//     traceroute command processes.
+//
+// The ping and traceroute engines live in this package too: they are
+// individual processes subscribing to their own stack ports, so they
+// work over any routing protocol selected at runtime by port number.
+package core
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+
+	"liteview/internal/phys"
+)
+
+// Well-known stack ports used by LiteView.
+const (
+	// ControllerPort carries interpreter↔controller management traffic.
+	ControllerPort byte = 3
+	// PingPort is the ping command's process-to-process port.
+	PingPort byte = 20
+	// TraceroutePort is the traceroute command's port.
+	TraceroutePort byte = 21
+)
+
+// Kind identifies a management message type. Each user command
+// translates into "a sequence of radio messages [where] each message
+// header corresponds to one unique type".
+type Kind byte
+
+const (
+	kindInvalid Kind = iota
+	// Commands (interpreter → controller).
+	KindRadioGet
+	KindSetPower
+	KindSetChannel
+	KindNbrList
+	KindNbrBlacklist
+	KindNbrUpdate
+	KindPing
+	KindTraceroute
+	KindLogCtl
+	KindLogDump
+	KindStatsGet
+	KindEnergyGet
+	KindFsList
+	// Replies (controller → interpreter).
+	KindRadioInfo
+	KindStatus
+	KindNbrEntry
+	KindPingResult
+	KindPingHops
+	KindTrHopReport
+	KindLogEntry
+	KindNodeStats
+	KindRouterStats
+	KindEnergyStats
+	KindFsEntry
+)
+
+func (k Kind) String() string {
+	names := map[Kind]string{
+		KindRadioGet: "radio-get", KindSetPower: "set-power",
+		KindSetChannel: "set-channel", KindNbrList: "nbr-list",
+		KindNbrBlacklist: "nbr-blacklist", KindNbrUpdate: "nbr-update",
+		KindPing: "ping", KindTraceroute: "traceroute",
+		KindRadioInfo: "radio-info", KindStatus: "status",
+		KindNbrEntry: "nbr-entry", KindPingResult: "ping-result",
+		KindPingHops: "ping-hops", KindTrHopReport: "tr-hop-report",
+		KindLogCtl: "log-ctl", KindLogDump: "log-dump",
+		KindLogEntry: "log-entry", KindStatsGet: "stats-get",
+		KindNodeStats: "node-stats", KindRouterStats: "router-stats",
+		KindEnergyGet: "energy-get", KindEnergyStats: "energy-stats",
+		KindFsList: "fs-list", KindFsEntry: "fs-entry",
+	}
+	if s, ok := names[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("kind(%d)", byte(k))
+}
+
+// Status codes in KindStatus replies.
+const (
+	StatusOK byte = iota
+	StatusErr
+	StatusBadParam
+	StatusUnknownNeighbor
+	StatusBusy
+)
+
+// ErrShortMessage reports a truncated wire message.
+var ErrShortMessage = errors.New("core: short message")
+
+// writer is a tiny append-only binary encoder (big endian).
+type writer struct{ b []byte }
+
+func (w *writer) u8(v byte)          { w.b = append(w.b, v) }
+func (w *writer) u16(v uint16)       { w.b = binary.BigEndian.AppendUint16(w.b, v) }
+func (w *writer) u32(v uint32)       { w.b = binary.BigEndian.AppendUint32(w.b, v) }
+func (w *writer) i8(v int8)          { w.b = append(w.b, byte(v)) }
+func (w *writer) node(v phys.NodeID) { w.u16(uint16(v)) }
+func (w *writer) str(s string) {
+	if len(s) > 255 {
+		s = s[:255]
+	}
+	w.u8(byte(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// reader is the matching decoder; it sticks an error and returns zeros
+// afterwards so call sites stay linear.
+type reader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *reader) fail() bool { return r.err != nil }
+func (r *reader) need(n int) bool {
+	if r.err != nil {
+		return false
+	}
+	if r.off+n > len(r.b) {
+		r.err = ErrShortMessage
+		return false
+	}
+	return true
+}
+func (r *reader) u8() byte {
+	if !r.need(1) {
+		return 0
+	}
+	v := r.b[r.off]
+	r.off++
+	return v
+}
+func (r *reader) u16() uint16 {
+	if !r.need(2) {
+		return 0
+	}
+	v := binary.BigEndian.Uint16(r.b[r.off:])
+	r.off += 2
+	return v
+}
+func (r *reader) u32() uint32 {
+	if !r.need(4) {
+		return 0
+	}
+	v := binary.BigEndian.Uint32(r.b[r.off:])
+	r.off += 4
+	return v
+}
+func (r *reader) i8() int8          { return int8(r.u8()) }
+func (r *reader) node() phys.NodeID { return phys.NodeID(r.u16()) }
+func (r *reader) str() string {
+	n := int(r.u8())
+	if !r.need(n) {
+		return ""
+	}
+	s := string(r.b[r.off : r.off+n])
+	r.off += n
+	return s
+}
+
+// Command is a decoded management command.
+type Command struct {
+	Kind Kind
+	// SetPower / SetChannel argument.
+	Value int
+	// Target neighbor for blacklist operations.
+	Target phys.NodeID
+	// On is the blacklist direction (add vs remove).
+	On bool
+	// PeriodMs is the beacon period for KindNbrUpdate.
+	PeriodMs uint32
+	// Ping/traceroute parameters.
+	Dst        phys.NodeID
+	Rounds     int
+	Length     int
+	RouterPort byte
+	// WithLink selects neighbor listing with or without link info.
+	WithLink bool
+	// Count bounds KindLogDump replies.
+	Count int
+	// Path selects the directory for KindFsList.
+	Path string
+}
+
+// EncodeCommand serialises a command message.
+func EncodeCommand(c Command) []byte {
+	var w writer
+	w.u8(byte(c.Kind))
+	switch c.Kind {
+	case KindRadioGet:
+	case KindSetPower, KindSetChannel:
+		w.u8(byte(c.Value))
+	case KindNbrList:
+		if c.WithLink {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	case KindNbrBlacklist:
+		w.node(c.Target)
+		if c.On {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	case KindNbrUpdate:
+		w.u32(c.PeriodMs)
+	case KindPing, KindTraceroute:
+		w.node(c.Dst)
+		w.u8(byte(c.Rounds))
+		w.u8(byte(c.Length))
+		w.u8(c.RouterPort)
+	case KindLogCtl:
+		if c.On {
+			w.u8(1)
+		} else {
+			w.u8(0)
+		}
+	case KindLogDump:
+		w.u8(byte(c.Count))
+	case KindStatsGet, KindEnergyGet:
+	case KindFsList:
+		w.str(c.Path)
+	}
+	return w.b
+}
+
+// DecodeCommand parses a command message.
+func DecodeCommand(data []byte) (Command, error) {
+	r := reader{b: data}
+	c := Command{Kind: Kind(r.u8())}
+	switch c.Kind {
+	case KindRadioGet:
+	case KindSetPower, KindSetChannel:
+		c.Value = int(r.u8())
+	case KindNbrList:
+		c.WithLink = r.u8() != 0
+	case KindNbrBlacklist:
+		c.Target = r.node()
+		c.On = r.u8() != 0
+	case KindNbrUpdate:
+		c.PeriodMs = r.u32()
+	case KindPing, KindTraceroute:
+		c.Dst = r.node()
+		c.Rounds = int(r.u8())
+		c.Length = int(r.u8())
+		c.RouterPort = r.u8()
+	case KindLogCtl:
+		c.On = r.u8() != 0
+	case KindLogDump:
+		c.Count = int(r.u8())
+	case KindStatsGet, KindEnergyGet:
+	case KindFsList:
+		c.Path = r.str()
+	default:
+		return Command{}, fmt.Errorf("core: unknown command kind %d", c.Kind)
+	}
+	if r.fail() {
+		return Command{}, r.err
+	}
+	return c, nil
+}
+
+// RadioInfo is the KindRadioInfo reply body.
+type RadioInfo struct {
+	Power   int
+	Channel int
+}
+
+// EncodeRadioInfo serialises a radio configuration reply.
+func EncodeRadioInfo(ri RadioInfo) []byte {
+	var w writer
+	w.u8(byte(KindRadioInfo))
+	w.u8(byte(ri.Power))
+	w.u8(byte(ri.Channel))
+	return w.b
+}
+
+// Status is the generic command outcome reply.
+type Status struct {
+	Code byte
+	Msg  string
+}
+
+// EncodeStatus serialises a status reply.
+func EncodeStatus(s Status) []byte {
+	var w writer
+	w.u8(byte(KindStatus))
+	w.u8(s.Code)
+	w.str(s.Msg)
+	return w.b
+}
+
+// NbrEntry is one neighbor table row in a KindNbrEntry reply.
+type NbrEntry struct {
+	ID          phys.NodeID
+	Name        string
+	LQI         uint8
+	RSSI        int8
+	PRRPercent  uint8
+	Blacklisted bool
+	WithLink    bool
+}
+
+// EncodeNbrEntry serialises one neighbor row.
+func EncodeNbrEntry(e NbrEntry) []byte {
+	var w writer
+	w.u8(byte(KindNbrEntry))
+	w.node(e.ID)
+	w.str(e.Name)
+	var flags byte
+	if e.Blacklisted {
+		flags |= 1
+	}
+	if e.WithLink {
+		flags |= 2
+	}
+	w.u8(flags)
+	if e.WithLink {
+		w.u8(e.LQI)
+		w.i8(e.RSSI)
+		w.u8(e.PRRPercent)
+	}
+	return w.b
+}
+
+// PingResult is one round's outcome in a KindPingResult reply.
+type PingResult struct {
+	Seq     int
+	Lost    bool
+	RTT     uint32 // microseconds
+	LQIFwd  uint8
+	LQIBwd  uint8
+	RSSIFwd int8
+	RSSIBwd int8
+	QFwd    uint8
+	QBwd    uint8
+	Power   uint8
+	Channel uint8
+	// HopQuality carries per-hop forward-then-backward padding records
+	// for multi-hop pings (empty on single-hop).
+	HopQuality []HopLQ
+}
+
+// HopLQ is one padded hop record surfaced to the user.
+type HopLQ struct {
+	LQI  uint8
+	RSSI int8
+	// Back marks records collected on the reply's return path.
+	Back bool
+}
+
+// EncodePingResult serialises one ping round reply.
+func EncodePingResult(p PingResult) []byte {
+	var w writer
+	w.u8(byte(KindPingResult))
+	w.u8(byte(p.Seq))
+	if p.Lost {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	w.u32(p.RTT)
+	w.u8(p.LQIFwd)
+	w.u8(p.LQIBwd)
+	w.i8(p.RSSIFwd)
+	w.i8(p.RSSIBwd)
+	w.u8(p.QFwd)
+	w.u8(p.QBwd)
+	w.u8(p.Power)
+	w.u8(p.Channel)
+	return w.b
+}
+
+// PingHops is a continuation reply carrying a chunk of per-hop quality
+// records for one ping round: a multi-hop result with many hops does
+// not fit a single 802.15.4 packet, so the controller streams the
+// padding records in chunks after the round's KindPingResult.
+type PingHops struct {
+	Seq     int
+	Back    bool
+	Records []HopLQ
+}
+
+// PingHopsChunk bounds the records per continuation message so the
+// message fits the payload ceiling.
+const PingHopsChunk = 20
+
+// EncodePingHops serialises one chunk of hop-quality records.
+func EncodePingHops(h PingHops) []byte {
+	var w writer
+	w.u8(byte(KindPingHops))
+	w.u8(byte(h.Seq))
+	if h.Back {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	n := len(h.Records)
+	if n > PingHopsChunk {
+		n = PingHopsChunk
+	}
+	w.u8(byte(n))
+	for _, rec := range h.Records[:n] {
+		w.u8(rec.LQI)
+		w.i8(rec.RSSI)
+	}
+	return w.b
+}
+
+// LogEntry is one node event-log record in a KindLogEntry reply.
+type LogEntry struct {
+	// AtMs is the event's virtual time in milliseconds since epoch.
+	AtMs uint32
+	// Tag classifies the event.
+	Tag string
+	// Msg is the event text.
+	Msg string
+}
+
+// EncodeLogEntry serialises one event-log record.
+func EncodeLogEntry(e LogEntry) []byte {
+	var w writer
+	w.u8(byte(KindLogEntry))
+	w.u32(e.AtMs)
+	w.str(e.Tag)
+	w.str(e.Msg)
+	return w.b
+}
+
+// NodeStats is the node-level half of a stats reply: link-layer and
+// stack counters plus the memory budget — the raw material for finding
+// "the hotspots of lost packets".
+type NodeStats struct {
+	UptimeMs     uint32
+	MACSent      uint32
+	MACReceived  uint32
+	MACRetries   uint32
+	MACNoAck     uint32
+	MACCRCFail   uint32
+	MACQueueDrop uint32
+	StackDeliver uint32
+	StackNoSub   uint32
+	RAMUsed      uint16
+	RAMFree      uint16
+	QueueLen     uint8
+}
+
+// EncodeNodeStats serialises the node-level stats reply.
+func EncodeNodeStats(n NodeStats) []byte {
+	var w writer
+	w.u8(byte(KindNodeStats))
+	w.u32(n.UptimeMs)
+	w.u32(n.MACSent)
+	w.u32(n.MACReceived)
+	w.u32(n.MACRetries)
+	w.u32(n.MACNoAck)
+	w.u32(n.MACCRCFail)
+	w.u32(n.MACQueueDrop)
+	w.u32(n.StackDeliver)
+	w.u32(n.StackNoSub)
+	w.u16(n.RAMUsed)
+	w.u16(n.RAMFree)
+	w.u8(n.QueueLen)
+	return w.b
+}
+
+// RouterStats is one routing protocol's record in a stats reply,
+// including the collection-tree parent when the protocol has one —
+// "visibility on the way of routing tree construction".
+type RouterStats struct {
+	Port        byte
+	Name        string
+	Originated  uint32
+	Forwarded   uint32
+	Delivered   uint32
+	NoRoute     uint32
+	QueueDrops  uint32
+	HasParent   bool
+	Parent      phys.NodeID
+	CostCentile uint16 // path cost ×100 when HasParent
+}
+
+// EncodeRouterStats serialises one protocol record.
+func EncodeRouterStats(rs RouterStats) []byte {
+	var w writer
+	w.u8(byte(KindRouterStats))
+	w.u8(rs.Port)
+	w.str(rs.Name)
+	w.u32(rs.Originated)
+	w.u32(rs.Forwarded)
+	w.u32(rs.Delivered)
+	w.u32(rs.NoRoute)
+	w.u32(rs.QueueDrops)
+	if rs.HasParent {
+		w.u8(1)
+		w.node(rs.Parent)
+		w.u16(rs.CostCentile)
+	} else {
+		w.u8(0)
+	}
+	return w.b
+}
+
+// EnergyStats is a node's battery account in a KindEnergyStats reply.
+// Energies travel in microjoules (saturating at ~4.3 kJ per state,
+// about a day of always-on listening), durations in milliseconds, and
+// the battery level in tenths of a percent — every field fits 32 bits
+// as a mote would want.
+type EnergyStats struct {
+	TXuJ, RXuJ, OffuJ      uint32
+	TXms, RXms, Offms      uint32
+	RemainingPermille      uint16
+	EstimatedLifetimeHours uint32
+	HasLifetime            bool
+}
+
+// EncodeEnergyStats serialises a battery report.
+func EncodeEnergyStats(e EnergyStats) []byte {
+	var w writer
+	w.u8(byte(KindEnergyStats))
+	w.u32(e.TXuJ)
+	w.u32(e.RXuJ)
+	w.u32(e.OffuJ)
+	w.u32(e.TXms)
+	w.u32(e.RXms)
+	w.u32(e.Offms)
+	w.u16(e.RemainingPermille)
+	if e.HasLifetime {
+		w.u8(1)
+		w.u32(e.EstimatedLifetimeHours)
+	} else {
+		w.u8(0)
+	}
+	return w.b
+}
+
+// FsEntry is one row of a node's LiteOS file-tree listing — the "every
+// node is a directory" view LiteOS gives the shell. Directories have
+// Dir set; file sizes are bytes (flash for images, RAM for processes).
+type FsEntry struct {
+	Name string
+	Size uint32
+	Dir  bool
+}
+
+// EncodeFsEntry serialises one listing row.
+func EncodeFsEntry(e FsEntry) []byte {
+	var w writer
+	w.u8(byte(KindFsEntry))
+	w.str(e.Name)
+	w.u32(e.Size)
+	if e.Dir {
+		w.u8(1)
+	} else {
+		w.u8(0)
+	}
+	return w.b
+}
+
+// TrHopReport is one traceroute hop's report.
+type TrHopReport struct {
+	Hop     int
+	From    phys.NodeID // the probed node ("Reply from ...")
+	Lost    bool
+	RTT     uint32 // microseconds, measured at the probing hop
+	LQIFwd  uint8
+	LQIBwd  uint8
+	RSSIFwd int8
+	RSSIBwd int8
+	QFwd    uint8
+	QBwd    uint8
+	Final   bool // the probed node is the traceroute destination
+}
+
+// EncodeTrHopReport serialises one traceroute hop report.
+func EncodeTrHopReport(t TrHopReport) []byte {
+	var w writer
+	w.u8(byte(KindTrHopReport))
+	w.u8(byte(t.Hop))
+	w.node(t.From)
+	var flags byte
+	if t.Lost {
+		flags |= 1
+	}
+	if t.Final {
+		flags |= 2
+	}
+	w.u8(flags)
+	w.u32(t.RTT)
+	w.u8(t.LQIFwd)
+	w.u8(t.LQIBwd)
+	w.i8(t.RSSIFwd)
+	w.i8(t.RSSIBwd)
+	w.u8(t.QFwd)
+	w.u8(t.QBwd)
+	return w.b
+}
+
+// Reply is a decoded controller reply of any kind.
+type Reply struct {
+	Kind     Kind
+	Radio    RadioInfo
+	Status   Status
+	Nbr      NbrEntry
+	Ping     PingResult
+	PingHops PingHops
+	TrHop    TrHopReport
+	Log      LogEntry
+	Node     NodeStats
+	Router   RouterStats
+	Energy   EnergyStats
+	Fs       FsEntry
+}
+
+// DecodeReply parses any controller reply message.
+func DecodeReply(data []byte) (Reply, error) {
+	r := reader{b: data}
+	rep := Reply{Kind: Kind(r.u8())}
+	switch rep.Kind {
+	case KindRadioInfo:
+		rep.Radio.Power = int(r.u8())
+		rep.Radio.Channel = int(r.u8())
+	case KindStatus:
+		rep.Status.Code = r.u8()
+		rep.Status.Msg = r.str()
+	case KindNbrEntry:
+		rep.Nbr.ID = r.node()
+		rep.Nbr.Name = r.str()
+		flags := r.u8()
+		rep.Nbr.Blacklisted = flags&1 != 0
+		rep.Nbr.WithLink = flags&2 != 0
+		if rep.Nbr.WithLink {
+			rep.Nbr.LQI = r.u8()
+			rep.Nbr.RSSI = r.i8()
+			rep.Nbr.PRRPercent = r.u8()
+		}
+	case KindPingResult:
+		rep.Ping.Seq = int(r.u8())
+		rep.Ping.Lost = r.u8() != 0
+		rep.Ping.RTT = r.u32()
+		rep.Ping.LQIFwd = r.u8()
+		rep.Ping.LQIBwd = r.u8()
+		rep.Ping.RSSIFwd = r.i8()
+		rep.Ping.RSSIBwd = r.i8()
+		rep.Ping.QFwd = r.u8()
+		rep.Ping.QBwd = r.u8()
+		rep.Ping.Power = r.u8()
+		rep.Ping.Channel = r.u8()
+	case KindPingHops:
+		rep.PingHops.Seq = int(r.u8())
+		rep.PingHops.Back = r.u8() != 0
+		n := int(r.u8())
+		for i := 0; i < n; i++ {
+			rec := HopLQ{LQI: r.u8(), RSSI: r.i8(), Back: rep.PingHops.Back}
+			rep.PingHops.Records = append(rep.PingHops.Records, rec)
+		}
+	case KindLogEntry:
+		rep.Log.AtMs = r.u32()
+		rep.Log.Tag = r.str()
+		rep.Log.Msg = r.str()
+	case KindNodeStats:
+		rep.Node.UptimeMs = r.u32()
+		rep.Node.MACSent = r.u32()
+		rep.Node.MACReceived = r.u32()
+		rep.Node.MACRetries = r.u32()
+		rep.Node.MACNoAck = r.u32()
+		rep.Node.MACCRCFail = r.u32()
+		rep.Node.MACQueueDrop = r.u32()
+		rep.Node.StackDeliver = r.u32()
+		rep.Node.StackNoSub = r.u32()
+		rep.Node.RAMUsed = r.u16()
+		rep.Node.RAMFree = r.u16()
+		rep.Node.QueueLen = r.u8()
+	case KindFsEntry:
+		rep.Fs.Name = r.str()
+		rep.Fs.Size = r.u32()
+		rep.Fs.Dir = r.u8() != 0
+	case KindEnergyStats:
+		rep.Energy.TXuJ = r.u32()
+		rep.Energy.RXuJ = r.u32()
+		rep.Energy.OffuJ = r.u32()
+		rep.Energy.TXms = r.u32()
+		rep.Energy.RXms = r.u32()
+		rep.Energy.Offms = r.u32()
+		rep.Energy.RemainingPermille = r.u16()
+		if r.u8() != 0 {
+			rep.Energy.HasLifetime = true
+			rep.Energy.EstimatedLifetimeHours = r.u32()
+		}
+	case KindRouterStats:
+		rep.Router.Port = r.u8()
+		rep.Router.Name = r.str()
+		rep.Router.Originated = r.u32()
+		rep.Router.Forwarded = r.u32()
+		rep.Router.Delivered = r.u32()
+		rep.Router.NoRoute = r.u32()
+		rep.Router.QueueDrops = r.u32()
+		if r.u8() != 0 {
+			rep.Router.HasParent = true
+			rep.Router.Parent = r.node()
+			rep.Router.CostCentile = r.u16()
+		}
+	case KindTrHopReport:
+		rep.TrHop.Hop = int(r.u8())
+		rep.TrHop.From = r.node()
+		flags := r.u8()
+		rep.TrHop.Lost = flags&1 != 0
+		rep.TrHop.Final = flags&2 != 0
+		rep.TrHop.RTT = r.u32()
+		rep.TrHop.LQIFwd = r.u8()
+		rep.TrHop.LQIBwd = r.u8()
+		rep.TrHop.RSSIFwd = r.i8()
+		rep.TrHop.RSSIBwd = r.i8()
+		rep.TrHop.QFwd = r.u8()
+		rep.TrHop.QBwd = r.u8()
+	default:
+		return Reply{}, fmt.Errorf("core: unknown reply kind %d", rep.Kind)
+	}
+	if r.fail() {
+		return Reply{}, r.err
+	}
+	return rep, nil
+}

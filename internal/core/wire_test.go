@@ -1,0 +1,212 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCommandRoundTrips(t *testing.T) {
+	cases := []Command{
+		{Kind: KindRadioGet},
+		{Kind: KindSetPower, Value: 25},
+		{Kind: KindSetChannel, Value: 17},
+		{Kind: KindNbrList, WithLink: true},
+		{Kind: KindNbrList, WithLink: false},
+		{Kind: KindNbrBlacklist, Target: 0x0203, On: true},
+		{Kind: KindNbrBlacklist, Target: 7, On: false},
+		{Kind: KindNbrUpdate, PeriodMs: 1500},
+		{Kind: KindPing, Dst: 9, Rounds: 3, Length: 32, RouterPort: 10},
+		{Kind: KindTraceroute, Dst: 3, Rounds: 1, Length: 32, RouterPort: 10},
+	}
+	for _, c := range cases {
+		raw := EncodeCommand(c)
+		got, err := DecodeCommand(raw)
+		if err != nil {
+			t.Fatalf("%v: %v", c.Kind, err)
+		}
+		if got != c {
+			t.Fatalf("round trip %v: got %+v, want %+v", c.Kind, got, c)
+		}
+	}
+}
+
+func TestDecodeCommandRejectsGarbage(t *testing.T) {
+	if _, err := DecodeCommand(nil); err == nil {
+		t.Fatal("empty command accepted")
+	}
+	if _, err := DecodeCommand([]byte{200}); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, err := DecodeCommand([]byte{byte(KindPing), 1}); err == nil {
+		t.Fatal("truncated ping command accepted")
+	}
+}
+
+func TestRadioInfoRoundTrip(t *testing.T) {
+	raw := EncodeRadioInfo(RadioInfo{Power: 31, Channel: 17})
+	rep, err := DecodeReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindRadioInfo || rep.Radio.Power != 31 || rep.Radio.Channel != 17 {
+		t.Fatalf("reply = %+v", rep)
+	}
+}
+
+func TestStatusRoundTrip(t *testing.T) {
+	raw := EncodeStatus(Status{Code: StatusBusy, Msg: "command in progress"})
+	rep, err := DecodeReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Kind != KindStatus || rep.Status.Code != StatusBusy || rep.Status.Msg != "command in progress" {
+		t.Fatalf("reply = %+v", rep)
+	}
+}
+
+func TestNbrEntryRoundTrip(t *testing.T) {
+	e := NbrEntry{ID: 5, Name: "192.168.0.5", LQI: 107, RSSI: -12, PRRPercent: 97, Blacklisted: true, WithLink: true}
+	rep, err := DecodeReply(EncodeNbrEntry(e))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Nbr != e {
+		t.Fatalf("got %+v, want %+v", rep.Nbr, e)
+	}
+	// Without link info the quality fields are not carried.
+	e2 := NbrEntry{ID: 6, Name: "192.168.0.6"}
+	rep2, err := DecodeReply(EncodeNbrEntry(e2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Nbr.WithLink || rep2.Nbr.LQI != 0 {
+		t.Fatalf("no-link entry carried link data: %+v", rep2.Nbr)
+	}
+}
+
+func TestPingResultRoundTrip(t *testing.T) {
+	p := PingResult{
+		Seq: 2, RTT: 4700, LQIFwd: 108, LQIBwd: 106, RSSIFwd: -1, RSSIBwd: 8,
+		QFwd: 0, QBwd: 0, Power: 31, Channel: 17,
+	}
+	rep, err := DecodeReply(EncodePingResult(p))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.Ping
+	if got.Seq != p.Seq || got.RTT != p.RTT || got.LQIFwd != p.LQIFwd ||
+		got.RSSIBwd != p.RSSIBwd || got.Power != p.Power || got.Channel != p.Channel {
+		t.Fatalf("got %+v", got)
+	}
+	lost := PingResult{Seq: 1, Lost: true}
+	rep2, _ := DecodeReply(EncodePingResult(lost))
+	if !rep2.Ping.Lost {
+		t.Fatal("lost flag dropped")
+	}
+}
+
+func TestPingHopsRoundTrip(t *testing.T) {
+	h := PingHops{Seq: 3, Back: true, Records: []HopLQ{{LQI: 105, RSSI: -3, Back: true}, {LQI: 101, RSSI: -9, Back: true}}}
+	rep, err := DecodeReply(EncodePingHops(h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := rep.PingHops
+	if got.Seq != 3 || !got.Back || len(got.Records) != 2 {
+		t.Fatalf("got %+v", got)
+	}
+	if got.Records[0] != h.Records[0] || got.Records[1] != h.Records[1] {
+		t.Fatalf("records %+v", got.Records)
+	}
+	// Chunk bound enforced on encode: message stays within one packet.
+	big := PingHops{Seq: 1, Records: make([]HopLQ, 40)}
+	raw := EncodePingHops(big)
+	rep2, err := DecodeReply(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep2.PingHops.Records) != PingHopsChunk {
+		t.Fatalf("chunk = %d, want %d", len(rep2.PingHops.Records), PingHopsChunk)
+	}
+	if len(raw) > 56 {
+		t.Fatalf("chunk message %d bytes exceeds the transfer limit", len(raw))
+	}
+}
+
+func TestTrHopReportRoundTrip(t *testing.T) {
+	r := TrHopReport{Hop: 3, From: 4, RTT: 4900, LQIFwd: 106, LQIBwd: 107, RSSIFwd: 1, RSSIBwd: 2, QFwd: 0, QBwd: 0, Final: true}
+	rep, err := DecodeReply(EncodeTrHopReport(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TrHop != r {
+		t.Fatalf("got %+v, want %+v", rep.TrHop, r)
+	}
+	lost := TrHopReport{Hop: 1, From: 2, Lost: true}
+	rep2, _ := DecodeReply(EncodeTrHopReport(lost))
+	if !rep2.TrHop.Lost || rep2.TrHop.Final {
+		t.Fatalf("flags wrong: %+v", rep2.TrHop)
+	}
+}
+
+func TestDecodeReplyRejectsGarbage(t *testing.T) {
+	if _, err := DecodeReply(nil); err == nil {
+		t.Fatal("empty reply accepted")
+	}
+	if _, err := DecodeReply([]byte{255}); err == nil {
+		t.Fatal("unknown reply kind accepted")
+	}
+	if _, err := DecodeReply([]byte{byte(KindPingResult), 1}); err == nil {
+		t.Fatal("truncated reply accepted")
+	}
+}
+
+func TestReaderWriterProperty(t *testing.T) {
+	prop := func(a uint8, b uint16, c uint32, d int8, s string) bool {
+		if len(s) > 200 {
+			s = s[:200]
+		}
+		var w writer
+		w.u8(a)
+		w.u16(b)
+		w.u32(c)
+		w.i8(d)
+		w.str(s)
+		r := reader{b: w.b}
+		return r.u8() == a && r.u16() == b && r.u32() == c && r.i8() == d && r.str() == s && !r.fail()
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderShortInput(t *testing.T) {
+	r := reader{b: []byte{1}}
+	r.u32()
+	if !r.fail() {
+		t.Fatal("short read not flagged")
+	}
+	// After failure every read returns zero without panicking.
+	if r.u8() != 0 || r.u16() != 0 || r.str() != "" {
+		t.Fatal("post-failure reads not zeroed")
+	}
+}
+
+func TestWriterStringTruncation(t *testing.T) {
+	var w writer
+	long := make([]byte, 300)
+	w.str(string(long))
+	r := reader{b: w.b}
+	if got := r.str(); len(got) != 255 {
+		t.Fatalf("string truncated to %d, want 255", len(got))
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if KindPing.String() != "ping" || KindTrHopReport.String() != "tr-hop-report" {
+		t.Fatal("kind names wrong")
+	}
+	if Kind(99).String() == "" {
+		t.Fatal("unknown kind should format")
+	}
+}

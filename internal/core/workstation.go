@@ -1,0 +1,565 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"liteview/internal/mac"
+	"liteview/internal/medium"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/sim"
+	"liteview/internal/stack"
+)
+
+// WorkstationID is the reserved short address of the management
+// workstation's base-station radio.
+const WorkstationID phys.NodeID = 0xFF00
+
+// ResponseWindow is the default command response delay: "By default,
+// all commands have a response delay of 500 milliseconds", a period
+// intentionally longer than the network needs so that groups of nodes
+// can add random waiting time before answering.
+const ResponseWindow = 500 * time.Millisecond
+
+// Workstation is the LiteView command interpreter: it translates each
+// user command into a sequence of radio messages, tracks management
+// session context, and exchanges packets with runtime controllers over
+// the reliable one-hop protocol.
+//
+// The synchronous command methods pump the simulation engine until the
+// response window closes; call them from outside event callbacks only
+// (i.e. from test/benchmark/example top level, the position a real user
+// occupies).
+type Workstation struct {
+	eng *sim.Engine
+	med *medium.Medium
+	rad *radio.Radio
+	mac *mac.MAC
+	st  *stack.Stack
+	ep  *Endpoint
+
+	window     sim.Time
+	collecting map[phys.NodeID]*collector
+	// groupMode auto-creates collectors for any responder (broadcast
+	// commands collect from many nodes at once).
+	groupMode bool
+}
+
+type collector struct {
+	replies []Reply
+	times   []sim.Time
+	done    bool
+	sendErr error
+}
+
+// NewWorkstation attaches a management workstation to the medium at the
+// given position (the user walks the deployment with it; it must be in
+// radio range of the node it manages).
+func NewWorkstation(eng *sim.Engine, med *medium.Medium, pos phys.Position) (*Workstation, error) {
+	return NewWorkstationMAC(eng, med, pos, mac.DefaultConfig())
+}
+
+// NewWorkstationMAC is NewWorkstation with an explicit MAC
+// configuration. On a low-power-listening deployment the workstation
+// must speak LPL too: reaching a sleeping node means repeating the
+// command frame across the node's sleep interval.
+func NewWorkstationMAC(eng *sim.Engine, med *medium.Medium, pos phys.Position, macCfg mac.Config) (*Workstation, error) {
+	rad, err := radio.New(17)
+	if err != nil {
+		return nil, err
+	}
+	w := &Workstation{
+		eng:        eng,
+		med:        med,
+		rad:        rad,
+		window:     ResponseWindow,
+		collecting: make(map[phys.NodeID]*collector),
+	}
+	var st *stack.Stack
+	m, err := mac.New(eng, med, rad, WorkstationID, pos, macCfg,
+		func(f mac.Frame, info medium.RxInfo) { st.OnFrame(f, info) })
+	if err != nil {
+		return nil, err
+	}
+	st = stack.New(eng, m)
+	w.mac = m
+	w.st = st
+	w.ep, err = NewEndpoint(eng, st, DefaultReliableConfig(), w.onMessage)
+	if err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// Radio exposes the workstation's own radio (e.g. to follow a node onto
+// another channel after a set-channel command).
+func (w *Workstation) Radio() *radio.Radio { return w.rad }
+
+// MoveTo relocates the workstation: the management protocol is one-hop,
+// so the operator walks to whichever node they want to log into.
+func (w *Workstation) MoveTo(pos phys.Position) { w.mac.SetPosition(pos) }
+
+// Position returns the workstation's current location.
+func (w *Workstation) Position() phys.Position { return w.mac.Position() }
+
+// Endpoint exposes the interpreter's reliable-protocol endpoint.
+func (w *Workstation) Endpoint() *Endpoint { return w.ep }
+
+// SetResponseWindow overrides the default 500 ms command window.
+func (w *Workstation) SetResponseWindow(d sim.Time) {
+	if d > 0 {
+		w.window = d
+	}
+}
+
+// onMessage routes controller replies to the active collector.
+func (w *Workstation) onMessage(from phys.NodeID, payload []byte, _ medium.RxInfo, _ bool) {
+	rep, err := DecodeReply(payload)
+	if err != nil {
+		return
+	}
+	c, ok := w.collecting[from]
+	if !ok {
+		if !w.groupMode {
+			return
+		}
+		c = &collector{}
+		w.collecting[from] = c
+	}
+	c.replies = append(c.replies, rep)
+	c.times = append(c.times, w.eng.Now())
+	if rep.Kind == KindStatus {
+		c.done = true
+	}
+}
+
+// pump advances the simulation until the deadline passes, or — when
+// early is true — until the collector reports done.
+func (w *Workstation) pump(deadline sim.Time, c *collector, early bool) {
+	for {
+		if early && c != nil && c.done {
+			return
+		}
+		t, ok := w.eng.NextEventTime()
+		if !ok || t > deadline {
+			if deadline > w.eng.Now() {
+				w.eng.RunUntil(deadline)
+			}
+			return
+		}
+		w.eng.Step()
+	}
+}
+
+// command runs one unicast command against a node's controller and
+// waits the response window ("intentionally longer than needed").
+func (w *Workstation) command(node phys.NodeID, cmd Command, window sim.Time, early bool) (*collector, sim.Time, error) {
+	if _, busy := w.collecting[node]; busy {
+		return nil, 0, fmt.Errorf("core: a command for node %d is already in flight", node)
+	}
+	c := &collector{}
+	w.collecting[node] = c
+	defer delete(w.collecting, node)
+	start := w.eng.Now()
+	err := w.ep.Send(node, [][]byte{EncodeCommand(cmd)}, 0, func(err error) {
+		if err != nil {
+			c.sendErr = err
+			c.done = true
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	w.pump(start+window, c, early)
+	elapsed := w.eng.Now() - start
+	if c.sendErr != nil {
+		return c, elapsed, fmt.Errorf("core: command %v to node %d: %w", cmd.Kind, node, c.sendErr)
+	}
+	return c, elapsed, nil
+}
+
+// firstStatusErr surfaces an error status reply, if any.
+func firstStatusErr(c *collector) error {
+	for _, r := range c.replies {
+		if r.Kind == KindStatus && r.Status.Code != StatusOK {
+			return fmt.Errorf("core: node replied status %d: %s", r.Status.Code, r.Status.Msg)
+		}
+	}
+	return nil
+}
+
+// RadioGet reads a node's current power level and channel.
+func (w *Workstation) RadioGet(node phys.NodeID) (RadioInfo, error) {
+	c, _, err := w.command(node, Command{Kind: KindRadioGet}, w.window, false)
+	if err != nil {
+		return RadioInfo{}, err
+	}
+	for _, r := range c.replies {
+		if r.Kind == KindRadioInfo {
+			return r.Radio, nil
+		}
+	}
+	return RadioInfo{}, errors.New("core: no radio info reply within the response window")
+}
+
+// SetPower programs a node's CC2420 PA_LEVEL.
+func (w *Workstation) SetPower(node phys.NodeID, level int) error {
+	c, _, err := w.command(node, Command{Kind: KindSetPower, Value: level}, w.window, false)
+	if err != nil {
+		return err
+	}
+	if len(c.replies) == 0 {
+		return errors.New("core: no reply within the response window")
+	}
+	return firstStatusErr(c)
+}
+
+// SetChannel tunes a node to another 802.15.4 channel. The management
+// link breaks until the workstation follows.
+func (w *Workstation) SetChannel(node phys.NodeID, ch int) error {
+	c, _, err := w.command(node, Command{Kind: KindSetChannel, Value: ch}, w.window, false)
+	if err != nil {
+		return err
+	}
+	if len(c.replies) == 0 {
+		return errors.New("core: no reply within the response window")
+	}
+	return firstStatusErr(c)
+}
+
+// NeighborListOutput is a neighbor listing with its response delay.
+type NeighborListOutput struct {
+	Entries       []NbrEntry
+	ResponseDelay sim.Time
+}
+
+// NeighborList reads a node's kernel neighbor table, with or without
+// link information.
+func (w *Workstation) NeighborList(node phys.NodeID, withLink bool) (*NeighborListOutput, error) {
+	c, elapsed, err := w.command(node, Command{Kind: KindNbrList, WithLink: withLink}, w.window, false)
+	if err != nil {
+		return nil, err
+	}
+	out := &NeighborListOutput{ResponseDelay: elapsed}
+	for _, r := range c.replies {
+		if r.Kind == KindNbrEntry {
+			out.Entries = append(out.Entries, r.Nbr)
+		}
+	}
+	if len(c.replies) == 0 {
+		return nil, errors.New("core: no reply within the response window")
+	}
+	return out, firstStatusErr(c)
+}
+
+// Blacklist adds (on=true) or removes (on=false) a neighbor on a node's
+// blacklist.
+func (w *Workstation) Blacklist(node, target phys.NodeID, on bool) error {
+	c, _, err := w.command(node, Command{Kind: KindNbrBlacklist, Target: target, On: on}, w.window, false)
+	if err != nil {
+		return err
+	}
+	if len(c.replies) == 0 {
+		return errors.New("core: no reply within the response window")
+	}
+	return firstStatusErr(c)
+}
+
+// UpdateBeaconPeriod reconfigures a node's neighborhood beacon exchange
+// frequency (the neighbor-setup "update" command).
+func (w *Workstation) UpdateBeaconPeriod(node phys.NodeID, period sim.Time) error {
+	c, _, err := w.command(node, Command{Kind: KindNbrUpdate, PeriodMs: uint32(period / time.Millisecond)}, w.window, false)
+	if err != nil {
+		return err
+	}
+	if len(c.replies) == 0 {
+		return errors.New("core: no reply within the response window")
+	}
+	return firstStatusErr(c)
+}
+
+// PingOutput is the interpreter-side result of a ping command.
+type PingOutput struct {
+	// Results holds one entry per round.
+	Results []PingResult
+	// Sent/Received/Lost mirror the paper's "Ping statistics" block.
+	Sent, Received, Lost int
+	// ResponseDelay is how long the command took at the interpreter.
+	ResponseDelay sim.Time
+	// Protocol is the carrying protocol's display name.
+	Protocol string
+}
+
+// Ping runs the ping command on node (the node the user is logged
+// into), probing opts.Dst.
+func (w *Workstation) Ping(node phys.NodeID, opts PingOptions) (*PingOutput, error) {
+	if err := (&opts).normalize(); err != nil {
+		return nil, err
+	}
+	cmd := Command{Kind: KindPing, Dst: opts.Dst, Rounds: opts.Rounds, Length: opts.Length, RouterPort: opts.RouterPort}
+	// The window must cover all rounds; each timed-out round costs the
+	// per-round timeout. The default single round keeps the paper's
+	// 500 ms response delay.
+	window := w.window + sim.Time(opts.Rounds-1)*opts.Timeout
+	if opts.RouterPort != 0 {
+		window += sim.Time(opts.Rounds) * opts.Timeout
+	}
+	c, elapsed, err := w.command(node, cmd, window, false)
+	if err != nil {
+		return nil, err
+	}
+	out := &PingOutput{ResponseDelay: elapsed, Sent: opts.Rounds}
+	bySeq := make(map[int]*PingResult)
+	for _, r := range c.replies {
+		switch r.Kind {
+		case KindPingResult:
+			out.Results = append(out.Results, r.Ping)
+			bySeq[r.Ping.Seq] = &out.Results[len(out.Results)-1]
+			if r.Ping.Lost {
+				out.Lost++
+			} else {
+				out.Received++
+			}
+		case KindPingHops:
+			if res, ok := bySeq[r.PingHops.Seq]; ok {
+				res.HopQuality = append(res.HopQuality, r.PingHops.Records...)
+			}
+		case KindStatus:
+			if r.Status.Code == StatusOK {
+				out.Protocol = r.Status.Msg
+			}
+		}
+	}
+	if len(c.replies) == 0 {
+		return nil, errors.New("core: no ping reply within the response window")
+	}
+	return out, firstStatusErr(c)
+}
+
+// TimedHopReport is a traceroute hop report stamped with its arrival
+// time at the interpreter — the quantity Figure 5 plots.
+type TimedHopReport struct {
+	TrHopReport
+	// At is the virtual arrival time at the workstation.
+	At sim.Time
+	// Delay is At minus the command start.
+	Delay sim.Time
+}
+
+// TracerouteOutput is the interpreter-side result of a traceroute.
+type TracerouteOutput struct {
+	Reports []TimedHopReport
+	// Sent/Received/Lost mirror the paper's statistics block (per hop).
+	Sent, Received, Lost int
+	// Protocol is the carrying protocol's display name.
+	Protocol string
+	// ResponseDelay is the time until the final report (or window).
+	ResponseDelay sim.Time
+}
+
+// Traceroute runs the traceroute command on node toward opts.Dst,
+// streaming per-hop reports. The command finishes when the
+// destination's report arrives (the controller then closes the stream)
+// or when the window expires.
+func (w *Workstation) Traceroute(node phys.NodeID, opts TrOptions) (*TracerouteOutput, error) {
+	if err := (&opts).normalize(); err != nil {
+		return nil, err
+	}
+	cmd := Command{Kind: KindTraceroute, Dst: opts.Dst, Rounds: 1, Length: opts.Length, RouterPort: opts.RouterPort}
+	window := w.window + sim.Time(opts.MaxHops+2)*opts.HopTimeout*2
+	start := w.eng.Now()
+	c, _, err := w.command(node, cmd, window, true)
+	if err != nil {
+		return nil, err
+	}
+	out := &TracerouteOutput{}
+	for i, r := range c.replies {
+		switch r.Kind {
+		case KindTrHopReport:
+			out.Reports = append(out.Reports, TimedHopReport{
+				TrHopReport: r.TrHop,
+				At:          c.times[i],
+				Delay:       c.times[i] - start,
+			})
+			out.Sent++
+			if r.TrHop.Lost {
+				out.Lost++
+			} else {
+				out.Received++
+			}
+		case KindStatus:
+			if r.Status.Code == StatusOK {
+				out.Protocol = r.Status.Msg
+			}
+		}
+	}
+	out.ResponseDelay = w.eng.Now() - start
+	if len(c.replies) == 0 {
+		return nil, errors.New("core: no traceroute reply within the response window")
+	}
+	return out, firstStatusErr(c)
+}
+
+// StatsOutput is the interpreter-side result of a stats query.
+type StatsOutput struct {
+	Node    NodeStats
+	Routers []RouterStats
+}
+
+// Stats reads a node's link/stack counters and routing protocol state.
+func (w *Workstation) Stats(node phys.NodeID) (*StatsOutput, error) {
+	c, _, err := w.command(node, Command{Kind: KindStatsGet}, w.window, false)
+	if err != nil {
+		return nil, err
+	}
+	out := &StatsOutput{}
+	gotNode := false
+	for _, r := range c.replies {
+		switch r.Kind {
+		case KindNodeStats:
+			out.Node = r.Node
+			gotNode = true
+		case KindRouterStats:
+			out.Routers = append(out.Routers, r.Router)
+		}
+	}
+	if len(c.replies) == 0 {
+		return nil, errors.New("core: no reply within the response window")
+	}
+	if err := firstStatusErr(c); err != nil {
+		return nil, err
+	}
+	if !gotNode {
+		return nil, errors.New("core: stats reply lacked the node record")
+	}
+	return out, nil
+}
+
+// Energy reads a node's battery account.
+func (w *Workstation) Energy(node phys.NodeID) (EnergyStats, error) {
+	c, _, err := w.command(node, Command{Kind: KindEnergyGet}, w.window, false)
+	if err != nil {
+		return EnergyStats{}, err
+	}
+	for _, r := range c.replies {
+		if r.Kind == KindEnergyStats {
+			return r.Energy, firstStatusErr(c)
+		}
+	}
+	return EnergyStats{}, errors.New("core: no energy reply within the response window")
+}
+
+// FsList reads a node's LiteOS file-tree directory ("" or "/" for the
+// node root).
+func (w *Workstation) FsList(node phys.NodeID, path string) ([]FsEntry, error) {
+	c, _, err := w.command(node, Command{Kind: KindFsList, Path: path}, w.window, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []FsEntry
+	for _, r := range c.replies {
+		if r.Kind == KindFsEntry {
+			out = append(out, r.Fs)
+		}
+	}
+	if len(c.replies) == 0 {
+		return nil, errors.New("core: no reply within the response window")
+	}
+	return out, firstStatusErr(c)
+}
+
+// LogControl enables or disables a node's on-demand event logging.
+func (w *Workstation) LogControl(node phys.NodeID, on bool) error {
+	c, _, err := w.command(node, Command{Kind: KindLogCtl, On: on}, w.window, false)
+	if err != nil {
+		return err
+	}
+	if len(c.replies) == 0 {
+		return errors.New("core: no reply within the response window")
+	}
+	return firstStatusErr(c)
+}
+
+// LogDump fetches up to count of the newest entries from a node's event
+// log (count 0 fetches the whole ring).
+func (w *Workstation) LogDump(node phys.NodeID, count int) ([]LogEntry, error) {
+	c, _, err := w.command(node, Command{Kind: KindLogDump, Count: count}, w.window, false)
+	if err != nil {
+		return nil, err
+	}
+	var out []LogEntry
+	for _, r := range c.replies {
+		if r.Kind == KindLogEntry {
+			out = append(out, r.Log)
+		}
+	}
+	if len(c.replies) == 0 {
+		return nil, errors.New("core: no reply within the response window")
+	}
+	return out, firstStatusErr(c)
+}
+
+// GroupRadioGet broadcasts a radio-configuration query: every
+// controller in range answers (after its group backoff) with its power
+// level and channel — a one-command inventory of the deployment's radio
+// settings.
+func (w *Workstation) GroupRadioGet(window sim.Time) (map[phys.NodeID]RadioInfo, error) {
+	if window <= 0 {
+		window = w.window
+	}
+	prev := w.collecting
+	w.collecting = make(map[phys.NodeID]*collector)
+	w.groupMode = true
+	defer func() {
+		w.collecting = prev
+		w.groupMode = false
+	}()
+	if err := w.ep.Send(phys.Broadcast, [][]byte{EncodeCommand(Command{Kind: KindRadioGet})}, 0, nil); err != nil {
+		return nil, err
+	}
+	w.pump(w.eng.Now()+window, nil, false)
+	out := make(map[phys.NodeID]RadioInfo)
+	for id, c := range w.collecting {
+		for _, r := range c.replies {
+			if r.Kind == KindRadioInfo {
+				out[id] = r.Radio
+			}
+		}
+	}
+	return out, nil
+}
+
+// GroupNeighborList broadcasts a neighbor-list command to every
+// controller in radio range; responders stagger their replies with
+// random backoff. It collects for the given window and returns the
+// tables by node.
+func (w *Workstation) GroupNeighborList(withLink bool, window sim.Time) (map[phys.NodeID][]NbrEntry, error) {
+	if window <= 0 {
+		window = w.window
+	}
+	// Group collection: swap in a fresh collector table with on-demand
+	// creation, restore the old one afterwards.
+	prev := w.collecting
+	w.collecting = make(map[phys.NodeID]*collector)
+	w.groupMode = true
+	defer func() {
+		w.collecting = prev
+		w.groupMode = false
+	}()
+	err := w.ep.Send(phys.Broadcast, [][]byte{EncodeCommand(Command{Kind: KindNbrList, WithLink: withLink})}, 0, nil)
+	if err != nil {
+		return nil, err
+	}
+	w.pump(w.eng.Now()+window, nil, false)
+	out := make(map[phys.NodeID][]NbrEntry)
+	for id, c := range w.collecting {
+		for _, r := range c.replies {
+			if r.Kind == KindNbrEntry {
+				out[id] = append(out[id], r.Nbr)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,348 @@
+// Package diagnose automates the end-user diagnosis workflow the paper
+// leaves to the operator's judgement: walk the deployment with the
+// workstation, interrogate every node with the LiteView commands, and
+// cross-check what the nodes report about each other.
+//
+// The health check flags exactly the problem classes the paper's
+// abstract promises the toolkit exposes:
+//
+//   - unreachable nodes (dead battery, wrong channel, out of position);
+//   - isolated nodes (empty neighbor tables);
+//   - asymmetric links, by comparing each link's LQI as seen from both
+//     ends ("likely to become traffic bottlenecks");
+//   - loss hotspots, from the MAC's retry/no-ack counters;
+//   - exhausted batteries, from the energy meter.
+package diagnose
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"liteview/internal/core"
+	"liteview/internal/phys"
+)
+
+// Target names one node the health check visits.
+type Target struct {
+	ID   phys.NodeID
+	Name string
+	// Pos is where the operator walks to interrogate the node (the
+	// management protocol is one-hop).
+	Pos phys.Position
+}
+
+// Severity ranks findings.
+type Severity int
+
+const (
+	// Info findings are observations, not problems.
+	Info Severity = iota
+	// Warning findings degrade the deployment.
+	Warning
+	// Critical findings break connectivity.
+	Critical
+)
+
+func (s Severity) String() string {
+	switch s {
+	case Info:
+		return "info"
+	case Warning:
+		return "warning"
+	case Critical:
+		return "critical"
+	}
+	return fmt.Sprintf("severity(%d)", int(s))
+}
+
+// Finding is one diagnosed problem.
+type Finding struct {
+	Severity Severity
+	// Kind classifies the problem ("unreachable", "isolated",
+	// "asymmetric-link", "loss-hotspot", "low-battery").
+	Kind string
+	// Node is the primary subject.
+	Node phys.NodeID
+	// Peer is the other end for link findings (0 otherwise).
+	Peer phys.NodeID
+	// Detail is the human-readable explanation.
+	Detail string
+}
+
+// NodeHealth is the raw per-node interrogation result.
+type NodeHealth struct {
+	Target    Target
+	Reachable bool
+	Radio     core.RadioInfo
+	Stats     core.NodeStats
+	Energy    core.EnergyStats
+	Neighbors []core.NbrEntry
+}
+
+// Report is a completed health check.
+type Report struct {
+	Nodes    []NodeHealth
+	Findings []Finding
+}
+
+// Critical reports whether any finding is critical.
+func (r *Report) Critical() bool {
+	for _, f := range r.Findings {
+		if f.Severity == Critical {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the report for terminal output.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "health check: %d node(s) visited, %d finding(s)\n", len(r.Nodes), len(r.Findings))
+	for _, n := range r.Nodes {
+		status := "ok"
+		if !n.Reachable {
+			status = "UNREACHABLE"
+		}
+		fmt.Fprintf(&b, "  %-14s %s", n.Target.Name, status)
+		if n.Reachable {
+			fmt.Fprintf(&b, "  power=%d ch=%d neighbors=%d battery=%.1f%% noack=%d",
+				n.Radio.Power, n.Radio.Channel, len(n.Neighbors),
+				float64(n.Energy.RemainingPermille)/10, n.Stats.MACNoAck)
+		}
+		b.WriteByte('\n')
+	}
+	if len(r.Findings) == 0 {
+		b.WriteString("no problems found\n")
+		return b.String()
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "[%s] %s: %s\n", f.Severity, f.Kind, f.Detail)
+	}
+	return b.String()
+}
+
+// Options tunes the health check.
+type Options struct {
+	// AsymmetryLQI flags links whose two ends disagree by at least
+	// this many LQI units (default 15).
+	AsymmetryLQI int
+	// LowBatteryPermille flags batteries at or below this level
+	// (default 200 = 20%).
+	LowBatteryPermille int
+	// LossHotspotNoAck flags nodes whose MAC abandoned at least this
+	// many frames (default 10).
+	LossHotspotNoAck int
+}
+
+func (o *Options) normalize() {
+	if o.AsymmetryLQI <= 0 {
+		o.AsymmetryLQI = 15
+	}
+	if o.LowBatteryPermille <= 0 {
+		o.LowBatteryPermille = 200
+	}
+	if o.LossHotspotNoAck <= 0 {
+		o.LossHotspotNoAck = 10
+	}
+}
+
+// HealthCheck walks the targets with the workstation, interrogates each
+// node, and assembles the findings.
+func HealthCheck(ws *core.Workstation, targets []Target, opt Options) (*Report, error) {
+	if ws == nil {
+		return nil, errors.New("diagnose: nil workstation")
+	}
+	if len(targets) == 0 {
+		return nil, errors.New("diagnose: no targets")
+	}
+	opt.normalize()
+	report := &Report{}
+	for _, tgt := range targets {
+		ws.MoveTo(tgt.Pos)
+		h := NodeHealth{Target: tgt}
+		if ri, err := ws.RadioGet(tgt.ID); err == nil {
+			h.Reachable = true
+			h.Radio = ri
+			if st, err := ws.Stats(tgt.ID); err == nil {
+				h.Stats = st.Node
+			}
+			if es, err := ws.Energy(tgt.ID); err == nil {
+				h.Energy = es
+			}
+			if nl, err := ws.NeighborList(tgt.ID, true); err == nil {
+				h.Neighbors = nl.Entries
+			}
+		}
+		report.Nodes = append(report.Nodes, h)
+	}
+	report.Findings = analyze(report.Nodes, opt)
+	return report, nil
+}
+
+// analyze derives findings from the interrogation results.
+func analyze(nodes []NodeHealth, opt Options) []Finding {
+	var out []Finding
+	names := make(map[phys.NodeID]string, len(nodes))
+	for _, n := range nodes {
+		names[n.Target.ID] = n.Target.Name
+	}
+	// lqi[a][b] = LQI of the link b→a as estimated by a's kernel table.
+	lqi := make(map[phys.NodeID]map[phys.NodeID]int)
+	for _, n := range nodes {
+		if !n.Reachable {
+			out = append(out, Finding{
+				Severity: Critical, Kind: "unreachable", Node: n.Target.ID,
+				Detail: fmt.Sprintf("%s did not answer management commands (dead node, wrong channel, or moved)", n.Target.Name),
+			})
+			continue
+		}
+		if len(n.Neighbors) == 0 {
+			out = append(out, Finding{
+				Severity: Critical, Kind: "isolated", Node: n.Target.ID,
+				Detail: fmt.Sprintf("%s has an empty neighbor table", n.Target.Name),
+			})
+		}
+		if int(n.Energy.RemainingPermille) <= opt.LowBatteryPermille {
+			out = append(out, Finding{
+				Severity: Warning, Kind: "low-battery", Node: n.Target.ID,
+				Detail: fmt.Sprintf("%s battery at %.1f%%", n.Target.Name, float64(n.Energy.RemainingPermille)/10),
+			})
+		}
+		if int(n.Stats.MACNoAck) >= opt.LossHotspotNoAck {
+			out = append(out, Finding{
+				Severity: Warning, Kind: "loss-hotspot", Node: n.Target.ID,
+				Detail: fmt.Sprintf("%s abandoned %d frames after retries (%d retransmissions)",
+					n.Target.Name, n.Stats.MACNoAck, n.Stats.MACRetries),
+			})
+		}
+		row := make(map[phys.NodeID]int, len(n.Neighbors))
+		for _, e := range n.Neighbors {
+			row[e.ID] = int(e.LQI)
+		}
+		lqi[n.Target.ID] = row
+	}
+	// Link symmetry: compare both ends' estimates of the same link.
+	type pair struct{ a, b phys.NodeID }
+	seen := make(map[pair]bool)
+	for a, row := range lqi {
+		for b, ab := range row { // ab: quality of b→a as seen at a
+			if a == b {
+				continue
+			}
+			key := pair{min2(a, b), max2(a, b)}
+			if seen[key] {
+				continue
+			}
+			ba, ok := lqi[b][a] // quality of a→b as seen at b
+			if !ok {
+				continue // b never heard a; one-way audibility is its own smell but noisy
+			}
+			seen[key] = true
+			diff := ab - ba
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff >= opt.AsymmetryLQI {
+				out = append(out, Finding{
+					Severity: Warning, Kind: "asymmetric-link", Node: key.a, Peer: key.b,
+					Detail: fmt.Sprintf("link %s↔%s: LQI %d one way vs %d the other (Δ%d)",
+						names[key.a], names[key.b], lqi[key.a][key.b], lqi[key.b][key.a], diff),
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Severity != out[j].Severity {
+			return out[i].Severity > out[j].Severity
+		}
+		if out[i].Node != out[j].Node {
+			return out[i].Node < out[j].Node
+		}
+		return out[i].Kind < out[j].Kind
+	})
+	return out
+}
+
+func min2(a, b phys.NodeID) phys.NodeID {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max2(a, b phys.NodeID) phys.NodeID {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Pair names one source→destination RTT probe of a survey.
+type Pair struct {
+	// From is the node the ping command runs on; the workstation walks
+	// to it first.
+	From Target
+	// To is the probed node.
+	To phys.NodeID
+}
+
+// PairResult is one surveyed pair.
+type PairResult struct {
+	Pair Pair
+	// MeanRTTMs averages the successful rounds.
+	MeanRTTMs float64
+	// MaxQueue is the largest remote queue occupancy observed.
+	MaxQueue int
+	Received int
+	Lost     int
+}
+
+// RTTSurvey runs the abstract's hotspot workflow: ping each pair a few
+// rounds and rank the pairs by mean round-trip delay, slowest first —
+// elevated RTT, queue occupancy, and loss mark the congested
+// neighborhoods.
+func RTTSurvey(ws *core.Workstation, pairs []Pair, rounds int) ([]PairResult, error) {
+	if ws == nil {
+		return nil, errors.New("diagnose: nil workstation")
+	}
+	if len(pairs) == 0 {
+		return nil, errors.New("diagnose: no pairs")
+	}
+	if rounds <= 0 {
+		rounds = 5
+	}
+	out := make([]PairResult, 0, len(pairs))
+	for _, pr := range pairs {
+		ws.MoveTo(pr.From.Pos)
+		res := PairResult{Pair: pr}
+		ping, err := ws.Ping(pr.From.ID, core.PingOptions{Dst: pr.To, Rounds: rounds, Length: 32})
+		if err != nil {
+			return nil, fmt.Errorf("diagnose: survey %s→%d: %w", pr.From.Name, pr.To, err)
+		}
+		res.Lost = ping.Lost
+		for _, r := range ping.Results {
+			if r.Lost {
+				continue
+			}
+			res.Received++
+			res.MeanRTTMs += float64(r.RTT) / 1000
+			if int(r.QFwd) > res.MaxQueue {
+				res.MaxQueue = int(r.QFwd)
+			}
+		}
+		if res.Received > 0 {
+			res.MeanRTTMs /= float64(res.Received)
+		}
+		out = append(out, res)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Lost != out[j].Lost {
+			return out[i].Lost > out[j].Lost
+		}
+		return out[i].MeanRTTMs > out[j].MeanRTTMs
+	})
+	return out, nil
+}

@@ -1,0 +1,135 @@
+// Package energy accounts for each mote's battery drain. Energy is the
+// resource sensor-network management ultimately protects — the paper's
+// efficiency goal (zero overhead when commands are inactive) and its
+// radio power tuning workflow both exist because every transmitted
+// milliwatt shortens the deployment's life.
+//
+// The meter integrates the CC2420's datasheet current draw over the
+// radio's state timeline: RXCurrentMA whenever the node listens (idle
+// listening dominates on an always-on mote), the PA-level-dependent
+// transmit current while sending, and the power-down trickle when off.
+package energy
+
+import (
+	"fmt"
+	"time"
+
+	"liteview/internal/radio"
+	"liteview/internal/sim"
+)
+
+// DefaultBatteryJ is the usable energy of a 2×AA pack (≈2500 mAh at
+// 3 V).
+const DefaultBatteryJ = 27000.0
+
+// Stats is a snapshot of a node's energy account.
+type Stats struct {
+	// TXJ, RXJ, OffJ are joules consumed per radio state.
+	TXJ, RXJ, OffJ float64
+	// TXTime, RXTime, OffTime are the state residencies.
+	TXTime, RXTime, OffTime sim.Time
+}
+
+// TotalJ returns the total energy consumed.
+func (s Stats) TotalJ() float64 { return s.TXJ + s.RXJ + s.OffJ }
+
+func (s Stats) String() string {
+	return fmt.Sprintf("tx %.3f J (%v), rx %.3f J (%v), off %.3f J (%v)",
+		s.TXJ, s.TXTime, s.RXJ, s.RXTime, s.OffJ, s.OffTime)
+}
+
+// Meter integrates a radio's consumption over virtual time.
+type Meter struct {
+	eng     *sim.Engine
+	rad     *radio.Radio
+	battery float64
+	stats   Stats
+	lastAt  sim.Time
+	lastTX  float64 // TX current at the moment TX began
+}
+
+// Attach installs a meter on the radio (replacing any previous state
+// observer). battery is the usable budget in joules; zero selects
+// DefaultBatteryJ.
+func Attach(eng *sim.Engine, rad *radio.Radio, battery float64) *Meter {
+	if battery <= 0 {
+		battery = DefaultBatteryJ
+	}
+	m := &Meter{eng: eng, rad: rad, battery: battery, lastAt: eng.Now()}
+	rad.SetNotify(func(old, _ radio.State) { m.settle(old) })
+	return m
+}
+
+// settle folds the time since the last transition into the account for
+// the state the radio was in.
+func (m *Meter) settle(state radio.State) {
+	now := m.eng.Now()
+	dt := now - m.lastAt
+	m.lastAt = now
+	if dt <= 0 {
+		return
+	}
+	seconds := float64(dt) / float64(time.Second)
+	switch state {
+	case radio.TX:
+		// Use the PA current captured when TX began; the level cannot
+		// change mid-frame.
+		cur := m.lastTX
+		if cur == 0 {
+			cur = radio.TXCurrentMA(m.rad.PowerLevel())
+		}
+		m.stats.TXJ += cur / 1000 * radio.SupplyVolts * seconds
+		m.stats.TXTime += dt
+	case radio.RX:
+		m.stats.RXJ += radio.RXCurrentMA / 1000 * radio.SupplyVolts * seconds
+		m.stats.RXTime += dt
+	case radio.Off:
+		m.stats.OffJ += radio.OffCurrentMA / 1000 * radio.SupplyVolts * seconds
+		m.stats.OffTime += dt
+	}
+	// Capture the TX current for the state we are entering.
+	if m.rad.State() == radio.TX {
+		m.lastTX = radio.TXCurrentMA(m.rad.PowerLevel())
+	}
+}
+
+// Stats returns the account including the still-open current state.
+func (m *Meter) Stats() Stats {
+	m.settle(m.rad.State())
+	return m.stats
+}
+
+// ConsumedJ returns total joules drawn so far.
+func (m *Meter) ConsumedJ() float64 { return m.Stats().TotalJ() }
+
+// RemainingJ returns the battery budget left (floored at zero).
+func (m *Meter) RemainingJ() float64 {
+	left := m.battery - m.ConsumedJ()
+	if left < 0 {
+		return 0
+	}
+	return left
+}
+
+// RemainingFraction returns the battery level in [0, 1].
+func (m *Meter) RemainingFraction() float64 {
+	return m.RemainingJ() / m.battery
+}
+
+// EstimateLifetime extrapolates the battery's life from the average
+// draw so far. It reports ok=false before any consumption.
+func (m *Meter) EstimateLifetime() (sim.Time, bool) {
+	consumed := m.ConsumedJ()
+	elapsed := m.eng.Now()
+	if consumed <= 0 || elapsed <= 0 {
+		return 0, false
+	}
+	rate := consumed / (float64(elapsed) / float64(time.Second)) // J/s
+	seconds := m.battery / rate
+	// Cap at ~10 years to keep the arithmetic in range.
+	const cap = 10 * 365 * 24 * 3600
+	if seconds > cap {
+		seconds = cap
+	}
+	return sim.Time(seconds * float64(time.Second)), true
+}

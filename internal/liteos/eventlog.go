@@ -1,0 +1,76 @@
+package liteos
+
+import (
+	"fmt"
+
+	"liteview/internal/sim"
+)
+
+// EventLog is LiteOS's on-demand logging of internal events: a small
+// ring buffer a user enables only when debugging, so it costs nothing
+// in the common case.
+type EventLog struct {
+	enabled bool
+	cap     int
+	entries []LogEntry
+	dropped uint64
+}
+
+// LogEntry is one logged event.
+type LogEntry struct {
+	// At is the virtual time of the event.
+	At sim.Time
+	// Tag classifies the event ("ping", "route", ...).
+	Tag string
+	// Msg is the event text.
+	Msg string
+}
+
+func (e LogEntry) String() string {
+	return fmt.Sprintf("[%v] %s: %s", e.At, e.Tag, e.Msg)
+}
+
+// NewEventLog returns a disabled log bounded to capacity entries.
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	return &EventLog{cap: capacity}
+}
+
+// Enable turns logging on.
+func (l *EventLog) Enable() { l.enabled = true }
+
+// Disable turns logging off without clearing recorded entries.
+func (l *EventLog) Disable() { l.enabled = false }
+
+// Enabled reports whether events are being recorded.
+func (l *EventLog) Enabled() bool { return l.enabled }
+
+// Append records an event when enabled, evicting the oldest entry when
+// the ring is full.
+func (l *EventLog) Append(at sim.Time, tag, msg string) {
+	if !l.enabled {
+		return
+	}
+	if len(l.entries) >= l.cap {
+		copy(l.entries, l.entries[1:])
+		l.entries = l.entries[:len(l.entries)-1]
+		l.dropped++
+	}
+	l.entries = append(l.entries, LogEntry{At: at, Tag: tag, Msg: msg})
+}
+
+// Entries returns a copy of the recorded events, oldest first.
+func (l *EventLog) Entries() []LogEntry {
+	return append([]LogEntry(nil), l.entries...)
+}
+
+// Dropped reports how many events were evicted from the ring.
+func (l *EventLog) Dropped() uint64 { return l.dropped }
+
+// Clear discards recorded entries.
+func (l *EventLog) Clear() {
+	l.entries = l.entries[:0]
+	l.dropped = 0
+}

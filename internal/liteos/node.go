@@ -1,0 +1,198 @@
+// Package liteos models the node-side operating system substrate the
+// paper builds on: LiteOS 1.0 on MicaZ-class hardware. It assembles the
+// per-node component stack (radio, MAC, port-based stack, kernel
+// neighbor table with beaconing), models the mote's RAM/flash budget,
+// implements the process abstraction LiteView commands run under, the
+// new parameter-passing system call the paper adds, and the on-demand
+// event log LiteOS provides for understanding system dynamics.
+package liteos
+
+import (
+	"errors"
+	"fmt"
+
+	"liteview/internal/energy"
+	"liteview/internal/mac"
+	"liteview/internal/medium"
+	"liteview/internal/neighbor"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/sim"
+	"liteview/internal/stack"
+)
+
+// MicaZ hardware budget.
+const (
+	// RAMBytes is the Atmega128's 4 KB of static RAM.
+	RAMBytes = 4 * 1024
+	// FlashBytes is the 128 KB programmable flash.
+	FlashBytes = 128 * 1024
+	// KernelRAM is the share of RAM the kernel itself occupies
+	// (threads table, neighbor table, stack buffers).
+	KernelRAM = 1536
+	// KernelFlash is the kernel's flash footprint.
+	KernelFlash = 30 * 1024
+)
+
+// Config describes one node of a deployment.
+type Config struct {
+	// ID is the 802.15.4 short address.
+	ID phys.NodeID
+	// Name is the IP-convention node name, e.g. "192.168.0.1".
+	Name string
+	// Dir is the LiteOS file-tree mount, e.g. "/sn01".
+	Dir string
+	// Pos is the physical position in meters.
+	Pos phys.Position
+	// Channel is the initial 802.15.4 channel (0 means 17, a mid-band
+	// default matching the paper's sample output).
+	Channel int
+	// MAC overrides the CSMA parameters; zero value means defaults.
+	MAC mac.Config
+	// NeighborCapacity bounds the kernel neighbor table (0 = default).
+	NeighborCapacity int
+	// BatteryJ is the usable battery energy in joules (0 = a 2×AA
+	// pack).
+	BatteryJ float64
+}
+
+// Node is one simulated mote: hardware, kernel state, and processes.
+type Node struct {
+	eng *sim.Engine
+	cfg Config
+
+	rad   *radio.Radio
+	mac   *mac.MAC
+	stack *stack.Stack
+	nbr   *neighbor.Service
+	log   *EventLog
+	meter *energy.Meter
+
+	paramBuf string
+
+	nextPID  int
+	procs    map[int]*Process
+	binaries map[string]*Binary
+
+	ramUsed   int
+	flashUsed int
+}
+
+// NewNode builds a node and attaches it to the medium. The neighbor
+// beacon service is created but not started; call Node.Neighbors().
+// Start() when the deployment wants discovery running.
+func NewNode(eng *sim.Engine, med *medium.Medium, cfg Config) (*Node, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("liteos: node needs a name")
+	}
+	if cfg.Channel == 0 {
+		cfg.Channel = 17
+	}
+	if cfg.MAC.QueueCap == 0 {
+		cfg.MAC = mac.DefaultConfig()
+	}
+	rad, err := radio.New(cfg.Channel)
+	if err != nil {
+		return nil, fmt.Errorf("liteos: node %s: %w", cfg.Name, err)
+	}
+	n := &Node{
+		eng:      eng,
+		cfg:      cfg,
+		rad:      rad,
+		log:      NewEventLog(64),
+		procs:    make(map[int]*Process),
+		binaries: make(map[string]*Binary),
+	}
+	var st *stack.Stack
+	m, err := mac.New(eng, med, rad, cfg.ID, cfg.Pos, cfg.MAC,
+		func(f mac.Frame, info medium.RxInfo) { st.OnFrame(f, info) })
+	if err != nil {
+		return nil, fmt.Errorf("liteos: node %s: %w", cfg.Name, err)
+	}
+	st = stack.New(eng, m)
+	n.mac = m
+	n.stack = st
+	nbr, err := neighbor.NewService(eng, st, neighbor.NewTable(cfg.NeighborCapacity), cfg.Name)
+	if err != nil {
+		return nil, fmt.Errorf("liteos: node %s: %w", cfg.Name, err)
+	}
+	n.nbr = nbr
+	n.meter = energy.Attach(eng, rad, cfg.BatteryJ)
+	n.ramUsed = KernelRAM
+	n.flashUsed = KernelFlash
+	return n, nil
+}
+
+// Accessors for the assembled components.
+
+// Engine returns the simulation engine the node runs on.
+func (n *Node) Engine() *sim.Engine { return n.eng }
+
+// ID returns the node's short address.
+func (n *Node) ID() phys.NodeID { return n.cfg.ID }
+
+// Name returns the node's IP-convention name.
+func (n *Node) Name() string { return n.cfg.Name }
+
+// Dir returns the node's LiteOS file-tree mount point.
+func (n *Node) Dir() string { return n.cfg.Dir }
+
+// Path returns the full shell path of the node, e.g.
+// "/sn01/192.168.0.1".
+func (n *Node) Path() string { return n.cfg.Dir + "/" + n.cfg.Name }
+
+// Position returns the node's location.
+func (n *Node) Position() phys.Position { return n.cfg.Pos }
+
+// Radio returns the node's CC2420 model.
+func (n *Node) Radio() *radio.Radio { return n.rad }
+
+// MAC returns the node's link layer.
+func (n *Node) MAC() *mac.MAC { return n.mac }
+
+// Stack returns the node's port-based communication stack.
+func (n *Node) Stack() *stack.Stack { return n.stack }
+
+// Neighbors returns the kernel neighborhood service.
+func (n *Node) Neighbors() *neighbor.Service { return n.nbr }
+
+// Log returns the node's event log.
+func (n *Node) Log() *EventLog { return n.log }
+
+// Energy returns the node's battery meter.
+func (n *Node) Energy() *energy.Meter { return n.meter }
+
+// System calls. On real LiteOS these cross from a user process into the
+// kernel; here they are methods, but LiteView code only touches kernel
+// state through them so the layering survives.
+
+// SysSetParamBuffer stores the parameter string the runtime controller
+// prepared for the next process start (the paper's new system call for
+// passing runtime parameters).
+func (n *Node) SysSetParamBuffer(params string) { n.paramBuf = params }
+
+// SysParamBuffer returns the current parameter buffer. An empty buffer
+// is the paper's leading "\0" case.
+func (n *Node) SysParamBuffer() string { return n.paramBuf }
+
+// SysNeighborTable exposes the kernel neighbor table to processes,
+// mirroring the kernel service LiteView reads via system calls (or, in
+// the paper, sometimes by direct memory access).
+func (n *Node) SysNeighborTable() *neighbor.Table { return n.nbr.Table() }
+
+// SysLogEvent appends to the node's event log when logging is enabled.
+func (n *Node) SysLogEvent(tag, format string, args ...any) {
+	n.log.Append(n.eng.Now(), tag, fmt.Sprintf(format, args...))
+}
+
+// RAMUsed returns the bytes of static RAM currently accounted.
+func (n *Node) RAMUsed() int { return n.ramUsed }
+
+// RAMFree returns the remaining RAM budget.
+func (n *Node) RAMFree() int { return RAMBytes - n.ramUsed }
+
+// FlashUsed returns the bytes of program flash currently accounted.
+func (n *Node) FlashUsed() int { return n.flashUsed }
+
+// FlashFree returns the remaining flash budget.
+func (n *Node) FlashFree() int { return FlashBytes - n.flashUsed }

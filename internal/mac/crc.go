@@ -1,0 +1,33 @@
+package mac
+
+// CRC-16/CCITT (the 802.15.4 frame check sequence polynomial, x^16 +
+// x^12 + x^5 + 1). The table is built once at init; the MAC appends the
+// FCS on encode and verifies it on decode, exactly where the paper's
+// stack puts its "CRC Checker" stage (Figure 2).
+
+const crcPoly = 0x1021
+
+var crcTable [256]uint16
+
+func init() {
+	for i := 0; i < 256; i++ {
+		crc := uint16(i) << 8
+		for bit := 0; bit < 8; bit++ {
+			if crc&0x8000 != 0 {
+				crc = crc<<1 ^ crcPoly
+			} else {
+				crc <<= 1
+			}
+		}
+		crcTable[i] = crc
+	}
+}
+
+// Checksum returns the CRC-16/CCITT of data (init 0x0000).
+func Checksum(data []byte) uint16 {
+	var crc uint16
+	for _, b := range data {
+		crc = crc<<8 ^ crcTable[byte(crc>>8)^b]
+	}
+	return crc
+}

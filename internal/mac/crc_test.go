@@ -1,0 +1,38 @@
+package mac
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestChecksumKnownValues(t *testing.T) {
+	// CRC-16/CCITT with init 0x0000 ("XModem") of "123456789" is 0x31C3.
+	if got := Checksum([]byte("123456789")); got != 0x31C3 {
+		t.Fatalf("Checksum = %#04x, want 0x31C3", got)
+	}
+	if Checksum(nil) != 0 {
+		t.Fatal("Checksum of empty input should be 0")
+	}
+}
+
+func TestChecksumDetectsSingleBitErrors(t *testing.T) {
+	f := func(data []byte, pos uint16, bit uint8) bool {
+		if len(data) == 0 {
+			return true
+		}
+		orig := Checksum(data)
+		mut := append([]byte(nil), data...)
+		mut[int(pos)%len(mut)] ^= 1 << (bit % 8)
+		return Checksum(mut) != orig
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChecksumDeterministic(t *testing.T) {
+	data := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	if Checksum(data) != Checksum(data) {
+		t.Fatal("checksum not deterministic")
+	}
+}

@@ -1,0 +1,126 @@
+package mac
+
+// Low-power listening (LPL), in the BoX-MAC-2 style of TinyOS's CC2420
+// stack: the receiver keeps its radio off for most of each sleep
+// interval, waking briefly to catch traffic; a sender retransmits its
+// frame back-to-back across a whole sleep interval, so every neighbor's
+// wake window overlaps at least one copy. Unicast stops early when the
+// auto-ack arrives; broadcast always pays the full interval.
+//
+// LPL trades latency (up to one sleep interval per hop) and sender
+// energy for a receiver duty cycle of a few percent — the lever that
+// turns the ~5-day always-on lifetime of ablation D6 into months.
+
+import (
+	"time"
+
+	"liteview/internal/radio"
+	"liteview/internal/sim"
+)
+
+// Default LPL parameters.
+const (
+	// DefaultSleepInterval is the period of the wake-sleep cycle.
+	DefaultSleepInterval = 100 * time.Millisecond
+	// DefaultWakeWindow is how long the radio listens per cycle.
+	DefaultWakeWindow = 6 * time.Millisecond
+	// DefaultLinger is how long a node stays awake after receiving a
+	// frame (follow-up traffic is likely).
+	DefaultLinger = 40 * time.Millisecond
+)
+
+// lplInit primes the duty cycle with a random phase so co-located nodes
+// do not wake in lockstep.
+func (m *MAC) lplInit() {
+	if !m.cfg.LPL {
+		return
+	}
+	if m.cfg.SleepInterval <= 0 {
+		m.cfg.SleepInterval = DefaultSleepInterval
+	}
+	if m.cfg.WakeWindow <= 0 {
+		m.cfg.WakeWindow = DefaultWakeWindow
+	}
+	if m.cfg.Linger <= 0 {
+		m.cfg.Linger = DefaultLinger
+	}
+	m.eng.MustSchedule(m.rng.Jitter(m.cfg.SleepInterval), m.lplMaybeSleep)
+}
+
+// lplBusy reports whether the MAC has reasons to keep the radio awake.
+func (m *MAC) lplBusy() bool {
+	return m.sending || len(m.queue) > 0 || m.awaitTimer != nil ||
+		m.eng.Now() < m.lingerUntil || m.rad.State() == radio.TX
+}
+
+// lplMaybeSleep starts a sleep period if nothing needs the radio; it
+// re-checks shortly otherwise.
+func (m *MAC) lplMaybeSleep() {
+	if !m.cfg.LPL || m.rad.State() == radio.Off {
+		return
+	}
+	if m.lplBusy() {
+		m.eng.MustSchedule(m.cfg.WakeWindow, m.lplMaybeSleep)
+		return
+	}
+	m.rad.SetState(radio.Off)
+	m.lplSleeping = true
+	sleep := m.cfg.SleepInterval - m.cfg.WakeWindow
+	if sleep < m.cfg.WakeWindow {
+		sleep = m.cfg.WakeWindow
+	}
+	m.eng.MustSchedule(sleep, m.lplWake)
+}
+
+// lplWake opens the listen window.
+func (m *MAC) lplWake() {
+	if !m.cfg.LPL || !m.lplSleeping {
+		return
+	}
+	m.lplSleeping = false
+	m.rad.SetState(radio.RX)
+	m.kick() // traffic may have queued while asleep
+	m.eng.MustSchedule(m.cfg.WakeWindow, m.lplMaybeSleep)
+}
+
+// lplTouch extends the awake period after activity.
+func (m *MAC) lplTouch() {
+	if !m.cfg.LPL {
+		return
+	}
+	until := m.eng.Now() + m.cfg.Linger
+	if until > m.lingerUntil {
+		m.lingerUntil = until
+	}
+}
+
+// lplWakeForSend brings a sleeping radio up to transmit.
+func (m *MAC) lplWakeForSend() {
+	if m.cfg.LPL && m.rad.State() == radio.Off {
+		m.lplSleeping = false
+		m.rad.SetState(radio.RX)
+		m.eng.MustSchedule(m.cfg.WakeWindow, m.lplMaybeSleep)
+	}
+}
+
+// lplRetryWindow is how long unicast repeats continue: one sleep
+// interval plus margin guarantees the peer a wake window inside it.
+func (m *MAC) lplRetryWindow() sim.Time {
+	return m.cfg.SleepInterval + 2*m.cfg.WakeWindow
+}
+
+// lplShouldRetry reports whether an unacked LPL frame should repeat:
+// the budget is time-based (small frames cycle faster than large ones,
+// so a fixed count would underestimate the span).
+func (m *MAC) lplShouldRetry(head *outgoing) bool {
+	if head.firstTx == 0 {
+		return true
+	}
+	return m.eng.Now()-head.firstTx < m.lplRetryWindow()
+}
+
+// lplBroadcastDone reports whether a broadcast frame has been repeated
+// long enough to cover every neighbor's wake window.
+func (m *MAC) lplBroadcastDone(firstTx sim.Time) bool {
+	return m.eng.Now()-firstTx >= m.cfg.SleepInterval+2*m.cfg.WakeWindow
+}

@@ -1,0 +1,453 @@
+// Package mac implements the 802.15.4-style medium access control layer
+// of the simulated motes: unslotted CSMA/CA with energy-detect CCA,
+// binary exponential backoff, a small bounded transmit queue (whose
+// occupancy is what LiteView's ping output reports as "Queue = n/m"),
+// and CRC-checked frames.
+//
+// The MAC broadcasts every frame, as the paper's stack does ("the packet
+// is then delivered to the MAC component and broadcasted over the
+// radio"); destination filtering is the port-based stack's job.
+package mac
+
+import (
+	"errors"
+	"fmt"
+
+	"liteview/internal/medium"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/sim"
+)
+
+// UnitBackoff is the 802.15.4 unit backoff period (20 symbols).
+const UnitBackoff = 20 * radio.SymbolTime
+
+// Config holds the CSMA/CA parameters (802.15.4 defaults).
+type Config struct {
+	// MinBE and MaxBE bound the backoff exponent.
+	MinBE, MaxBE int
+	// MaxCSMABackoffs is how many busy-channel rounds are tolerated
+	// before the frame is dropped with ErrChannelAccess.
+	MaxCSMABackoffs int
+	// QueueCap bounds the transmit queue, as a 4 KB-RAM mote must.
+	QueueCap int
+	// CCAThresholdDBm is the energy-detect threshold.
+	CCAThresholdDBm float64
+	// LinkAcks enables 802.15.4 auto-acknowledgement of unicast frames
+	// with MaxFrameRetries retransmissions — the CC2420's hardware
+	// auto-ack. Broadcast frames are never acked.
+	LinkAcks bool
+	// MaxFrameRetries bounds data retransmissions after missing acks.
+	MaxFrameRetries int
+	// AckWait is how long the sender waits for the auto-ack after its
+	// frame's airtime ends.
+	AckWait sim.Time
+	// LPL enables low-power listening (duty cycling); see lpl.go.
+	LPL bool
+	// SleepInterval, WakeWindow, Linger tune the duty cycle (zero
+	// values select the defaults).
+	SleepInterval, WakeWindow, Linger sim.Time
+}
+
+// DefaultConfig returns the 802.15.4 default CSMA/CA parameters with
+// hardware auto-acknowledgement enabled.
+func DefaultConfig() Config {
+	return Config{
+		MinBE:           3,
+		MaxBE:           5,
+		MaxCSMABackoffs: 4,
+		QueueCap:        8,
+		CCAThresholdDBm: radio.CCAThresholdDBm,
+		LinkAcks:        true,
+		MaxFrameRetries: 3,
+		// Turnaround + ack airtime (9-byte MPDU) + scheduling slack.
+		AckWait: radio.TurnaroundTime + radio.FrameAirtime(ackFrameLen) + 200*1000,
+	}
+}
+
+// ackFrameLen is the MPDU length of an auto-ack (header + FCS, no
+// payload).
+const ackFrameLen = 8
+
+// Errors reported by the MAC.
+var (
+	ErrQueueFull     = errors.New("mac: transmit queue full")
+	ErrChannelAccess = errors.New("mac: channel access failure")
+	ErrRadioOff      = errors.New("mac: radio is off")
+	ErrNoAck         = errors.New("mac: no acknowledgement after retries")
+)
+
+// DeliverFunc receives intact decoded frames from the air.
+type DeliverFunc func(f Frame, info medium.RxInfo)
+
+// SentFunc is called when a queued frame leaves the MAC: err is nil
+// after successful transmission, ErrChannelAccess when CSMA gave up.
+type SentFunc func(f Frame, err error)
+
+// Stats counts MAC-level outcomes.
+type Stats struct {
+	Sent           uint64
+	SentData       uint64
+	SentBeacon     uint64
+	SentControl    uint64 // management traffic (what Figure 7 counts)
+	SentMACAcks    uint64 // auto-acks (MAC-level, not command overhead)
+	ChannelAccess  uint64 // frames dropped after MaxCSMABackoffs
+	QueueDrops     uint64
+	Received       uint64
+	CRCFailures    uint64
+	BackoffRetries uint64
+	FrameRetries   uint64 // data retransmissions after missing acks
+	NoAck          uint64 // frames abandoned after MaxFrameRetries
+	AckedOK        uint64 // unicast frames confirmed by auto-ack
+}
+
+type outgoing struct {
+	frame   Frame
+	sent    SentFunc
+	queued  sim.Time
+	retries int
+	firstTx sim.Time
+}
+
+// MAC is the per-node link layer. It implements medium.Receiver.
+type MAC struct {
+	eng     *sim.Engine
+	med     *medium.Medium
+	rad     *radio.Radio
+	rng     *sim.Rand
+	id      phys.NodeID
+	pos     phys.Position
+	cfg     Config
+	deliver DeliverFunc
+	queue   []outgoing
+	sending bool
+	seq     byte
+	// awaitSeq/awaitDst/awaitTimer track the pending auto-ack.
+	awaitSeq   byte
+	awaitDst   phys.NodeID
+	awaitTimer *sim.Event
+	// LPL duty-cycle state.
+	lplSleeping bool
+	lingerUntil sim.Time
+	// dupSeq suppresses redelivery of retransmitted frames (802.15.4
+	// receivers track the last sequence number per source).
+	dupSeq  map[phys.NodeID]byte
+	dupSeqQ []phys.NodeID
+	stats   Stats
+}
+
+// New creates a MAC for node id at pos and attaches it to med. The
+// deliver callback receives every intact frame heard on the node's
+// channel (destination filtering is left to the layer above).
+func New(eng *sim.Engine, med *medium.Medium, rad *radio.Radio, id phys.NodeID, pos phys.Position, cfg Config, deliver DeliverFunc) (*MAC, error) {
+	if deliver == nil {
+		return nil, errors.New("mac: nil deliver callback")
+	}
+	if cfg.QueueCap <= 0 || cfg.MinBE < 0 || cfg.MaxBE < cfg.MinBE {
+		return nil, fmt.Errorf("mac: invalid config %+v", cfg)
+	}
+	m := &MAC{
+		eng:     eng,
+		med:     med,
+		rad:     rad,
+		rng:     eng.Rand().Fork(fmt.Sprintf("mac-%d", id)),
+		id:      id,
+		pos:     pos,
+		cfg:     cfg,
+		deliver: deliver,
+		dupSeq:  make(map[phys.NodeID]byte),
+	}
+	if err := med.Attach(m); err != nil {
+		return nil, err
+	}
+	m.lplInit()
+	return m, nil
+}
+
+// medium.Receiver implementation.
+
+// NodeID returns the node's short address.
+func (m *MAC) NodeID() phys.NodeID { return m.id }
+
+// Position returns the node's location.
+func (m *MAC) Position() phys.Position { return m.pos }
+
+// SetPosition moves the node. Motes are fixed once deployed, but the
+// management workstation's base station travels with the operator.
+func (m *MAC) SetPosition(p phys.Position) { m.pos = p }
+
+// RadioState returns the transceiver state.
+func (m *MAC) RadioState() radio.State { return m.rad.State() }
+
+// Channel returns the tuned channel.
+func (m *MAC) Channel() int { return m.rad.Channel() }
+
+// PowerLevel returns the programmed PA level.
+func (m *MAC) PowerLevel() int { return m.rad.PowerLevel() }
+
+// Radio exposes the node's radio so management commands can reconfigure
+// power and channel.
+func (m *MAC) Radio() *radio.Radio { return m.rad }
+
+// QueueLen returns the current transmit queue occupancy (the "Queue"
+// figure in ping output).
+func (m *MAC) QueueLen() int { return len(m.queue) }
+
+// Stats returns a snapshot of the MAC counters.
+func (m *MAC) Stats() Stats { return m.stats }
+
+// Send queues a frame for CSMA/CA transmission. The source address and
+// sequence number are filled in by the MAC. sent may be nil.
+func (m *MAC) Send(f Frame, sent SentFunc) error {
+	if m.rad.State() == radio.Off {
+		if !m.cfg.LPL {
+			return ErrRadioOff
+		}
+		m.lplWakeForSend()
+	}
+	if len(m.queue) >= m.cfg.QueueCap {
+		m.stats.QueueDrops++
+		return ErrQueueFull
+	}
+	f.Src = m.id
+	m.seq++
+	f.Seq = m.seq
+	if _, err := (&f).Encode(); err != nil {
+		return err
+	}
+	m.queue = append(m.queue, outgoing{frame: f, sent: sent, queued: m.eng.Now()})
+	m.kick()
+	return nil
+}
+
+// kick starts servicing the queue head if the MAC is idle.
+func (m *MAC) kick() {
+	if m.sending || len(m.queue) == 0 {
+		return
+	}
+	m.sending = true
+	m.attempt(m.cfg.MinBE, 0)
+}
+
+// attempt performs one backoff-then-CCA round for the queue head.
+func (m *MAC) attempt(be, retries int) {
+	backoff := sim.Time(m.rng.Intn(1<<be)) * UnitBackoff
+	m.eng.MustSchedule(backoff, func() {
+		if len(m.queue) == 0 { // queue flushed meanwhile
+			m.sending = false
+			return
+		}
+		if m.rad.State() == radio.Off {
+			if !m.cfg.LPL {
+				m.finish(ErrRadioOff)
+				return
+			}
+			m.lplWakeForSend()
+		}
+		if m.rad.State() == radio.TX {
+			// Our own auto-ack is on the air; defer one backoff unit.
+			m.eng.MustSchedule(UnitBackoff, func() { m.attempt(be, retries) })
+			return
+		}
+		if m.med.ChannelBusy(m, m.cfg.CCAThresholdDBm) {
+			m.stats.BackoffRetries++
+			if retries+1 > m.cfg.MaxCSMABackoffs {
+				m.stats.ChannelAccess++
+				m.finish(ErrChannelAccess)
+				return
+			}
+			nextBE := be + 1
+			if nextBE > m.cfg.MaxBE {
+				nextBE = m.cfg.MaxBE
+			}
+			m.attempt(nextBE, retries+1)
+			return
+		}
+		m.transmit()
+	})
+}
+
+// transmit puts the queue head on the air and schedules completion.
+func (m *MAC) transmit() {
+	out := m.queue[0]
+	raw, err := out.frame.Encode()
+	if err != nil {
+		m.finish(err)
+		return
+	}
+	m.rad.SetState(radio.TX)
+	airtime, err := m.med.Transmit(m, raw)
+	if err != nil {
+		m.rad.SetState(radio.RX)
+		m.finish(err)
+		return
+	}
+	head := &m.queue[0]
+	if head.firstTx == 0 {
+		head.firstTx = m.eng.Now()
+	}
+	m.eng.MustSchedule(airtime+radio.TurnaroundTime, func() {
+		m.rad.SetState(radio.RX)
+		m.stats.Sent++
+		switch out.frame.Type {
+		case TypeData:
+			m.stats.SentData++
+		case TypeBeacon:
+			m.stats.SentBeacon++
+		case TypeControl:
+			m.stats.SentControl++
+		case TypeAck:
+			m.stats.SentMACAcks++
+		}
+		if m.cfg.LinkAcks && out.frame.Dst != phys.Broadcast {
+			m.armAckWait(out.frame)
+			return
+		}
+		// LPL broadcast: repeat the frame until every neighbor's wake
+		// window has been covered.
+		if m.cfg.LPL && out.frame.Dst == phys.Broadcast && len(m.queue) > 0 {
+			if !m.lplBroadcastDone(m.queue[0].firstTx) {
+				m.stats.FrameRetries++
+				m.attempt(0, 0)
+				return
+			}
+		}
+		m.finish(nil)
+	})
+}
+
+// armAckWait starts the auto-ack timeout for the queue head.
+func (m *MAC) armAckWait(f Frame) {
+	m.awaitSeq = f.Seq
+	m.awaitDst = f.Dst
+	m.awaitTimer = m.eng.MustSchedule(m.cfg.AckWait, m.onAckTimeout)
+}
+
+// onAckTimeout retries the queue head or abandons it.
+func (m *MAC) onAckTimeout() {
+	m.awaitTimer = nil
+	if len(m.queue) == 0 {
+		m.sending = false
+		return
+	}
+	head := &m.queue[0]
+	lplRetry := m.cfg.LPL && m.lplShouldRetry(head)
+	if head.retries < m.cfg.MaxFrameRetries || lplRetry {
+		head.retries++
+		m.stats.FrameRetries++
+		if m.cfg.LPL {
+			// LPL repeats back-to-back: the peer is asleep, not
+			// contended — the next copy must land inside its upcoming
+			// wake window.
+			m.attempt(0, 0)
+			return
+		}
+		// Widen the backoff window on every retry: a retry drawn from
+		// the same small window as the original lands back inside a
+		// periodic interferer's burst (two report chains forwarding in
+		// lockstep); spreading retries over progressively longer
+		// windows breaks the phase lock.
+		be := m.cfg.MinBE + head.retries
+		if be > m.cfg.MaxBE {
+			be = m.cfg.MaxBE
+		}
+		m.attempt(be, 0)
+		return
+	}
+	m.stats.NoAck++
+	m.finish(ErrNoAck)
+}
+
+// autoAck transmits the hardware acknowledgement for a received unicast
+// frame, one turnaround after reception, bypassing the CSMA queue as
+// the CC2420's auto-ack does.
+func (m *MAC) autoAck(f Frame) {
+	m.eng.MustSchedule(radio.TurnaroundTime, func() {
+		if m.rad.State() != radio.RX {
+			return // busy transmitting; the peer will retry
+		}
+		ack := Frame{Type: TypeAck, Seq: f.Seq, Dst: f.Src, Src: m.id}
+		raw, err := ack.Encode()
+		if err != nil {
+			return
+		}
+		m.rad.SetState(radio.TX)
+		airtime, err := m.med.Transmit(m, raw)
+		if err != nil {
+			m.rad.SetState(radio.RX)
+			return
+		}
+		m.eng.MustSchedule(airtime+radio.TurnaroundTime, func() {
+			m.rad.SetState(radio.RX)
+			m.stats.Sent++
+			m.stats.SentMACAcks++
+		})
+	})
+}
+
+// finish pops the queue head, notifies, and services the next frame.
+func (m *MAC) finish(err error) {
+	out := m.queue[0]
+	m.queue = m.queue[1:]
+	m.sending = false
+	if out.sent != nil {
+		out.sent(out.frame, err)
+	}
+	m.kick()
+}
+
+// OnFrame is the medium's delivery upcall.
+func (m *MAC) OnFrame(raw []byte, info medium.RxInfo) {
+	if info.Corrupted {
+		// Bit errors on the air manifest as an FCS failure: flip a bit
+		// so the CRC check genuinely fails rather than trusting a flag.
+		raw = append([]byte(nil), raw...)
+		if len(raw) > 0 {
+			raw[len(raw)/2] ^= 0x40
+		}
+	}
+	f, err := Decode(raw)
+	if err != nil {
+		m.stats.CRCFailures++
+		return
+	}
+	if f.Type == TypeAck {
+		if f.Dst == m.id && m.awaitTimer != nil && f.Seq == m.awaitSeq && f.Src == m.awaitDst {
+			m.eng.Cancel(m.awaitTimer)
+			m.awaitTimer = nil
+			m.stats.AckedOK++
+			m.finish(nil)
+		}
+		return // MAC acks never reach the stack
+	}
+	m.lplTouch()
+	// Re-ack but do not redeliver a retransmission we already took:
+	// the sender missed our ack, not us missing the frame.
+	if last, seen := m.dupSeq[f.Src]; seen && last == f.Seq {
+		if m.cfg.LinkAcks && f.Dst == m.id {
+			m.autoAck(f)
+		}
+		return
+	}
+	m.rememberSeq(f.Src, f.Seq)
+	m.stats.Received++
+	if m.cfg.LinkAcks && f.Dst == m.id {
+		m.autoAck(f)
+	}
+	m.deliver(f, info)
+}
+
+// rememberSeq records the latest sequence number heard from a source,
+// bounded like a mote's duplicate table.
+func (m *MAC) rememberSeq(src phys.NodeID, seq byte) {
+	const dupTableSize = 32
+	if _, known := m.dupSeq[src]; !known {
+		if len(m.dupSeqQ) >= dupTableSize {
+			old := m.dupSeqQ[0]
+			m.dupSeqQ = m.dupSeqQ[1:]
+			delete(m.dupSeq, old)
+		}
+		m.dupSeqQ = append(m.dupSeqQ, src)
+	}
+	m.dupSeq[src] = seq
+}

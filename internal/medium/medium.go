@@ -1,0 +1,327 @@
+// Package medium models the shared wireless broadcast medium. Every
+// frame a mote transmits is broadcast: the medium computes, for each
+// other attached node tuned to the same channel, the received power,
+// the interference from temporally overlapping transmissions, and draws
+// packet corruption from the SINR-dependent packet-reception-rate curve.
+//
+// The medium is also what the MAC's clear channel assessment (CCA)
+// samples: EnergyDBmAt reports the strongest in-band signal at a node,
+// exactly the quantity the CC2420's energy-detect CCA thresholds.
+package medium
+
+import (
+	"fmt"
+	"math"
+
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/sim"
+)
+
+// RxInfo carries the physical-layer metadata the receiver's radio chip
+// exposes for a received frame. LiteView's whole purpose is surfacing
+// these numbers to the end user.
+type RxInfo struct {
+	// From is the transmitter.
+	From phys.NodeID
+	// RxPowerDBm is the received signal power.
+	RxPowerDBm float64
+	// RSSI is the CC2420 RSSI register value for the frame.
+	RSSI int
+	// LQI is the CC2420 correlation value (50..110).
+	LQI int
+	// SNRDB is the signal-to-interference-plus-noise ratio in dB.
+	SNRDB float64
+	// Corrupted reports that the frame took bit errors (the MAC's CRC
+	// check will fail).
+	Corrupted bool
+	// At is the delivery (end-of-airtime) instant.
+	At sim.Time
+}
+
+// Receiver is the contract a node's MAC layer implements to be attached
+// to the medium.
+type Receiver interface {
+	// NodeID returns the node's 802.15.4 short address.
+	NodeID() phys.NodeID
+	// Position returns the node's physical location.
+	Position() phys.Position
+	// RadioState returns the transceiver state at the current instant.
+	RadioState() radio.State
+	// Channel returns the currently tuned 802.15.4 channel.
+	Channel() int
+	// PowerLevel returns the programmed CC2420 PA_LEVEL (3..31).
+	PowerLevel() int
+	// OnFrame is invoked when a frame's airtime completes while this
+	// node is listening on the frame's channel.
+	OnFrame(frame []byte, info RxInfo)
+}
+
+// Stats counts medium-level packet outcomes.
+type Stats struct {
+	// Transmitted counts frames put on the air.
+	Transmitted uint64
+	// Delivered counts (node, frame) deliveries that arrived intact.
+	Delivered uint64
+	// Corrupted counts deliveries that arrived with bit errors.
+	Corrupted uint64
+	// MissedNotListening counts deliveries lost because the would-be
+	// receiver was transmitting or off when the frame ended.
+	MissedNotListening uint64
+	// BelowSensitivity counts potential deliveries under the radio
+	// sensitivity floor (never detected at all).
+	BelowSensitivity uint64
+}
+
+type transmission struct {
+	from    phys.NodeID
+	pos     phys.Position
+	channel int
+	txDBm   float64
+	start   sim.Time
+	end     sim.Time
+	frame   []byte
+}
+
+// Medium is the shared air. It is bound to one engine and one
+// propagation model.
+type Medium struct {
+	eng   *sim.Engine
+	model *phys.Model
+	rng   *sim.Rand
+	nodes map[phys.NodeID]Receiver
+	order []phys.NodeID // deterministic iteration order
+	// active holds transmissions that may still overlap a frame in
+	// flight; pruned lazily.
+	active []*transmission
+	stats  Stats
+	// lossFn, when set, force-drops deliveries (failure injection for
+	// tests: returning true corrupts the frame at the receiver).
+	lossFn func(from, to phys.NodeID, frame []byte) bool
+	// tap, when set, observes every transmission put on the air.
+	tap func(TapRecord)
+}
+
+// TapRecord describes one transmission for trace tooling.
+type TapRecord struct {
+	From    phys.NodeID
+	Channel int
+	TxDBm   float64
+	Bytes   int
+	Start   sim.Time
+	End     sim.Time
+}
+
+// SetLossFunc installs a failure-injection hook: any delivery for which
+// fn returns true arrives corrupted. Pass nil to remove.
+func (m *Medium) SetLossFunc(fn func(from, to phys.NodeID, frame []byte) bool) {
+	m.lossFn = fn
+}
+
+// SetTap installs an observer of every transmission (nil removes it).
+func (m *Medium) SetTap(fn func(TapRecord)) { m.tap = fn }
+
+// New returns a medium running on eng with the given propagation model.
+func New(eng *sim.Engine, model *phys.Model) *Medium {
+	return &Medium{
+		eng:   eng,
+		model: model,
+		rng:   eng.Rand().Fork("medium"),
+		nodes: make(map[phys.NodeID]Receiver),
+	}
+}
+
+// Attach registers a node. Attaching a duplicate ID is an error.
+func (m *Medium) Attach(r Receiver) error {
+	id := r.NodeID()
+	if _, dup := m.nodes[id]; dup {
+		return fmt.Errorf("medium: node %d already attached", id)
+	}
+	m.nodes[id] = r
+	m.order = append(m.order, id)
+	return nil
+}
+
+// Detach removes a node; pending deliveries to it are silently dropped.
+func (m *Medium) Detach(id phys.NodeID) {
+	if _, ok := m.nodes[id]; !ok {
+		return
+	}
+	delete(m.nodes, id)
+	for i, n := range m.order {
+		if n == id {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+}
+
+// Nodes returns the number of attached nodes.
+func (m *Medium) Nodes() int { return len(m.nodes) }
+
+// Stats returns a snapshot of the medium counters.
+func (m *Medium) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters.
+func (m *Medium) ResetStats() { m.stats = Stats{} }
+
+// prune drops transmissions that can no longer overlap anything.
+func (m *Medium) prune() {
+	now := m.eng.Now()
+	keep := m.active[:0]
+	for _, t := range m.active {
+		if t.end > now-10*radio.ByteTime {
+			keep = append(keep, t)
+		}
+	}
+	// Zero the tail so dropped transmissions can be collected.
+	for i := len(keep); i < len(m.active); i++ {
+		m.active[i] = nil
+	}
+	m.active = keep
+}
+
+// Transmit puts frame on the air from node tx. The caller (the MAC) is
+// responsible for radio state management: it must have set the radio to
+// TX and must return it to RX after the returned airtime. Deliveries at
+// every other in-range listener are scheduled at the end of the airtime.
+func (m *Medium) Transmit(tx Receiver, frame []byte) (sim.Time, error) {
+	if len(frame) == 0 {
+		return 0, fmt.Errorf("medium: empty frame")
+	}
+	if _, ok := m.nodes[tx.NodeID()]; !ok {
+		return 0, fmt.Errorf("medium: node %d not attached", tx.NodeID())
+	}
+	m.prune()
+	airtime := radio.FrameAirtime(len(frame))
+	txDBm := radio.PowerDBm(tx.PowerLevel())
+	t := &transmission{
+		from:    tx.NodeID(),
+		pos:     tx.Position(),
+		channel: tx.Channel(),
+		txDBm:   txDBm,
+		start:   m.eng.Now(),
+		end:     m.eng.Now() + airtime,
+		frame:   append([]byte(nil), frame...),
+	}
+	m.active = append(m.active, t)
+	m.stats.Transmitted++
+	if m.tap != nil {
+		m.tap(TapRecord{From: t.from, Channel: t.channel, TxDBm: t.txDBm,
+			Bytes: len(t.frame), Start: t.start, End: t.end})
+	}
+	m.eng.MustSchedule(airtime, func() { m.deliver(t) })
+	return airtime, nil
+}
+
+// deliver fans t out to every eligible listener at t.end.
+func (m *Medium) deliver(t *transmission) {
+	for _, id := range m.order {
+		if id == t.from {
+			continue
+		}
+		rx, ok := m.nodes[id]
+		if !ok {
+			continue
+		}
+		if rx.Channel() != t.channel {
+			continue
+		}
+		rxDBm := m.model.ReceivedPower(t.txDBm, t.from, id, t.pos, rx.Position())
+		if rxDBm < radio.SensitivityDBm {
+			m.stats.BelowSensitivity++
+			continue
+		}
+		if rx.RadioState() != radio.RX {
+			m.stats.MissedNotListening++
+			continue
+		}
+		sinr, interfered := m.sinrAt(t, id, rx.Position(), rxDBm)
+		// The analytical BER curve models interference as white noise,
+		// which flatters DSSS under co-channel collisions. Real CC2420
+		// receivers need the carrier a few dB above an 802.15.4
+		// interferer to capture it, so frames that collided and fall
+		// under the co-channel rejection threshold are lost outright.
+		var ok2 bool
+		if interfered && sinr < CaptureThresholdDB {
+			ok2 = false
+		} else {
+			ok2 = m.rng.Bool(phys.PRR(sinr, len(t.frame)))
+		}
+		if ok2 && m.lossFn != nil && m.lossFn(t.from, id, t.frame) {
+			ok2 = false // injected loss
+		}
+		info := RxInfo{
+			From:       t.from,
+			RxPowerDBm: rxDBm,
+			RSSI:       radio.RSSIRegister(rxDBm),
+			LQI:        radio.LQI(sinr),
+			SNRDB:      sinr,
+			Corrupted:  !ok2,
+			At:         m.eng.Now(),
+		}
+		if ok2 {
+			m.stats.Delivered++
+		} else {
+			m.stats.Corrupted++
+		}
+		rx.OnFrame(append([]byte(nil), t.frame...), info)
+	}
+}
+
+// CaptureThresholdDB is the co-channel rejection of the receiver: when a
+// frame overlaps another transmission, it is received only if it is at
+// least this many dB above the combined interference.
+const CaptureThresholdDB = 4.0
+
+// sinrAt computes the signal-to-interference-plus-noise ratio in dB of
+// transmission t at receiver id, given its received power. The second
+// result reports whether any co-channel transmission overlapped t.
+func (m *Medium) sinrAt(t *transmission, id phys.NodeID, pos phys.Position, rxDBm float64) (float64, bool) {
+	noiseMW := dbmToMW(m.model.NoiseFloor)
+	interfMW := 0.0
+	interfered := false
+	for _, o := range m.active {
+		if o == t || o.channel != t.channel || o.from == id {
+			continue
+		}
+		if o.start >= t.end || o.end <= t.start {
+			continue // no temporal overlap
+		}
+		p := m.model.ReceivedPower(o.txDBm, o.from, id, o.pos, pos)
+		interfMW += dbmToMW(p)
+		interfered = true
+	}
+	return rxDBm - mwToDBm(noiseMW+interfMW), interfered
+}
+
+// EnergyDBmAt reports the strongest in-band signal currently on the air
+// as heard by node r, or negative infinity when the channel is silent.
+// This is what the MAC's CCA samples.
+func (m *Medium) EnergyDBmAt(r Receiver) float64 {
+	m.prune()
+	now := m.eng.Now()
+	best := math.Inf(-1)
+	for _, t := range m.active {
+		if t.channel != r.Channel() || t.from == r.NodeID() {
+			continue
+		}
+		if t.start > now || t.end <= now {
+			continue
+		}
+		p := m.model.ReceivedPower(t.txDBm, t.from, r.NodeID(), t.pos, r.Position())
+		if p > best {
+			best = p
+		}
+	}
+	return best
+}
+
+// ChannelBusy reports whether node r's CCA would read "busy" at the
+// given threshold.
+func (m *Medium) ChannelBusy(r Receiver, thresholdDBm float64) bool {
+	return m.EnergyDBmAt(r) >= thresholdDBm
+}
+
+func dbmToMW(dbm float64) float64 { return math.Pow(10, dbm/10) }
+func mwToDBm(mw float64) float64  { return 10 * math.Log10(mw) }

@@ -1,0 +1,61 @@
+package medium
+
+import (
+	"testing"
+
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+)
+
+func TestTapObservesTransmissions(t *testing.T) {
+	eng, m := newTestMedium()
+	a, b := newFake(1, 0, 0), newFake(2, 5, 0)
+	m.Attach(a)
+	m.Attach(b)
+	var records []TapRecord
+	m.SetTap(func(r TapRecord) { records = append(records, r) })
+	m.Transmit(a, make([]byte, 10))
+	eng.Run()
+	if len(records) != 1 {
+		t.Fatalf("tap saw %d records", len(records))
+	}
+	r := records[0]
+	if r.From != 1 || r.Channel != 17 || r.Bytes != 10 {
+		t.Fatalf("record = %+v", r)
+	}
+	if r.End-r.Start != radio.FrameAirtime(10) {
+		t.Fatalf("airtime = %v", r.End-r.Start)
+	}
+	if r.TxDBm != 0 {
+		t.Fatalf("tx power = %f, want 0 dBm at full PA", r.TxDBm)
+	}
+	m.SetTap(nil)
+	m.Transmit(a, make([]byte, 10))
+	eng.Run()
+	if len(records) != 1 {
+		t.Fatal("removed tap still firing")
+	}
+}
+
+func TestLossFuncInjectsCorruption(t *testing.T) {
+	eng, m := newTestMedium()
+	a, b := newFake(1, 0, 0), newFake(2, 5, 0)
+	m.Attach(a)
+	m.Attach(b)
+	m.SetLossFunc(func(from, to phys.NodeID, _ []byte) bool {
+		return from == 1 && to == 2
+	})
+	m.Transmit(a, make([]byte, 10))
+	eng.Run()
+	if len(b.frames) != 1 || !b.frames[0].Corrupted {
+		t.Fatalf("injected loss did not corrupt: %+v", b.frames)
+	}
+	// Remove the hook: traffic flows again.
+	m.SetLossFunc(nil)
+	b.frames = nil
+	m.Transmit(a, make([]byte, 10))
+	eng.Run()
+	if len(b.frames) != 1 || b.frames[0].Corrupted {
+		t.Fatal("hook removal failed")
+	}
+}

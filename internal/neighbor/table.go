@@ -1,0 +1,205 @@
+// Package neighbor implements the kernel-owned neighbor table and the
+// beacon exchange that populates it.
+//
+// The paper's design argument is that multiple communication protocols
+// need neighborhood information, so it is wasteful for each to keep its
+// own copy: "it is more efficient to provide neighborhood management as
+// part of kernel services, which both users and applications can access
+// via system calls". LiteView then exposes this one table for
+// management: listing entries, blacklisting a neighbor (a per-entry flag
+// that routing protocols honour when constructing routes), and tuning
+// the beacon exchange period.
+package neighbor
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"liteview/internal/phys"
+	"liteview/internal/sim"
+)
+
+// Entry is one neighbor record. Sizes are kept small deliberately: a
+// MicaZ kernel stores these in a few bytes each.
+type Entry struct {
+	// ID is the neighbor's short address.
+	ID phys.NodeID
+	// Name is the IP-convention node name learned from beacons
+	// (e.g. "192.168.0.2"); empty until a beacon is heard.
+	Name string
+	// LQI is an EWMA of the CC2420 correlation values of overheard
+	// frames.
+	LQI float64
+	// RSSI is an EWMA of the RSSI register values of overheard frames.
+	RSSI float64
+	// PRR estimates the beacon delivery ratio from sequence gaps.
+	PRR float64
+	// LastHeard is the virtual time of the most recent frame.
+	LastHeard sim.Time
+	// Blacklisted marks the neighbor disabled for protocol use.
+	Blacklisted bool
+	// lastBeaconSeq supports gap-based PRR estimation.
+	lastBeaconSeq uint16
+	seenBeacon    bool
+}
+
+// ewmaAlpha is the smoothing weight given to each new observation.
+const ewmaAlpha = 0.3
+
+// DefaultCapacity bounds the table as a 4 KB-RAM kernel must.
+const DefaultCapacity = 16
+
+// ErrUnknownNeighbor is returned for operations on absent entries.
+var ErrUnknownNeighbor = errors.New("neighbor: unknown neighbor")
+
+// Table is the kernel neighbor table. It is single-threaded, like
+// everything on the simulated mote.
+type Table struct {
+	entries map[phys.NodeID]*Entry
+	cap     int
+}
+
+// NewTable returns a table bounded to capacity entries (DefaultCapacity
+// if capacity <= 0).
+func NewTable(capacity int) *Table {
+	if capacity <= 0 {
+		capacity = DefaultCapacity
+	}
+	return &Table{entries: make(map[phys.NodeID]*Entry), cap: capacity}
+}
+
+// Len returns the number of entries.
+func (t *Table) Len() int { return len(t.entries) }
+
+// Capacity returns the entry bound.
+func (t *Table) Capacity() int { return t.cap }
+
+// Observe folds one overheard frame's link metadata into the table,
+// inserting the neighbor if there is room (or evicting the stalest
+// non-blacklisted entry when full).
+func (t *Table) Observe(id phys.NodeID, lqi int, rssi int, now sim.Time) *Entry {
+	e, ok := t.entries[id]
+	if !ok {
+		if len(t.entries) >= t.cap && !t.evictStalest(now) {
+			return nil
+		}
+		e = &Entry{ID: id, LQI: float64(lqi), RSSI: float64(rssi), PRR: 1}
+		t.entries[id] = e
+	} else {
+		e.LQI += ewmaAlpha * (float64(lqi) - e.LQI)
+		e.RSSI += ewmaAlpha * (float64(rssi) - e.RSSI)
+	}
+	e.LastHeard = now
+	return e
+}
+
+// evictStalest removes the least-recently-heard entry; blacklisted
+// entries are pinned (the user set them deliberately). Reports whether
+// a slot was freed.
+func (t *Table) evictStalest(now sim.Time) bool {
+	var victim *Entry
+	for _, e := range t.entries {
+		if e.Blacklisted {
+			continue
+		}
+		if victim == nil || e.LastHeard < victim.LastHeard {
+			victim = e
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	delete(t.entries, victim.ID)
+	return true
+}
+
+// ObserveBeacon folds a received beacon into the table: it refreshes
+// link metadata, records the advertised name, and updates the PRR
+// estimate from the beacon sequence gap.
+func (t *Table) ObserveBeacon(id phys.NodeID, name string, seq uint16, lqi, rssi int, now sim.Time) {
+	e := t.Observe(id, lqi, rssi, now)
+	if e == nil {
+		return
+	}
+	e.Name = name
+	if e.seenBeacon {
+		gap := int(seq - e.lastBeaconSeq) // wraps correctly in uint16
+		if gap < 1 {
+			gap = 1
+		}
+		// One success preceded by gap-1 losses.
+		for i := 0; i < gap-1 && i < 16; i++ {
+			e.PRR += ewmaAlpha * (0 - e.PRR)
+		}
+		e.PRR += ewmaAlpha * (1 - e.PRR)
+	}
+	e.seenBeacon = true
+	e.lastBeaconSeq = seq
+}
+
+// Get returns a copy of the entry for id.
+func (t *Table) Get(id phys.NodeID) (Entry, bool) {
+	e, ok := t.entries[id]
+	if !ok {
+		return Entry{}, false
+	}
+	return *e, true
+}
+
+// Entries returns copies of all entries sorted by ID (deterministic for
+// display and routing).
+func (t *Table) Entries() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, *e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Usable returns the non-blacklisted entries sorted by ID; this is the
+// view routing protocols consume.
+func (t *Table) Usable() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		if !e.Blacklisted {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Blacklist sets or clears the disabled flag on a neighbor. The entry
+// must exist: LiteView surfaces an error to the user otherwise.
+func (t *Table) Blacklist(id phys.NodeID, on bool) error {
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNeighbor, id)
+	}
+	e.Blacklisted = on
+	return nil
+}
+
+// IsBlacklisted reports whether id is present and disabled.
+func (t *Table) IsBlacklisted(id phys.NodeID) bool {
+	e, ok := t.entries[id]
+	return ok && e.Blacklisted
+}
+
+// Remove deletes an entry entirely.
+func (t *Table) Remove(id phys.NodeID) { delete(t.entries, id) }
+
+// Expire drops entries not heard since the cutoff, keeping blacklisted
+// pins.
+func (t *Table) Expire(cutoff sim.Time) int {
+	n := 0
+	for id, e := range t.entries {
+		if !e.Blacklisted && e.LastHeard < cutoff {
+			delete(t.entries, id)
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,210 @@
+package neighbor
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"liteview/internal/phys"
+	"liteview/internal/sim"
+)
+
+func TestObserveInsertsAndSmooths(t *testing.T) {
+	tab := NewTable(8)
+	e := tab.Observe(2, 100, -10, time.Second)
+	if e == nil || e.LQI != 100 || e.RSSI != -10 {
+		t.Fatalf("first observation: %+v", e)
+	}
+	tab.Observe(2, 60, -30, 2*time.Second)
+	got, _ := tab.Get(2)
+	if got.LQI >= 100 || got.LQI <= 60 {
+		t.Fatalf("EWMA LQI = %f, want strictly between 60 and 100", got.LQI)
+	}
+	if got.RSSI >= -10 || got.RSSI <= -30 {
+		t.Fatalf("EWMA RSSI = %f", got.RSSI)
+	}
+	if got.LastHeard != 2*time.Second {
+		t.Fatalf("LastHeard = %v", got.LastHeard)
+	}
+}
+
+func TestCapacityEviction(t *testing.T) {
+	tab := NewTable(3)
+	for i := 1; i <= 3; i++ {
+		tab.Observe(phys.NodeID(i), 100, -10, time.Duration(i)*time.Second)
+	}
+	// Node 1 is stalest; inserting node 4 evicts it.
+	if tab.Observe(4, 100, -10, 10*time.Second) == nil {
+		t.Fatal("insert into full table failed")
+	}
+	if _, ok := tab.Get(1); ok {
+		t.Fatal("stalest entry not evicted")
+	}
+	if tab.Len() != 3 {
+		t.Fatalf("Len = %d", tab.Len())
+	}
+}
+
+func TestBlacklistedEntriesPinned(t *testing.T) {
+	tab := NewTable(2)
+	tab.Observe(1, 100, -10, time.Second)
+	tab.Observe(2, 100, -10, 2*time.Second)
+	if err := tab.Blacklist(1, true); err != nil {
+		t.Fatal(err)
+	}
+	// Node 1 is stalest but blacklisted: node 2 must be evicted instead.
+	tab.Observe(3, 100, -10, 3*time.Second)
+	if _, ok := tab.Get(1); !ok {
+		t.Fatal("blacklisted entry evicted")
+	}
+	if _, ok := tab.Get(2); ok {
+		t.Fatal("expected node 2 evicted")
+	}
+	// All pinned: insertion fails gracefully.
+	tab.Blacklist(3, true)
+	if tab.Observe(4, 100, -10, 4*time.Second) != nil {
+		t.Fatal("insert succeeded with all entries pinned")
+	}
+}
+
+func TestBlacklistLifecycle(t *testing.T) {
+	tab := NewTable(8)
+	if err := tab.Blacklist(5, true); !errors.Is(err, ErrUnknownNeighbor) {
+		t.Fatalf("err = %v", err)
+	}
+	tab.Observe(5, 100, -10, time.Second)
+	if err := tab.Blacklist(5, true); err != nil {
+		t.Fatal(err)
+	}
+	if !tab.IsBlacklisted(5) {
+		t.Fatal("not blacklisted")
+	}
+	if n := len(tab.Usable()); n != 0 {
+		t.Fatalf("usable = %d", n)
+	}
+	if err := tab.Blacklist(5, false); err != nil {
+		t.Fatal(err)
+	}
+	if tab.IsBlacklisted(5) {
+		t.Fatal("still blacklisted")
+	}
+	if n := len(tab.Usable()); n != 1 {
+		t.Fatalf("usable = %d", n)
+	}
+}
+
+func TestEntriesSorted(t *testing.T) {
+	tab := NewTable(8)
+	for _, id := range []phys.NodeID{5, 1, 9, 3} {
+		tab.Observe(id, 100, -10, time.Second)
+	}
+	es := tab.Entries()
+	for i := 1; i < len(es); i++ {
+		if es[i].ID <= es[i-1].ID {
+			t.Fatalf("entries not sorted: %v", es)
+		}
+	}
+}
+
+func TestObserveBeaconNameAndPRR(t *testing.T) {
+	tab := NewTable(8)
+	tab.ObserveBeacon(2, "192.168.0.2", 1, 100, -10, time.Second)
+	e, _ := tab.Get(2)
+	if e.Name != "192.168.0.2" {
+		t.Fatalf("name = %q", e.Name)
+	}
+	if e.PRR != 1 {
+		t.Fatalf("initial PRR = %f", e.PRR)
+	}
+	// Perfect beacon stream keeps PRR at 1.
+	for s := uint16(2); s <= 10; s++ {
+		tab.ObserveBeacon(2, "192.168.0.2", s, 100, -10, time.Duration(s)*time.Second)
+	}
+	e, _ = tab.Get(2)
+	if e.PRR < 0.99 {
+		t.Fatalf("lossless PRR = %f", e.PRR)
+	}
+	// Now drop every other beacon: PRR must fall noticeably.
+	for s := uint16(12); s <= 40; s += 2 {
+		tab.ObserveBeacon(2, "192.168.0.2", s, 100, -10, time.Duration(s)*time.Second)
+	}
+	e, _ = tab.Get(2)
+	if e.PRR > 0.8 {
+		t.Fatalf("lossy PRR = %f, want < 0.8", e.PRR)
+	}
+}
+
+func TestObserveBeaconSeqWrap(t *testing.T) {
+	tab := NewTable(8)
+	tab.ObserveBeacon(3, "n3", 0xFFFF, 100, -10, time.Second)
+	tab.ObserveBeacon(3, "n3", 0, 100, -10, 2*time.Second)
+	e, _ := tab.Get(3)
+	if e.PRR < 0.99 {
+		t.Fatalf("wraparound treated as loss: PRR = %f", e.PRR)
+	}
+}
+
+func TestExpire(t *testing.T) {
+	tab := NewTable(8)
+	tab.Observe(1, 100, -10, time.Second)
+	tab.Observe(2, 100, -10, 10*time.Second)
+	tab.Observe(3, 100, -10, time.Second)
+	tab.Blacklist(3, true)
+	n := tab.Expire(5 * time.Second)
+	if n != 1 {
+		t.Fatalf("expired %d, want 1", n)
+	}
+	if _, ok := tab.Get(1); ok {
+		t.Fatal("stale entry survived")
+	}
+	if _, ok := tab.Get(3); !ok {
+		t.Fatal("blacklisted pin expired")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	tab := NewTable(8)
+	tab.Observe(1, 100, -10, time.Second)
+	tab.Remove(1)
+	if tab.Len() != 0 {
+		t.Fatal("remove failed")
+	}
+	tab.Remove(1) // idempotent
+}
+
+func TestDefaultCapacity(t *testing.T) {
+	if NewTable(0).Capacity() != DefaultCapacity {
+		t.Fatal("default capacity not applied")
+	}
+	if NewTable(-5).Capacity() != DefaultCapacity {
+		t.Fatal("negative capacity not defaulted")
+	}
+}
+
+func TestTableInvariantsProperty(t *testing.T) {
+	// Any sequence of observations keeps Len <= cap and every entry's
+	// LQI within the CC2420 range when observations are in range.
+	prop := func(ops []uint16) bool {
+		tab := NewTable(5)
+		now := sim.Time(0)
+		for _, op := range ops {
+			now += time.Millisecond
+			id := phys.NodeID(op % 20)
+			lqi := 50 + int(op%61)
+			tab.Observe(id, lqi, -int(op%60), now)
+			if tab.Len() > 5 {
+				return false
+			}
+		}
+		for _, e := range tab.Entries() {
+			if e.LQI < 50 || e.LQI > 110 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,178 @@
+// Package phys models the physical world the simulated motes live in:
+// node positions, RF path loss, noise, and the mapping from
+// signal-to-noise ratio to packet error rate.
+//
+// The paper's testbed is thirty MicaZ motes whose radio environment is
+// shaped by distance, antenna orientation, and enclosures. We replace
+// that with a log-distance path-loss model plus static lognormal
+// shadowing, and — because LiteView explicitly diagnoses *asymmetric*
+// links (Figure 6 plots forward and backward RSSI separately) — a static
+// per-direction asymmetry term. Shadowing and asymmetry are drawn
+// deterministically from the link endpoints and the model seed, so a
+// given deployment has a fixed, repeatable radio map, the way a real
+// deployment does over short time scales.
+package phys
+
+import (
+	"fmt"
+	"math"
+)
+
+// NodeID identifies a mote on the shared medium. IDs are 16-bit to match
+// the address width of 802.15.4 short addresses.
+type NodeID uint16
+
+// Broadcast is the 802.15.4 broadcast short address.
+const Broadcast NodeID = 0xFFFF
+
+// Position is a node location in meters.
+type Position struct {
+	X, Y float64
+}
+
+// Distance returns the Euclidean distance between two positions in
+// meters.
+func (p Position) Distance(q Position) float64 {
+	dx, dy := p.X-q.X, p.Y-q.Y
+	return math.Hypot(dx, dy)
+}
+
+func (p Position) String() string {
+	return fmt.Sprintf("(%.1f,%.1f)", p.X, p.Y)
+}
+
+// Model holds the RF propagation parameters. The zero value is not
+// usable; construct with DefaultModel and adjust fields before first
+// use.
+type Model struct {
+	// PL0 is the path loss in dB at the reference distance of 1 m.
+	PL0 float64
+	// Exponent is the path-loss exponent (2 free space, 3-4 indoor).
+	Exponent float64
+	// ShadowSigma is the standard deviation in dB of the static
+	// lognormal shadowing drawn per unordered link.
+	ShadowSigma float64
+	// AsymSigma is the standard deviation in dB of the static
+	// per-direction offset drawn per ordered link. It is what makes
+	// forward and backward RSSI differ in Figure 6.
+	AsymSigma float64
+	// NoiseFloor is the receiver noise floor in dBm.
+	NoiseFloor float64
+	// Seed fixes the shadowing/asymmetry draws of this deployment.
+	Seed uint64
+}
+
+// DefaultModel returns parameters calibrated so that nodes a few meters
+// apart at full CC2420 power see RSSI register readings near 0 (as in
+// the paper's sample ping output) and links beyond ~40 m become
+// unreliable.
+func DefaultModel(seed uint64) *Model {
+	return &Model{
+		PL0:         45.0,
+		Exponent:    3.0,
+		ShadowSigma: 3.0,
+		AsymSigma:   1.5,
+		NoiseFloor:  -95.0,
+		Seed:        seed,
+	}
+}
+
+// hash64 mixes x with the model seed (splitmix64 finalizer).
+func (m *Model) hash64(x uint64) uint64 {
+	z := x + m.Seed*0x9e3779b97f4a7c15 + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// gauss returns a deterministic standard normal deviate keyed by k,
+// using the inverse of two uniform draws via Box-Muller.
+func (m *Model) gauss(k uint64) float64 {
+	u1 := float64(m.hash64(k)>>11)/(1<<53) + 1e-12
+	u2 := float64(m.hash64(k^0xabcdef1234567890)>>11) / (1 << 53)
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}
+
+// Shadowing returns the static shadowing term in dB for the unordered
+// link {a, b}. It is symmetric: Shadowing(a,b) == Shadowing(b,a).
+func (m *Model) Shadowing(a, b NodeID) float64 {
+	lo, hi := a, b
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	key := uint64(lo)<<16 | uint64(hi)
+	return m.ShadowSigma * m.gauss(key)
+}
+
+// Asymmetry returns the static per-direction offset in dB for the
+// ordered link a→b. Asymmetry(a,b) and Asymmetry(b,a) are independent
+// draws; their difference is what a LiteView user observes when
+// comparing forward and backward RSSI.
+func (m *Model) Asymmetry(a, b NodeID) float64 {
+	key := uint64(a)<<32 | uint64(b) | 1<<48
+	return m.AsymSigma * m.gauss(key)
+}
+
+// PathLoss returns the loss in dB over distance d in meters, excluding
+// shadowing and asymmetry. Distances under 1 m clamp to the reference
+// distance.
+func (m *Model) PathLoss(d float64) float64 {
+	if d < 1 {
+		d = 1
+	}
+	return m.PL0 + 10*m.Exponent*math.Log10(d)
+}
+
+// ReceivedPower returns the power in dBm that node 'to' at position
+// 'toPos' receives from node 'from' at 'fromPos' transmitting at txDBm.
+func (m *Model) ReceivedPower(txDBm float64, from, to NodeID, fromPos, toPos Position) float64 {
+	d := fromPos.Distance(toPos)
+	return txDBm - m.PathLoss(d) + m.Shadowing(from, to) + m.Asymmetry(from, to)
+}
+
+// SNR returns the signal-to-noise ratio in dB for a received power.
+func (m *Model) SNR(rxDBm float64) float64 {
+	return rxDBm - m.NoiseFloor
+}
+
+// BER returns the bit error rate of 802.15.4 O-QPSK DSSS at the given
+// SNR in dB, using the standard analytical approximation (IEEE 802.15.4
+// / Zuniga & Krishnamachari): for linear SNR γ,
+//
+//	BER = (8/15) · (1/16) · Σ_{k=2}^{16} (−1)^k C(16,k) · exp(20·γ·(1/k − 1))
+func BER(snrDB float64) float64 {
+	gamma := math.Pow(10, snrDB/10)
+	var sum float64
+	for k := 2; k <= 16; k++ {
+		term := binom16[k] * math.Exp(20*gamma*(1/float64(k)-1))
+		if k%2 == 0 {
+			sum += term
+		} else {
+			sum -= term
+		}
+	}
+	ber := (8.0 / 15.0) * (1.0 / 16.0) * sum
+	if ber < 0 {
+		return 0
+	}
+	if ber > 0.5 {
+		return 0.5
+	}
+	return ber
+}
+
+// binom16[k] = C(16, k) for the BER series.
+var binom16 = [17]float64{
+	1, 16, 120, 560, 1820, 4368, 8008, 11440,
+	12870, 11440, 8008, 4368, 1820, 560, 120, 16, 1,
+}
+
+// PRR returns the probability that a frame of the given length in bytes
+// is received without bit errors at the given SNR in dB.
+func PRR(snrDB float64, lengthBytes int) float64 {
+	if lengthBytes <= 0 {
+		return 1
+	}
+	ber := BER(snrDB)
+	return math.Pow(1-ber, float64(8*lengthBytes))
+}

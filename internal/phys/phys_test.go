@@ -1,0 +1,208 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDistance(t *testing.T) {
+	a := Position{0, 0}
+	b := Position{3, 4}
+	if d := a.Distance(b); d != 5 {
+		t.Fatalf("distance = %f, want 5", d)
+	}
+	if d := a.Distance(a); d != 0 {
+		t.Fatalf("self distance = %f", d)
+	}
+	if a.Distance(b) != b.Distance(a) {
+		t.Fatal("distance not symmetric")
+	}
+}
+
+func TestPathLossMonotonic(t *testing.T) {
+	m := DefaultModel(1)
+	f := func(a, b uint16) bool {
+		d1 := 1 + float64(a%5000)/10 // 1..501 m
+		d2 := d1 + 1 + float64(b%100)
+		return m.PathLoss(d2) > m.PathLoss(d1)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPathLossClampsBelowOneMeter(t *testing.T) {
+	m := DefaultModel(1)
+	if m.PathLoss(0.1) != m.PathLoss(1) {
+		t.Fatal("sub-meter distances should clamp to the reference distance")
+	}
+	if m.PathLoss(1) != m.PL0 {
+		t.Fatalf("PL(1m) = %f, want PL0 = %f", m.PathLoss(1), m.PL0)
+	}
+}
+
+func TestShadowingSymmetricAndStable(t *testing.T) {
+	m := DefaultModel(7)
+	for a := NodeID(1); a < 20; a++ {
+		for b := a + 1; b < 20; b++ {
+			s1 := m.Shadowing(a, b)
+			s2 := m.Shadowing(b, a)
+			if s1 != s2 {
+				t.Fatalf("shadowing asymmetric for (%d,%d): %f vs %f", a, b, s1, s2)
+			}
+			if s1 != m.Shadowing(a, b) {
+				t.Fatal("shadowing not stable across calls")
+			}
+		}
+	}
+}
+
+func TestShadowingDependsOnSeed(t *testing.T) {
+	m1, m2 := DefaultModel(1), DefaultModel(2)
+	diff := 0
+	for a := NodeID(1); a < 30; a++ {
+		if m1.Shadowing(a, a+1) != m2.Shadowing(a, a+1) {
+			diff++
+		}
+	}
+	if diff < 25 {
+		t.Fatalf("only %d/29 links differ across seeds", diff)
+	}
+}
+
+func TestAsymmetryIsDirectional(t *testing.T) {
+	m := DefaultModel(3)
+	diff := 0
+	for a := NodeID(1); a < 40; a++ {
+		if m.Asymmetry(a, a+1) != m.Asymmetry(a+1, a) {
+			diff++
+		}
+	}
+	if diff < 35 {
+		t.Fatalf("only %d/39 ordered pairs have direction-dependent offsets", diff)
+	}
+}
+
+func TestShadowingMagnitude(t *testing.T) {
+	m := DefaultModel(11)
+	var sum, sumSq float64
+	n := 0
+	for a := NodeID(0); a < 100; a++ {
+		for b := a + 1; b < 100; b += 7 {
+			s := m.Shadowing(a, b)
+			sum += s
+			sumSq += s * s
+			n++
+		}
+	}
+	mean := sum / float64(n)
+	sd := math.Sqrt(sumSq/float64(n) - mean*mean)
+	if math.Abs(mean) > 1.0 {
+		t.Fatalf("shadowing mean = %f dB, want ~0", mean)
+	}
+	if sd < m.ShadowSigma*0.6 || sd > m.ShadowSigma*1.4 {
+		t.Fatalf("shadowing sd = %f dB, want ~%f", sd, m.ShadowSigma)
+	}
+}
+
+func TestReceivedPowerDecreasesWithDistance(t *testing.T) {
+	m := DefaultModel(1)
+	m.ShadowSigma = 0
+	m.AsymSigma = 0
+	from := Position{0, 0}
+	prev := math.Inf(1)
+	for d := 1.0; d <= 100; d += 5 {
+		rx := m.ReceivedPower(0, 1, 2, from, Position{d, 0})
+		if rx >= prev {
+			t.Fatalf("rx power did not decrease at d=%f", d)
+		}
+		prev = rx
+	}
+}
+
+func TestReceivedPowerScalesWithTxPower(t *testing.T) {
+	m := DefaultModel(1)
+	p1, p2 := Position{0, 0}, Position{10, 0}
+	lo := m.ReceivedPower(-10, 1, 2, p1, p2)
+	hi := m.ReceivedPower(0, 1, 2, p1, p2)
+	if math.Abs((hi-lo)-10) > 1e-9 {
+		t.Fatalf("tx power delta not preserved: %f", hi-lo)
+	}
+}
+
+func TestBERBounds(t *testing.T) {
+	f := func(s int8) bool {
+		ber := BER(float64(s))
+		return ber >= 0 && ber <= 0.5
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBERMonotoneDecreasing(t *testing.T) {
+	prev := 1.0
+	for snr := -10.0; snr <= 15; snr += 0.5 {
+		ber := BER(snr)
+		if ber > prev+1e-12 {
+			t.Fatalf("BER increased at snr=%f", snr)
+		}
+		prev = ber
+	}
+}
+
+func TestBERExtremes(t *testing.T) {
+	if BER(30) > 1e-9 {
+		t.Fatalf("BER at 30 dB = %g, want ~0", BER(30))
+	}
+	if BER(-20) < 0.2 {
+		t.Fatalf("BER at -20 dB = %g, want near 0.5", BER(-20))
+	}
+}
+
+func TestPRRProperties(t *testing.T) {
+	// PRR decreases with length at fixed SNR.
+	if PRR(3, 10) < PRR(3, 100) {
+		t.Fatal("longer frames should have lower PRR")
+	}
+	// PRR increases with SNR at fixed length.
+	if PRR(0, 50) > PRR(6, 50) {
+		t.Fatal("higher SNR should have higher PRR")
+	}
+	if PRR(5, 0) != 1 {
+		t.Fatal("zero-length frame PRR must be 1")
+	}
+	// Good link: near-perfect delivery.
+	if PRR(15, 64) < 0.999 {
+		t.Fatalf("PRR at 15 dB for 64 B = %f, want ~1", PRR(15, 64))
+	}
+	// Dead link.
+	if PRR(-8, 64) > 0.01 {
+		t.Fatalf("PRR at -8 dB for 64 B = %f, want ~0", PRR(-8, 64))
+	}
+}
+
+func TestSNR(t *testing.T) {
+	m := DefaultModel(1)
+	if snr := m.SNR(-85); math.Abs(snr-10) > 1e-9 {
+		t.Fatalf("SNR(-85 dBm) = %f, want 10 dB", snr)
+	}
+}
+
+func TestDefaultModelPlausibleRange(t *testing.T) {
+	// At full power (0 dBm) and 5 m, the link should be excellent; at
+	// 200 m it should be dead. This pins the model to the paper's
+	// testbed scale (motes meters apart, multi-hop over tens of meters).
+	m := DefaultModel(1)
+	m.ShadowSigma = 0
+	m.AsymSigma = 0
+	near := m.ReceivedPower(0, 1, 2, Position{0, 0}, Position{5, 0})
+	if p := PRR(m.SNR(near), 64); p < 0.999 {
+		t.Fatalf("5m full-power link PRR = %f, want ~1", p)
+	}
+	far := m.ReceivedPower(0, 1, 2, Position{0, 0}, Position{200, 0})
+	if p := PRR(m.SNR(far), 64); p > 0.05 {
+		t.Fatalf("200m link PRR = %f, want ~0", p)
+	}
+}

@@ -1,0 +1,58 @@
+package radio
+
+import "testing"
+
+func TestTXCurrentCalibrationPoints(t *testing.T) {
+	cases := map[int]float64{3: 8.5, 7: 9.9, 11: 11.2, 15: 12.5, 19: 13.9, 23: 15.2, 27: 16.5, 31: 17.4}
+	for level, want := range cases {
+		if got := TXCurrentMA(level); got != want {
+			t.Errorf("TXCurrentMA(%d) = %f, want %f", level, got, want)
+		}
+	}
+}
+
+func TestTXCurrentMonotonicAndClamped(t *testing.T) {
+	prev := TXCurrentMA(MinPowerLevel)
+	for level := MinPowerLevel + 1; level <= MaxPowerLevel; level++ {
+		cur := TXCurrentMA(level)
+		if cur < prev {
+			t.Fatalf("TX current not monotone at level %d", level)
+		}
+		prev = cur
+	}
+	if TXCurrentMA(0) != 8.5 || TXCurrentMA(99) != 17.4 {
+		t.Fatal("clamping broken")
+	}
+}
+
+func TestStateNotify(t *testing.T) {
+	r, _ := New(17)
+	var transitions []State
+	r.SetNotify(func(old, new State) { transitions = append(transitions, old, new) })
+	r.SetState(TX)
+	r.SetState(TX) // no-op transition must not notify
+	r.SetState(RX)
+	if len(transitions) != 4 {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	if transitions[0] != RX || transitions[1] != TX || transitions[2] != TX || transitions[3] != RX {
+		t.Fatalf("transitions = %v", transitions)
+	}
+	r.SetNotify(nil)
+	r.SetState(Off) // must not panic with observer removed
+	if r.State() != Off {
+		t.Fatal("state not applied")
+	}
+}
+
+func TestRXAndOffCurrents(t *testing.T) {
+	if RXCurrentMA <= TXCurrentMA(31) {
+		t.Fatal("CC2420 listens hungrier than it transmits at full power")
+	}
+	if OffCurrentMA >= 0.01 {
+		t.Fatal("power-down current too large")
+	}
+	if SupplyVolts != 3.0 {
+		t.Fatal("supply voltage changed")
+	}
+}

@@ -1,0 +1,175 @@
+package routing_test
+
+import (
+	"testing"
+	"time"
+
+	"liteview/internal/mac"
+	"liteview/internal/medium"
+	"liteview/internal/neighbor"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/routing"
+	"liteview/internal/sim"
+	"liteview/internal/stack"
+	"liteview/internal/testbed"
+)
+
+func TestTreeReparentsAfterBlacklist(t *testing.T) {
+	// A 2D layout where node 4 can reach the root via node 2 or node 3.
+	opt := testbed.DefaultOptions(61)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Grid(2, 2, 25, opt) // nodes 1,2 top row; 3,4 bottom; diagonals are gated
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AttachTree(1, routing.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(40 * time.Second)
+	r4, _ := tb.Router(routing.TreePort, 4)
+	parent, _, hasPath, _ := routing.TreeState(r4)
+	if !hasPath {
+		t.Fatal("node 4 never joined the tree")
+	}
+	if parent != 2 && parent != 3 {
+		t.Fatalf("parent = %d", parent)
+	}
+	// Blacklist the current parent at node 4: the tree must reparent to
+	// the sibling once fresh advertisements arrive.
+	n4, _ := tb.ByID(4)
+	if err := n4.SysNeighborTable().Blacklist(parent, true); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(30 * time.Second)
+	var got []*stack.Packet
+	tb.Node(0).Stack().Subscribe(100, func(p *stack.Packet, _ phys.NodeID, _ medium.RxInfo) {
+		got = append(got, p)
+	})
+	if err := r4.SendTo(1, 100, []byte("rerouted"), false, false); err != nil {
+		t.Fatalf("send after blacklist: %v", err)
+	}
+	tb.Run(10 * time.Second)
+	newParent, _, hasPath, _ := routing.TreeState(r4)
+	if !hasPath {
+		t.Fatal("node 4 lost the tree permanently")
+	}
+	if newParent == parent {
+		t.Fatalf("still using the blacklisted parent %d", newParent)
+	}
+	if len(got) != 1 {
+		t.Fatalf("delivery after reparenting: %d packets", len(got))
+	}
+}
+
+func TestGeographicLocatorMissesAreSkipped(t *testing.T) {
+	// The locator only knows some nodes; greedy must route via known
+	// ones and ignore the rest without crashing.
+	eng, stA, table := rawNode(t, 62, 1, 0)
+	// Neighbors 2 (known position) and 3 (unknown).
+	table.Observe(2, 105, -30, eng.Now())
+	table.Observe(3, 110, -25, eng.Now())
+	loc := func(id phys.NodeID) (phys.Position, bool) {
+		switch id {
+		case 1:
+			return phys.Position{X: 0}, true
+		case 2:
+			return phys.Position{X: 10}, true
+		case 9:
+			return phys.Position{X: 30}, true
+		}
+		return phys.Position{}, false
+	}
+	r, err := routing.NewGeographic(eng, stA, table, loc, routing.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := r.NextHop(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 2 {
+		t.Fatalf("next = %d, want 2 (the only locatable neighbor)", next)
+	}
+}
+
+func TestGeographicFallbackPrefersQuality(t *testing.T) {
+	eng, stA, table := rawNode(t, 63, 1, 0)
+	// All neighbors below the LQI gate: the fallback must pick the
+	// best-quality one that still makes progress, not the longest hop.
+	table.Observe(2, 75, -40, eng.Now()) // closer, decent-ish
+	table.Observe(3, 55, -48, eng.Now()) // most progress, junk link
+	loc := func(id phys.NodeID) (phys.Position, bool) {
+		pos := map[phys.NodeID]phys.Position{1: {X: 0}, 2: {X: 10}, 3: {X: 20}, 9: {X: 40}}
+		p, ok := pos[id]
+		return p, ok
+	}
+	r, err := routing.NewGeographic(eng, stA, table, loc, routing.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := r.NextHop(9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if next != 2 {
+		t.Fatalf("fallback picked %d, want the higher-LQI 2", next)
+	}
+}
+
+func TestGeographicNeedsLocator(t *testing.T) {
+	eng, stA, table := rawNode(t, 64, 1, 0)
+	if _, err := routing.NewGeographic(eng, stA, table, nil, routing.DefaultConfig()); err == nil {
+		t.Fatal("nil locator accepted")
+	}
+}
+
+func TestFloodTTLScopesPropagation(t *testing.T) {
+	cfg := routing.DefaultConfig()
+	cfg.DefaultTTL = 1 // origin + one relay ring only
+	tb := lineBed(t, 5, 20, 65)
+	if err := tb.AttachFlooding(cfg); err != nil {
+		t.Fatal(err)
+	}
+	reached := map[int]bool{}
+	for i := 1; i < 5; i++ {
+		i := i
+		tb.Node(i).Stack().Subscribe(100, func(*stack.Packet, phys.NodeID, medium.RxInfo) {
+			reached[i+1] = true
+		})
+	}
+	r, _ := tb.Router(routing.FloodingPort, 1)
+	if err := r.SendTo(phys.Broadcast, 100, []byte("x"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(10 * time.Second)
+	if !reached[2] {
+		t.Fatal("one-hop neighbor missed a TTL-1 flood")
+	}
+	if reached[5] {
+		t.Fatal("TTL-1 flood crossed four hops")
+	}
+}
+
+// rawNode builds a single bare node (stack + table) for strategy tests.
+func rawNode(t *testing.T, seed uint64, id phys.NodeID, x float64) (*sim.Engine, *stack.Stack, *neighbor.Table) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	model := phys.DefaultModel(seed)
+	model.ShadowSigma = 0
+	model.AsymSigma = 0
+	med := medium.New(eng, model)
+	rad, err := radio.New(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st *stack.Stack
+	m, err := mac.New(eng, med, rad, id, phys.Position{X: x}, mac.DefaultConfig(),
+		func(f mac.Frame, info medium.RxInfo) { st.OnFrame(f, info) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = stack.New(eng, m)
+	return eng, st, neighbor.NewTable(0)
+}

@@ -1,0 +1,34 @@
+package routing
+
+import (
+	"liteview/internal/medium"
+	"liteview/internal/neighbor"
+	"liteview/internal/phys"
+	"liteview/internal/sim"
+	"liteview/internal/stack"
+)
+
+// flooding is TTL-scoped controlled flooding: every packet is
+// rebroadcast once per node (the Router's duplicate cache suppresses
+// re-floods). It needs no position or gradient state, which makes it
+// the protocol of last resort for diagnosing a deployment whose routing
+// state is itself suspect.
+type flooding struct{}
+
+// NewFlooding attaches the flooding protocol to st on FloodingPort.
+func NewFlooding(eng *sim.Engine, st *stack.Stack, table *neighbor.Table, cfg Config) (*Router, error) {
+	return NewFloodingOnPort(eng, st, table, FloodingPort, cfg)
+}
+
+// NewFloodingOnPort is NewFlooding on an explicit port.
+func NewFloodingOnPort(eng *sim.Engine, st *stack.Stack, table *neighbor.Table, port byte, cfg Config) (*Router, error) {
+	return newRouter(eng, st, table, port, cfg, flooding{})
+}
+
+func (flooding) name() string { return "flooding" }
+
+func (flooding) nextHop(*stack.Packet) (phys.NodeID, error) {
+	return phys.Broadcast, nil
+}
+
+func (flooding) onControl(*stack.Packet, phys.NodeID, medium.RxInfo) {}

@@ -1,0 +1,231 @@
+package routing_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/routing"
+	"liteview/internal/stack"
+	"liteview/internal/testbed"
+)
+
+// odBed builds an n-node line with the on-demand protocol attached.
+func odBed(t *testing.T, n int, spacing float64, seed uint64) *testbed.Testbed {
+	t.Helper()
+	opt := testbed.DefaultOptions(seed)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Line(n, spacing, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AttachOnDemand(routing.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(15 * time.Second)
+	return tb
+}
+
+func TestOnDemandDiscoversAndDelivers(t *testing.T) {
+	tb := odBed(t, 5, 20, 51)
+	var got []*stack.Packet
+	subscribe(t, tb, 4, 100, &got)
+	r, _ := tb.Router(routing.OnDemandPort, 1)
+	// No route exists yet: the send parks the packet and starts
+	// discovery; it must NOT return an error.
+	if err := r.SendTo(5, 100, []byte("discover-me"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(10 * time.Second)
+	if len(got) != 1 || string(got[0].Data) != "discover-me" {
+		t.Fatalf("delivery after discovery: %v", got)
+	}
+	// The route is cached now: a second packet goes straight out.
+	routes, ok := routing.RouteTable(r)
+	if !ok {
+		t.Fatal("not an on-demand router")
+	}
+	if _, have := routes[5]; !have {
+		t.Fatalf("no cached route to 5: %v", routes)
+	}
+	if err := r.SendTo(5, 100, []byte("cached"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(5 * time.Second)
+	if len(got) != 2 {
+		t.Fatalf("cached-route delivery failed: %d packets", len(got))
+	}
+}
+
+func TestOnDemandMultiHopRoute(t *testing.T) {
+	tb := odBed(t, 5, 20, 52)
+	var got []*stack.Packet
+	subscribe(t, tb, 4, 100, &got)
+	r, _ := tb.Router(routing.OnDemandPort, 1)
+	r.SendTo(5, 100, []byte("x"), false, false)
+	tb.Run(10 * time.Second)
+	if len(got) != 1 {
+		t.Fatal("not delivered")
+	}
+	// Intermediate nodes forwarded: the path is multi-hop.
+	forwarded := uint64(0)
+	for id := phys.NodeID(2); id <= 4; id++ {
+		rr, _ := tb.Router(routing.OnDemandPort, id)
+		forwarded += rr.Stats().Forwarded
+	}
+	if forwarded == 0 {
+		t.Fatal("no intermediate forwarding")
+	}
+	// Intermediate nodes installed routes from the flood/reply pass.
+	r3, _ := tb.Router(routing.OnDemandPort, 3)
+	routes, _ := routing.RouteTable(r3)
+	if len(routes) == 0 {
+		t.Fatal("intermediate node learned no routes")
+	}
+}
+
+func TestOnDemandDiscoveryFailure(t *testing.T) {
+	// The target is unreachable: discovery retries then drops the
+	// parked packets without delivering anything.
+	tb := odBed(t, 3, 20, 53)
+	r, _ := tb.Router(routing.OnDemandPort, 1)
+	if err := r.SendTo(99, 100, []byte("void"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(15 * time.Second)
+	st := r.Stats()
+	if st.DroppedNoRoute == 0 {
+		t.Fatalf("failed discovery left no drop trace: %+v", st)
+	}
+	routes, _ := routing.RouteTable(r)
+	if _, have := routes[99]; have {
+		t.Fatal("phantom route installed")
+	}
+}
+
+func TestOnDemandRouteRepair(t *testing.T) {
+	// Establish a route, kill the relay, send again: the dead link's
+	// routes are invalidated by the missing MAC acks, and a fresh
+	// discovery finds... nothing on a line (no alternative), so the
+	// packet is dropped — but the stale route must NOT be used forever.
+	tb := odBed(t, 3, 20, 54)
+	var got []*stack.Packet
+	subscribe(t, tb, 2, 100, &got)
+	r, _ := tb.Router(routing.OnDemandPort, 1)
+	r.SendTo(3, 100, []byte("first"), false, false)
+	tb.Run(10 * time.Second)
+	if len(got) != 1 {
+		t.Fatalf("initial delivery failed: %d", len(got))
+	}
+	// Kill node 2 (the only relay).
+	tb.Node(1).Radio().SetState(radio.Off)
+	r.SendTo(3, 100, []byte("into-the-void"), false, false)
+	tb.Run(15 * time.Second)
+	routes, _ := routing.RouteTable(r)
+	if next, have := routes[3]; have && next == 2 {
+		t.Fatalf("stale route through the dead relay survived: %v", routes)
+	}
+}
+
+func TestOnDemandNextHopForTraceroute(t *testing.T) {
+	tb := odBed(t, 3, 20, 55)
+	r, _ := tb.Router(routing.OnDemandPort, 1)
+	// Without a route, NextHop must fail (traceroute needs a path that
+	// already exists — establish it with a ping first).
+	if _, err := r.NextHop(3); !errors.Is(err, routing.ErrRouteDiscovery) {
+		t.Fatalf("err = %v, want ErrRouteDiscovery", err)
+	}
+	// The failed NextHop kicked off a discovery as a side effect; after
+	// it completes, NextHop answers.
+	tb.Run(10 * time.Second)
+	next, err := r.NextHop(3)
+	if err != nil {
+		t.Fatalf("NextHop after discovery: %v", err)
+	}
+	if next != 2 {
+		t.Fatalf("next hop = %d, want 2", next)
+	}
+}
+
+func TestOnDemandCoexistsWithOtherProtocols(t *testing.T) {
+	opt := testbed.DefaultOptions(56)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Line(3, 20, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AttachGeographic(routing.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AttachOnDemand(routing.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(15 * time.Second)
+	var viaGeo, viaOD []*stack.Packet
+	subscribe(t, tb, 2, 100, &viaGeo)
+	subscribe(t, tb, 2, 101, &viaOD)
+	rg, _ := tb.Router(routing.GeographicPort, 1)
+	ro, _ := tb.Router(routing.OnDemandPort, 1)
+	if err := rg.SendTo(3, 100, []byte("geo"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := ro.SendTo(3, 101, []byte("od"), false, false); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(10 * time.Second)
+	if len(viaGeo) != 1 || len(viaOD) != 1 {
+		t.Fatalf("coexistence: geo=%d od=%d", len(viaGeo), len(viaOD))
+	}
+	if ro.Name() != "on-demand (AODV-style)" {
+		t.Fatalf("name = %q", ro.Name())
+	}
+}
+
+func TestOnDemandPaddingWorks(t *testing.T) {
+	// Protocol independence: link-quality padding is a router-layer
+	// mechanism, so it must work over the on-demand protocol too.
+	tb := odBed(t, 4, 20, 57)
+	var got []*stack.Packet
+	subscribe(t, tb, 3, 100, &got)
+	r, _ := tb.Router(routing.OnDemandPort, 1)
+	if err := r.SendTo(4, 100, make([]byte, 16), true, true); err != nil {
+		t.Fatal(err)
+	}
+	tb.Run(10 * time.Second)
+	if len(got) != 1 {
+		t.Fatal("padded probe not delivered")
+	}
+	if len(got[0].Pad) < 2 {
+		t.Fatalf("pad records = %d on a multi-hop path", len(got[0].Pad))
+	}
+}
+
+func TestRouteTableOnWrongProtocol(t *testing.T) {
+	tb := lineBed(t, 2, 10, 58)
+	tb.AttachGeographic(routing.DefaultConfig())
+	r, _ := tb.Router(routing.GeographicPort, 1)
+	if _, ok := routing.RouteTable(r); ok {
+		t.Fatal("RouteTable answered for geographic forwarding")
+	}
+}
+
+func TestOnDemandRoutesExpire(t *testing.T) {
+	tb := odBed(t, 3, 20, 59)
+	r, _ := tb.Router(routing.OnDemandPort, 1)
+	var got []*stack.Packet
+	subscribe(t, tb, 2, 100, &got)
+	r.SendTo(3, 100, []byte("x"), false, false)
+	tb.Run(10 * time.Second)
+	if routes, _ := routing.RouteTable(r); len(routes) == 0 {
+		t.Fatal("no routes installed")
+	}
+	// Idle past the route lifetime: entries age out.
+	tb.Run(routing.RouteLifetime + 10*time.Second)
+	if routes, _ := routing.RouteTable(r); len(routes) != 0 {
+		t.Fatalf("routes survived expiry: %v", routes)
+	}
+}

@@ -1,0 +1,647 @@
+// Package shell provides the LiteView user interface: an extension of
+// the LiteOS interactive shell. The deployment is mounted as a Unix-like
+// file tree (each node is a directory such as /sn01/192.168.0.1); the
+// user cd's into a node — "logging into" it — and runs management
+// commands there. Output formats follow the paper's sample transcripts.
+package shell
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"liteview/internal/core"
+	"liteview/internal/diagnose"
+	"liteview/internal/phys"
+	"liteview/internal/sim"
+	"liteview/internal/testbed"
+)
+
+// Resolver maps between node names, IDs, and shell paths.
+type Resolver interface {
+	// IDByName resolves an IP-convention node name.
+	IDByName(name string) (phys.NodeID, bool)
+	// Names lists all node names, sorted.
+	Names() []string
+	// PathOf returns the full shell path of a named node.
+	PathOf(name string) (string, bool)
+}
+
+// Locator is the optional Resolver extension the healthcheck command
+// needs: where to walk to reach each node.
+type Locator interface {
+	PosOf(name string) (phys.Position, bool)
+}
+
+// testbedResolver adapts a testbed to the Resolver interface.
+type testbedResolver struct{ tb *testbed.Testbed }
+
+func (r testbedResolver) IDByName(name string) (phys.NodeID, bool) {
+	n, ok := r.tb.ByName(name)
+	if !ok {
+		return 0, false
+	}
+	return n.ID(), true
+}
+
+func (r testbedResolver) Names() []string {
+	names := make([]string, 0, len(r.tb.Nodes))
+	for _, n := range r.tb.Nodes {
+		names = append(names, n.Name())
+	}
+	sort.Strings(names)
+	return names
+}
+
+func (r testbedResolver) PathOf(name string) (string, bool) {
+	n, ok := r.tb.ByName(name)
+	if !ok {
+		return "", false
+	}
+	return n.Path(), true
+}
+
+func (r testbedResolver) PosOf(name string) (phys.Position, bool) {
+	n, ok := r.tb.ByName(name)
+	if !ok {
+		return phys.Position{}, false
+	}
+	return n.Position(), true
+}
+
+// Shell is one interactive management session.
+type Shell struct {
+	ws       *core.Workstation
+	resolver Resolver
+	out      io.Writer
+	cwd      string // "/" or a node path
+	curName  string // name of the node logged into, "" at the root
+}
+
+// New creates a session writing output to out.
+func New(ws *core.Workstation, resolver Resolver, out io.Writer) (*Shell, error) {
+	if ws == nil || resolver == nil || out == nil {
+		return nil, errors.New("shell: nil dependency")
+	}
+	return &Shell{ws: ws, resolver: resolver, out: out, cwd: "/"}, nil
+}
+
+// NewForTestbed creates a session over a deployed testbed.
+func NewForTestbed(tb *testbed.Testbed, ws *core.Workstation, out io.Writer) (*Shell, error) {
+	return New(ws, testbedResolver{tb}, out)
+}
+
+// Cwd returns the current directory.
+func (s *Shell) Cwd() string { return s.cwd }
+
+// CurrentNode returns the node the session is logged into and whether
+// one is selected.
+func (s *Shell) CurrentNode() (phys.NodeID, bool) {
+	if s.curName == "" {
+		return 0, false
+	}
+	return s.mustID(s.curName), true
+}
+
+func (s *Shell) mustID(name string) phys.NodeID {
+	id, _ := s.resolver.IDByName(name)
+	return id
+}
+
+func (s *Shell) printf(format string, args ...any) {
+	fmt.Fprintf(s.out, format, args...)
+}
+
+// Exec parses and runs one command line.
+func (s *Shell) Exec(line string) error {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return nil
+	}
+	cmd, args := fields[0], fields[1:]
+	switch cmd {
+	case "pwd":
+		s.printf("%s\n", s.cwd)
+		return nil
+	case "ls":
+		return s.ls(args)
+	case "cd":
+		return s.cd(args)
+	case "help":
+		s.help()
+		return nil
+	case "ping":
+		return s.ping(args)
+	case "traceroute":
+		return s.traceroute(args)
+	case "neighborsetup":
+		return s.neighborSetup(args)
+	case "power":
+		return s.power(args)
+	case "channel":
+		return s.channel(args)
+	case "log":
+		return s.logCmd(args)
+	case "survey":
+		return s.survey()
+	case "healthcheck":
+		return s.healthcheck()
+	case "stats":
+		return s.stats()
+	case "energy":
+		return s.energy()
+	default:
+		return fmt.Errorf("shell: unknown command %q (try help)", cmd)
+	}
+}
+
+func (s *Shell) help() {
+	s.printf(`LiteView commands:
+  pwd                         print the current directory
+  ls [dir]                    list nodes (at /) or the node's file tree
+  cd <node-path|name|/ >      log into a node / back to the root
+  power [level]               view or set the radio power level (3..31)
+  channel [ch]                view or set the radio channel (11..26)
+  neighborsetup list          show the kernel neighbor table
+  neighborsetup blacklist add|remove <name|id>
+  neighborsetup update period=<ms>
+  stats                       link/stack counters and routing state
+  energy                      battery account and lifetime estimate
+  log on|off|show [count]     control / read the node's event log
+  survey                      broadcast radio query to all nodes in range
+  healthcheck                 walk every node and diagnose the deployment
+  ping <name|id> [round=N] [length=B] [port=P]
+  traceroute <name|id> [round=N] [length=B] [port=P]
+`)
+}
+
+func (s *Shell) ls(args []string) error {
+	if s.curName == "" {
+		for _, name := range s.resolver.Names() {
+			path, _ := s.resolver.PathOf(name)
+			s.printf("%s\n", path)
+		}
+		return nil
+	}
+	// Logged into a node: LiteOS presents the node as a directory tree
+	// (/apps, /proc, /dev), fetched over the management channel.
+	node, _ := s.CurrentNode()
+	sub := ""
+	if len(args) > 0 {
+		sub = args[0]
+	}
+	entries, err := s.ws.FsList(node, sub)
+	if err != nil {
+		return err
+	}
+	for _, e := range entries {
+		if e.Dir {
+			s.printf("%s/\n", e.Name)
+			continue
+		}
+		s.printf("%-24s %6d B\n", e.Name, e.Size)
+	}
+	return nil
+}
+
+func (s *Shell) cd(args []string) error {
+	if len(args) != 1 {
+		return errors.New("shell: usage: cd <node-path|name|/>")
+	}
+	target := args[0]
+	if target == "/" || target == ".." {
+		s.cwd = "/"
+		s.curName = ""
+		return nil
+	}
+	// Accept either the full path (/sn01/192.168.0.1) or the bare name.
+	name := target
+	if strings.HasPrefix(target, "/") {
+		parts := strings.Split(strings.Trim(target, "/"), "/")
+		name = parts[len(parts)-1]
+	}
+	path, ok := s.resolver.PathOf(name)
+	if !ok {
+		return fmt.Errorf("shell: no such node %q", target)
+	}
+	s.cwd = path
+	s.curName = name
+	return nil
+}
+
+// node returns the node this session is logged into.
+func (s *Shell) node() (phys.NodeID, error) {
+	if s.curName == "" {
+		return 0, errors.New("shell: not logged into a node (cd into one first)")
+	}
+	return s.mustID(s.curName), nil
+}
+
+// resolveTarget accepts a node name or a numeric ID.
+func (s *Shell) resolveTarget(arg string) (phys.NodeID, error) {
+	if id, ok := s.resolver.IDByName(arg); ok {
+		return id, nil
+	}
+	if v, err := strconv.Atoi(arg); err == nil && v > 0 && v < 0xFFFF {
+		return phys.NodeID(v), nil
+	}
+	return 0, fmt.Errorf("shell: unknown node %q", arg)
+}
+
+// parseOpts parses the paper's key=value option style.
+func parseOpts(args []string) (map[string]int, []string, error) {
+	opts := make(map[string]int)
+	var rest []string
+	for _, a := range args {
+		if k, v, ok := strings.Cut(a, "="); ok {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return nil, nil, fmt.Errorf("shell: bad option %q", a)
+			}
+			opts[k] = n
+			continue
+		}
+		rest = append(rest, a)
+	}
+	return opts, rest, nil
+}
+
+func msStr(us uint32) string {
+	return fmt.Sprintf("%.1f", float64(us)/1000)
+}
+
+func (s *Shell) ping(args []string) error {
+	node, err := s.node()
+	if err != nil {
+		return err
+	}
+	opts, rest, err := parseOpts(args)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 1 {
+		return errors.New("shell: usage: ping <name|id> [round=N] [length=B] [port=P]")
+	}
+	dst, err := s.resolveTarget(rest[0])
+	if err != nil {
+		return err
+	}
+	po := core.PingOptions{
+		Dst:        dst,
+		Rounds:     opts["round"],
+		Length:     opts["length"],
+		RouterPort: byte(opts["port"]),
+	}
+	if po.Rounds == 0 {
+		po.Rounds = 1
+	}
+	if po.Length == 0 {
+		po.Length = 32
+	}
+	out, err := s.ws.Ping(node, po)
+	if err != nil {
+		return err
+	}
+	s.printf("Pinging %s with %d packets with %d bytes:\n", rest[0], po.Rounds, po.Length)
+	if po.RouterPort != 0 && out.Protocol != "" {
+		s.printf("Name of protocol: %s\n", out.Protocol)
+	}
+	for _, r := range out.Results {
+		if r.Lost {
+			s.printf("Request timed out (packet %d)\n", r.Seq+1)
+			continue
+		}
+		s.printf("RTT = %s ms, LQI = %d/%d, RSSI = %d/%d, Queue = %d/%d\n",
+			msStr(r.RTT), r.LQIFwd, r.LQIBwd, r.RSSIFwd, r.RSSIBwd, r.QFwd, r.QBwd)
+		s.printf("Power = %d, Channel = %d\n", r.Power, r.Channel)
+		for _, h := range r.HopQuality {
+			dir := "forward"
+			if h.Back {
+				dir = "backward"
+			}
+			s.printf("  hop (%s): LQI = %d, RSSI = %d\n", dir, h.LQI, h.RSSI)
+		}
+	}
+	s.printf("\nPing statistics:\nPackets = %d\nReceived = %d\nLost = %d\n",
+		out.Sent, out.Received, out.Lost)
+	return nil
+}
+
+func (s *Shell) traceroute(args []string) error {
+	node, err := s.node()
+	if err != nil {
+		return err
+	}
+	opts, rest, err := parseOpts(args)
+	if err != nil {
+		return err
+	}
+	if len(rest) != 1 {
+		return errors.New("shell: usage: traceroute <name|id> [round=N] [length=B] [port=P]")
+	}
+	dst, err := s.resolveTarget(rest[0])
+	if err != nil {
+		return err
+	}
+	length := opts["length"]
+	if length == 0 {
+		length = 32
+	}
+	rounds := opts["round"]
+	if rounds == 0 {
+		rounds = 1
+	}
+	port := byte(opts["port"])
+	if port == 0 {
+		port = 10 // the paper's geographic forwarding example
+	}
+	s.printf("Reaching %s with %d packets with %d bytes:\n", rest[0], rounds, length)
+	for round := 0; round < rounds; round++ {
+		out, err := s.ws.Traceroute(node, core.TrOptions{Dst: dst, Length: length, RouterPort: port})
+		if err != nil {
+			return err
+		}
+		if round == 0 && out.Protocol != "" {
+			s.printf("Name of protocol: %s\n", out.Protocol)
+		}
+		for _, rep := range out.Reports {
+			if rep.Lost {
+				s.printf("Hop %d: no reply\n", rep.Hop)
+				continue
+			}
+			s.printf("Reply from %s\n", s.nameOf(rep.From))
+			s.printf("RTT = %s ms, LQI = %d/%d, RSSI = %d/%d, Queue = %d/%d\n",
+				msStr(rep.RTT), rep.LQIFwd, rep.LQIBwd, rep.RSSIFwd, rep.RSSIBwd, rep.QFwd, rep.QBwd)
+		}
+		s.printf("\nTraceroute statistics:\nPackets = %d\nReceived = %d\nLost = %d\n",
+			out.Sent, out.Received, out.Lost)
+	}
+	return nil
+}
+
+// nameOf renders a node ID as its name when known.
+func (s *Shell) nameOf(id phys.NodeID) string {
+	for _, name := range s.resolver.Names() {
+		if got, _ := s.resolver.IDByName(name); got == id {
+			return name
+		}
+	}
+	return fmt.Sprintf("node-%d", id)
+}
+
+func (s *Shell) neighborSetup(args []string) error {
+	node, err := s.node()
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		return errors.New("shell: usage: neighborsetup list|blacklist|update ...")
+	}
+	switch args[0] {
+	case "list":
+		out, err := s.ws.NeighborList(node, true)
+		if err != nil {
+			return err
+		}
+		s.printf("Neighbors of %s (%d entries):\n", s.curName, len(out.Entries))
+		for _, e := range out.Entries {
+			flag := ""
+			if e.Blacklisted {
+				flag = " [blacklisted]"
+			}
+			s.printf("  %-14s id=%d LQI=%d RSSI=%d PRR=%d%%%s\n",
+				e.Name, e.ID, e.LQI, e.RSSI, e.PRRPercent, flag)
+		}
+		return nil
+	case "blacklist":
+		if len(args) != 3 || (args[1] != "add" && args[1] != "remove") {
+			return errors.New("shell: usage: neighborsetup blacklist add|remove <name|id>")
+		}
+		target, err := s.resolveTarget(args[2])
+		if err != nil {
+			return err
+		}
+		if err := s.ws.Blacklist(node, target, args[1] == "add"); err != nil {
+			return err
+		}
+		s.printf("OK\n")
+		return nil
+	case "update":
+		opts, _, err := parseOpts(args[1:])
+		if err != nil {
+			return err
+		}
+		periodMs, ok := opts["period"]
+		if !ok || periodMs <= 0 {
+			return errors.New("shell: usage: neighborsetup update period=<ms>")
+		}
+		if err := s.ws.UpdateBeaconPeriod(node, sim.Time(periodMs)*time.Millisecond); err != nil {
+			return err
+		}
+		s.printf("OK\n")
+		return nil
+	default:
+		return fmt.Errorf("shell: unknown neighborsetup subcommand %q", args[0])
+	}
+}
+
+func (s *Shell) logCmd(args []string) error {
+	node, err := s.node()
+	if err != nil {
+		return err
+	}
+	if len(args) == 0 {
+		return errors.New("shell: usage: log on|off|show [count]")
+	}
+	switch args[0] {
+	case "on", "off":
+		if err := s.ws.LogControl(node, args[0] == "on"); err != nil {
+			return err
+		}
+		s.printf("OK\n")
+		return nil
+	case "show":
+		count := 0
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v < 0 {
+				return fmt.Errorf("shell: bad count %q", args[1])
+			}
+			count = v
+		}
+		entries, err := s.ws.LogDump(node, count)
+		if err != nil {
+			return err
+		}
+		s.printf("event log of %s (%d entries):\n", s.curName, len(entries))
+		for _, e := range entries {
+			s.printf("  [%d ms] %s: %s\n", e.AtMs, e.Tag, e.Msg)
+		}
+		return nil
+	default:
+		return fmt.Errorf("shell: unknown log subcommand %q", args[0])
+	}
+}
+
+// healthcheck walks the whole deployment with the workstation and
+// prints the diagnose report. It needs a Resolver that also locates
+// nodes (the testbed resolver does).
+func (s *Shell) healthcheck() error {
+	loc, ok := s.resolver.(Locator)
+	if !ok {
+		return errors.New("shell: this session's resolver cannot locate nodes for walking")
+	}
+	var targets []diagnose.Target
+	for _, name := range s.resolver.Names() {
+		id, _ := s.resolver.IDByName(name)
+		pos, ok := loc.PosOf(name)
+		if !ok {
+			continue
+		}
+		targets = append(targets, diagnose.Target{ID: id, Name: name, Pos: pos})
+	}
+	rep, err := diagnose.HealthCheck(s.ws, targets, diagnose.Options{})
+	if err != nil {
+		return err
+	}
+	s.printf("%s", rep)
+	// The walk leaves the operator at the last node; return to the
+	// current session node if one is selected.
+	if s.curName != "" {
+		if pos, ok := loc.PosOf(s.curName); ok {
+			s.ws.MoveTo(pos)
+		}
+	}
+	return nil
+}
+
+// stats prints the node's counters and routing protocol state.
+func (s *Shell) stats() error {
+	node, err := s.node()
+	if err != nil {
+		return err
+	}
+	out, err := s.ws.Stats(node)
+	if err != nil {
+		return err
+	}
+	n := out.Node
+	s.printf("node %s, up %d ms:\n", s.curName, n.UptimeMs)
+	s.printf("  mac: sent=%d received=%d retries=%d noack=%d crcfail=%d queuedrop=%d queue=%d\n",
+		n.MACSent, n.MACReceived, n.MACRetries, n.MACNoAck, n.MACCRCFail, n.MACQueueDrop, n.QueueLen)
+	s.printf("  stack: delivered=%d nosubscriber=%d\n", n.StackDeliver, n.StackNoSub)
+	s.printf("  ram: %d used / %d free\n", n.RAMUsed, n.RAMFree)
+	for _, rt := range out.Routers {
+		s.printf("  protocol %q (port %d): originated=%d forwarded=%d delivered=%d noroute=%d queuedrop=%d",
+			rt.Name, rt.Port, rt.Originated, rt.Forwarded, rt.Delivered, rt.NoRoute, rt.QueueDrops)
+		if rt.HasParent {
+			s.printf(" parent=%s cost=%.2f", s.nameOf(rt.Parent), float64(rt.CostCentile)/100)
+		}
+		s.printf("\n")
+	}
+	return nil
+}
+
+// energy prints the node's battery account.
+func (s *Shell) energy() error {
+	node, err := s.node()
+	if err != nil {
+		return err
+	}
+	es, err := s.ws.Energy(node)
+	if err != nil {
+		return err
+	}
+	s.printf("battery of %s: %.1f%% remaining\n", s.curName, float64(es.RemainingPermille)/10)
+	s.printf("  tx  %9.3f mJ over %d ms\n", float64(es.TXuJ)/1000, es.TXms)
+	s.printf("  rx  %9.3f mJ over %d ms (idle listening)\n", float64(es.RXuJ)/1000, es.RXms)
+	s.printf("  off %9.3f mJ over %d ms\n", float64(es.OffuJ)/1000, es.Offms)
+	if es.HasLifetime {
+		s.printf("  projected lifetime at this draw: %d hours\n", es.EstimatedLifetimeHours)
+	}
+	return nil
+}
+
+// survey broadcasts a radio query: every node in range reports its
+// power level and channel after a random group backoff.
+func (s *Shell) survey() error {
+	got, err := s.ws.GroupRadioGet(0)
+	if err != nil {
+		return err
+	}
+	s.printf("radio survey: %d node(s) answered\n", len(got))
+	ids := make([]int, 0, len(got))
+	for id := range got {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		ri := got[phys.NodeID(id)]
+		s.printf("  %-14s power=%d channel=%d\n", s.nameOf(phys.NodeID(id)), ri.Power, ri.Channel)
+	}
+	return nil
+}
+
+func (s *Shell) power(args []string) error {
+	node, err := s.node()
+	if err != nil {
+		return err
+	}
+	switch len(args) {
+	case 0:
+		ri, err := s.ws.RadioGet(node)
+		if err != nil {
+			return err
+		}
+		s.printf("Power = %d\n", ri.Power)
+		return nil
+	case 1:
+		level, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("shell: bad power level %q", args[0])
+		}
+		if err := s.ws.SetPower(node, level); err != nil {
+			return err
+		}
+		s.printf("OK\n")
+		return nil
+	default:
+		return errors.New("shell: usage: power [level]")
+	}
+}
+
+func (s *Shell) channel(args []string) error {
+	node, err := s.node()
+	if err != nil {
+		return err
+	}
+	switch len(args) {
+	case 0:
+		ri, err := s.ws.RadioGet(node)
+		if err != nil {
+			return err
+		}
+		s.printf("Channel = %d\n", ri.Channel)
+		return nil
+	case 1:
+		ch, err := strconv.Atoi(args[0])
+		if err != nil {
+			return fmt.Errorf("shell: bad channel %q", args[0])
+		}
+		if err := s.ws.SetChannel(node, ch); err != nil {
+			return err
+		}
+		// Follow the node onto its new channel so the session survives.
+		if err := s.ws.Radio().SetChannel(ch); err != nil {
+			return err
+		}
+		s.printf("OK (session retuned to channel %d)\n", ch)
+		return nil
+	default:
+		return errors.New("shell: usage: channel [ch]")
+	}
+}

@@ -1,0 +1,121 @@
+package shell
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLogShellCommands(t *testing.T) {
+	f := deployShell(t, 2, 5, 20)
+	f.run(t, "cd 192.168.0.1")
+	f.run(t, "log on")
+	f.run(t, "ping 192.168.0.2 round=1 length=16")
+	got := f.run(t, "log show")
+	if !strings.Contains(got, "event log of 192.168.0.1") {
+		t.Fatalf("log show header missing: %q", got)
+	}
+	if !strings.Contains(got, "ping") {
+		t.Fatalf("log lacks the ping trail: %q", got)
+	}
+	bounded := f.run(t, "log show 1")
+	if strings.Count(bounded, "\n") > 2 {
+		t.Fatalf("bounded show returned too much: %q", bounded)
+	}
+	f.run(t, "log off")
+	if err := f.sh.Exec("log"); err == nil {
+		t.Fatal("bare log accepted")
+	}
+	if err := f.sh.Exec("log paint"); err == nil {
+		t.Fatal("bad subcommand accepted")
+	}
+	if err := f.sh.Exec("log show x"); err == nil {
+		t.Fatal("bad count accepted")
+	}
+}
+
+func TestSurveyShellCommand(t *testing.T) {
+	f := deployShell(t, 3, 10, 21)
+	got := f.run(t, "survey")
+	if !strings.Contains(got, "radio survey:") {
+		t.Fatalf("survey output: %q", got)
+	}
+	for _, name := range []string{"192.168.0.1", "192.168.0.2", "192.168.0.3"} {
+		if !strings.Contains(got, name) {
+			t.Fatalf("survey missing %s: %q", name, got)
+		}
+	}
+	if !strings.Contains(got, "power=31 channel=17") {
+		t.Fatalf("survey lacks settings: %q", got)
+	}
+}
+
+func TestTracerouteMultipleRounds(t *testing.T) {
+	f := deployShell(t, 3, 15, 22)
+	f.run(t, "cd 192.168.0.1")
+	got := f.run(t, "traceroute 192.168.0.3 round=2 length=32 port=10")
+	if strings.Count(got, "Traceroute statistics:") != 2 {
+		t.Fatalf("expected two rounds of statistics:\n%s", got)
+	}
+}
+
+func TestPingByNumericID(t *testing.T) {
+	f := deployShell(t, 2, 5, 23)
+	f.run(t, "cd 192.168.0.1")
+	got := f.run(t, "ping 2 round=1")
+	if !strings.Contains(got, "Received = 1") {
+		t.Fatalf("numeric target failed:\n%s", got)
+	}
+}
+
+func TestUpdatePeriodPropagates(t *testing.T) {
+	f := deployShell(t, 2, 5, 24)
+	f.run(t, "cd 192.168.0.2")
+	f.run(t, "neighborsetup update period=1200")
+	n, _ := f.tb.ByName("192.168.0.2")
+	if n.Neighbors().Period() != 1200*time.Millisecond {
+		t.Fatalf("period = %v", n.Neighbors().Period())
+	}
+	if err := f.sh.Exec("neighborsetup update"); err == nil {
+		t.Fatal("update without period accepted")
+	}
+	if err := f.sh.Exec("neighborsetup update period=0"); err == nil {
+		t.Fatal("zero period accepted")
+	}
+}
+
+func TestShellConstructorsValidate(t *testing.T) {
+	f := deployShell(t, 2, 5, 25)
+	if _, err := New(nil, testbedResolver{f.tb}, f.out); err == nil {
+		t.Fatal("nil workstation accepted")
+	}
+}
+
+func TestHealthcheckShellCommand(t *testing.T) {
+	f := deployShell(t, 3, 15, 26)
+	got := f.run(t, "healthcheck")
+	if !strings.Contains(got, "health check: 3 node(s) visited") {
+		t.Fatalf("output:\n%s", got)
+	}
+	if !strings.Contains(got, "no problems found") {
+		t.Fatalf("healthy deployment reported problems:\n%s", got)
+	}
+}
+
+func TestLsInsideNodeShowsFileTree(t *testing.T) {
+	f := deployShell(t, 2, 5, 27)
+	f.run(t, "cd 192.168.0.1")
+	root := f.run(t, "ls")
+	for _, want := range []string{"apps/", "proc/", "dev/"} {
+		if !strings.Contains(root, want) {
+			t.Fatalf("node root listing missing %q:\n%s", want, root)
+		}
+	}
+	apps := f.run(t, "ls apps")
+	if !strings.Contains(apps, "ping") || !strings.Contains(apps, "2148 B") {
+		t.Fatalf("apps listing:\n%s", apps)
+	}
+	if err := f.sh.Exec("ls nowhere"); err == nil {
+		t.Fatal("phantom dir accepted")
+	}
+}

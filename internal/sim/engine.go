@@ -1,0 +1,210 @@
+// Package sim provides the discrete-event simulation kernel on which the
+// whole LiteView reproduction runs. Every other subsystem — radio medium,
+// MAC, LiteOS threads, LiteView commands — executes on the virtual clock
+// owned by an Engine, so a scenario is fully determined by its topology,
+// its seed, and its command script.
+//
+// Time is modelled as a time.Duration offset from the simulation epoch
+// (t = 0). Events scheduled for the same instant fire in scheduling order
+// (a monotonically increasing sequence number breaks ties), which keeps
+// runs reproducible across machines.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp: the offset from the simulation epoch.
+type Time = time.Duration
+
+// Event is a scheduled callback. Fields are private to the engine; events
+// are created via Engine.Schedule / Engine.At.
+type Event struct {
+	when    Time
+	seq     uint64
+	fn      func()
+	index   int // heap index; -1 once removed
+	stopped bool
+}
+
+// When reports the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Stopped reports whether the event has been cancelled.
+func (e *Event) Stopped() bool { return e.stopped }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	ev := x.(*Event)
+	ev.index = len(*q)
+	*q = append(*q, ev)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*q = old[:n-1]
+	return ev
+}
+
+// Engine is a single-threaded discrete-event simulator. It is not safe
+// for concurrent use; all model code runs inside event callbacks on the
+// engine's own (virtual) timeline.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	fired   uint64
+	stopped bool
+	rng     *Rand
+}
+
+// ErrPastEvent is returned when an event is scheduled before the current
+// virtual time.
+var ErrPastEvent = errors.New("sim: event scheduled in the past")
+
+// NewEngine returns an engine whose clock reads zero and whose root RNG
+// is seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rng: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's root random stream. Model components should
+// usually Fork their own sub-stream so that adding a component does not
+// perturb the draws seen by others.
+func (e *Engine) Rand() *Rand { return e.rng }
+
+// Pending reports the number of events still queued.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired reports how many events have executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// Schedule queues fn to run after delay. A negative delay is an error;
+// a zero delay runs fn at the current time, after events already queued
+// for this instant.
+func (e *Engine) Schedule(delay Time, fn func()) (*Event, error) {
+	if delay < 0 {
+		return nil, fmt.Errorf("%w: delay %v", ErrPastEvent, delay)
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At queues fn to run at absolute virtual time t.
+func (e *Engine) At(t Time, fn func()) (*Event, error) {
+	if t < e.now {
+		return nil, fmt.Errorf("%w: t=%v now=%v", ErrPastEvent, t, e.now)
+	}
+	if fn == nil {
+		return nil, errors.New("sim: nil event callback")
+	}
+	e.seq++
+	ev := &Event{when: t, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev, nil
+}
+
+// MustSchedule is Schedule for call sites where the delay is known to be
+// non-negative; it panics on error. Model code uses it for internally
+// computed delays that are non-negative by construction.
+func (e *Engine) MustSchedule(delay Time, fn func()) *Event {
+	ev, err := e.Schedule(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return ev
+}
+
+// Cancel removes a pending event. Cancelling an already-fired or
+// already-cancelled event is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.stopped || ev.index < 0 {
+		if ev != nil {
+			ev.stopped = true
+		}
+		return
+	}
+	ev.stopped = true
+	heap.Remove(&e.queue, ev.index)
+}
+
+// Stop makes the current Run/RunUntil call return once the executing
+// event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run executes events until the queue drains or Stop is called. It
+// returns the number of events fired by this call.
+func (e *Engine) Run() uint64 {
+	return e.RunUntil(Time(math.MaxInt64))
+}
+
+// RunUntil executes events with timestamps <= deadline. The clock is left
+// at the last fired event's time (or at deadline if the queue holds only
+// later events, so that successive RunUntil calls advance monotonically).
+func (e *Engine) RunUntil(deadline Time) uint64 {
+	e.stopped = false
+	var fired uint64
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if next.when > deadline {
+			if deadline > e.now && deadline != Time(math.MaxInt64) {
+				e.now = deadline
+			}
+			return fired
+		}
+		heap.Pop(&e.queue)
+		e.now = next.when
+		next.index = -1
+		e.fired++
+		fired++
+		next.fn()
+	}
+	if deadline > e.now && deadline != Time(math.MaxInt64) && !e.stopped {
+		e.now = deadline
+	}
+	return fired
+}
+
+// NextEventTime reports the timestamp of the earliest pending event.
+func (e *Engine) NextEventTime() (Time, bool) {
+	if len(e.queue) == 0 {
+		return 0, false
+	}
+	return e.queue[0].when, true
+}
+
+// Step fires exactly one event if any is pending and reports whether one
+// fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	next := heap.Pop(&e.queue).(*Event)
+	e.now = next.when
+	next.index = -1
+	e.fired++
+	next.fn()
+	return true
+}

@@ -1,0 +1,155 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestScheduleOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.MustSchedule(3*time.Millisecond, func() { got = append(got, 3) })
+	e.MustSchedule(1*time.Millisecond, func() { got = append(got, 1) })
+	e.MustSchedule(2*time.Millisecond, func() { got = append(got, 2) })
+	e.Run()
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 3*time.Millisecond {
+		t.Fatalf("Now = %v, want 3ms", e.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.MustSchedule(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i := range got {
+		if got[i] != i {
+			t.Fatalf("same-instant events out of FIFO order: %v", got)
+		}
+	}
+}
+
+func TestNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	var ticks int
+	var tick func()
+	tick = func() {
+		ticks++
+		if ticks < 5 {
+			e.MustSchedule(time.Second, tick)
+		}
+	}
+	e.MustSchedule(time.Second, tick)
+	e.Run()
+	if ticks != 5 {
+		t.Fatalf("ticks = %d, want 5", ticks)
+	}
+	if e.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s", e.Now())
+	}
+}
+
+func TestPastEventRejected(t *testing.T) {
+	e := NewEngine(1)
+	if _, err := e.Schedule(-time.Nanosecond, func() {}); err == nil {
+		t.Fatal("negative delay accepted")
+	}
+	e.MustSchedule(time.Second, func() {})
+	e.Run()
+	if _, err := e.At(time.Millisecond, func() {}); err == nil {
+		t.Fatal("event in the past accepted")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.MustSchedule(time.Second, func() { fired = true })
+	e.Cancel(ev)
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Stopped() {
+		t.Fatal("event not marked stopped")
+	}
+	// Double cancel and nil cancel are safe.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 1; i <= 4; i++ {
+		i := i
+		e.MustSchedule(time.Duration(i)*time.Second, func() { got = append(got, i) })
+	}
+	n := e.RunUntil(2500 * time.Millisecond)
+	if n != 2 || len(got) != 2 {
+		t.Fatalf("fired %d events (%v), want 2", n, got)
+	}
+	if e.Now() != 2500*time.Millisecond {
+		t.Fatalf("clock did not advance to deadline: %v", e.Now())
+	}
+	e.Run()
+	if len(got) != 4 {
+		t.Fatalf("remaining events did not fire: %v", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	e := NewEngine(1)
+	var count int
+	for i := 0; i < 10; i++ {
+		e.MustSchedule(time.Duration(i)*time.Millisecond, func() {
+			count++
+			if count == 3 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 3 {
+		t.Fatalf("count = %d, want 3", count)
+	}
+	if e.Pending() != 7 {
+		t.Fatalf("pending = %d, want 7", e.Pending())
+	}
+}
+
+func TestStep(t *testing.T) {
+	e := NewEngine(1)
+	var count int
+	e.MustSchedule(time.Millisecond, func() { count++ })
+	e.MustSchedule(2*time.Millisecond, func() { count++ })
+	if !e.Step() || count != 1 {
+		t.Fatalf("first step: count=%d", count)
+	}
+	if !e.Step() || count != 2 {
+		t.Fatalf("second step: count=%d", count)
+	}
+	if e.Step() {
+		t.Fatal("step on empty queue reported an event")
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	e := NewEngine(1)
+	for i := 0; i < 5; i++ {
+		e.MustSchedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	e.Run()
+	if e.Fired() != 5 {
+		t.Fatalf("Fired = %d, want 5", e.Fired())
+	}
+}

@@ -1,0 +1,84 @@
+package sim
+
+import "errors"
+
+// Ticker runs a callback periodically on the engine's virtual clock.
+// It captures the pattern every periodic protocol in the model needs:
+// a randomized initial phase (so co-started nodes do not fire in
+// lockstep), runtime period changes that take effect immediately, and
+// a Stop that reliably cancels pending fires (via a generation counter,
+// since the engine has no handle-free cancellation for closures that
+// reschedule themselves).
+type Ticker struct {
+	eng     *Engine
+	period  Time
+	fn      func()
+	gen     uint64
+	running bool
+}
+
+// NewTicker prepares a ticker; call Start to begin. fn runs once per
+// period while the ticker is running.
+func NewTicker(eng *Engine, period Time, fn func()) (*Ticker, error) {
+	if eng == nil || fn == nil {
+		return nil, errors.New("sim: ticker needs an engine and a callback")
+	}
+	if period <= 0 {
+		return nil, errors.New("sim: ticker period must be positive")
+	}
+	return &Ticker{eng: eng, period: period, fn: fn}, nil
+}
+
+// Period returns the current interval.
+func (t *Ticker) Period() Time { return t.period }
+
+// Running reports whether the ticker is active.
+func (t *Ticker) Running() bool { return t.running }
+
+// Start begins ticking, firing first after phase (pass a random phase
+// to desynchronise a fleet; 0 fires after one full period). Starting a
+// running ticker is a no-op.
+func (t *Ticker) Start(phase Time) {
+	if t.running {
+		return
+	}
+	t.running = true
+	t.gen++
+	gen := t.gen
+	if phase <= 0 {
+		phase = t.period
+	}
+	t.eng.MustSchedule(phase, func() { t.tick(gen) })
+}
+
+// Stop halts the ticker; a later Start resumes it.
+func (t *Ticker) Stop() {
+	t.running = false
+	t.gen++
+}
+
+// SetPeriod changes the interval. When running, the next fire is
+// rescheduled a full new period from now.
+func (t *Ticker) SetPeriod(d Time) error {
+	if d <= 0 {
+		return errors.New("sim: ticker period must be positive")
+	}
+	t.period = d
+	if t.running {
+		t.gen++
+		gen := t.gen
+		t.eng.MustSchedule(t.period, func() { t.tick(gen) })
+	}
+	return nil
+}
+
+func (t *Ticker) tick(gen uint64) {
+	if !t.running || gen != t.gen {
+		return
+	}
+	t.fn()
+	if !t.running || gen != t.gen {
+		return // fn stopped or rescheduled us
+	}
+	t.eng.MustSchedule(t.period, func() { t.tick(gen) })
+}

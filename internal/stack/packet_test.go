@@ -1,0 +1,176 @@
+package stack
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"liteview/internal/phys"
+)
+
+func TestPacketRoundTrip(t *testing.T) {
+	p := &Packet{
+		Port:   10,
+		Origin: 0x0101,
+		Dst:    0x0909,
+		TTL:    16,
+		Flags:  FlagPad,
+		Data:   []byte("probe-data"),
+		Pad:    []LinkQuality{{LQI: 108, RSSI: -1}, {LQI: 95, RSSI: -20}},
+	}
+	raw, err := p.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePacket(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Port != p.Port || got.Origin != p.Origin || got.Dst != p.Dst ||
+		got.TTL != p.TTL || got.Flags != p.Flags {
+		t.Fatalf("header mismatch: %+v vs %+v", got, p)
+	}
+	if !bytes.Equal(got.Data, p.Data) {
+		t.Fatal("data mismatch")
+	}
+	if len(got.Pad) != 2 || got.Pad[0] != p.Pad[0] || got.Pad[1] != p.Pad[1] {
+		t.Fatalf("pad mismatch: %+v", got.Pad)
+	}
+}
+
+func TestPacketRoundTripProperty(t *testing.T) {
+	prop := func(port byte, origin, dst uint16, ttl, flags byte, data []byte, padN uint8) bool {
+		if len(data) > PayloadCeiling {
+			data = data[:PayloadCeiling]
+		}
+		maxPad := (PayloadCeiling - len(data)) / PadBytesPerHop
+		n := int(padN) % (maxPad + 1)
+		pad := make([]LinkQuality, n)
+		for i := range pad {
+			pad[i] = LinkQuality{LQI: byte(50 + i), RSSI: int8(-i)}
+		}
+		p := &Packet{Port: port, Origin: phys.NodeID(origin), Dst: phys.NodeID(dst),
+			TTL: ttl, Flags: flags | FlagPad, Data: data, Pad: pad}
+		raw, err := p.Encode()
+		if err != nil {
+			return false
+		}
+		got, err := DecodePacket(raw)
+		if err != nil {
+			return false
+		}
+		if !bytes.Equal(got.Data, p.Data) || len(got.Pad) != len(p.Pad) {
+			return false
+		}
+		for i := range pad {
+			if got.Pad[i] != pad[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEncodeRejectsOversizedData(t *testing.T) {
+	p := &Packet{Data: make([]byte, PayloadCeiling+1)}
+	if _, err := p.Encode(); !errors.Is(err, ErrDataTooLong) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPaddingCapacityPaperNumbers(t *testing.T) {
+	// "as the probe packet has a payload of 16 bytes, as each hop takes
+	// two bytes in padding, a packet could at most travel 24 hops".
+	if got := MaxPadHops(16); got != 24 {
+		t.Fatalf("MaxPadHops(16) = %d, want 24", got)
+	}
+	if got := MaxPadHops(64); got != 0 {
+		t.Fatalf("MaxPadHops(64) = %d, want 0", got)
+	}
+	if got := MaxPadHops(0); got != 32 {
+		t.Fatalf("MaxPadHops(0) = %d, want 32", got)
+	}
+	if MaxPadHops(100) != 0 {
+		t.Fatal("over-ceiling data should have zero pad hops")
+	}
+}
+
+func TestAppendPadUntilFull(t *testing.T) {
+	p := &Packet{Flags: FlagPad, Data: make([]byte, 16)}
+	for i := 0; i < 24; i++ {
+		if err := p.AppendPad(LinkQuality{LQI: 100, RSSI: -5}); err != nil {
+			t.Fatalf("pad %d rejected: %v", i, err)
+		}
+	}
+	if err := p.AppendPad(LinkQuality{}); !errors.Is(err, ErrPadFull) {
+		t.Fatalf("25th pad: err = %v, want ErrPadFull", err)
+	}
+}
+
+func TestAppendPadRequiresFlag(t *testing.T) {
+	p := &Packet{Data: []byte("x")}
+	if err := p.AppendPad(LinkQuality{}); err == nil {
+		t.Fatal("padding accepted without FlagPad")
+	}
+}
+
+func TestWireSizeOmitsUnusedCeiling(t *testing.T) {
+	// "only the actual data payload is transmitted over the air".
+	small := &Packet{Data: make([]byte, 8)}
+	big := &Packet{Data: make([]byte, 60)}
+	rawS, _ := small.Encode()
+	rawB, _ := big.Encode()
+	if len(rawS) >= len(rawB) {
+		t.Fatal("wire size should track actual data length")
+	}
+	if len(rawS) != pktHeaderLen+8 {
+		t.Fatalf("wire size = %d, want %d", len(rawS), pktHeaderLen+8)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	if _, err := DecodePacket([]byte{1, 2}); !errors.Is(err, ErrPacketTooSmall) {
+		t.Fatalf("short: %v", err)
+	}
+	// Length field larger than packet.
+	raw := make([]byte, pktHeaderLen)
+	raw[7] = 50
+	if _, err := DecodePacket(raw); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("bad length: %v", err)
+	}
+	// Odd padding remainder.
+	raw2 := make([]byte, pktHeaderLen+3)
+	raw2[7] = 0
+	if _, err := DecodePacket(raw2); !errors.Is(err, ErrBadLength) {
+		t.Fatalf("odd pad: %v", err)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := &Packet{Port: 1, Data: []byte{1, 2}, Flags: FlagPad, Pad: []LinkQuality{{100, -3}}}
+	q := p.Clone()
+	q.Data[0] = 9
+	q.Pad[0].LQI = 60
+	if p.Data[0] != 1 || p.Pad[0].LQI != 100 {
+		t.Fatal("clone shares storage with original")
+	}
+}
+
+func TestPadCapacity(t *testing.T) {
+	p := &Packet{Flags: FlagPad, Data: make([]byte, 62)}
+	if p.PadCapacity() != 1 {
+		t.Fatalf("capacity = %d, want 1", p.PadCapacity())
+	}
+	p.AppendPad(LinkQuality{})
+	if p.PadCapacity() != 0 {
+		t.Fatalf("capacity after fill = %d", p.PadCapacity())
+	}
+	full := &Packet{Data: make([]byte, PayloadCeiling)}
+	if full.PadCapacity() != 0 {
+		t.Fatal("full data payload should leave no pad room")
+	}
+}

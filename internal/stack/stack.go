@@ -1,0 +1,152 @@
+package stack
+
+import (
+	"errors"
+	"fmt"
+
+	"liteview/internal/mac"
+	"liteview/internal/medium"
+	"liteview/internal/phys"
+	"liteview/internal/sim"
+)
+
+// Handler receives packets addressed to a subscribed port. from is the
+// one-hop transmitter (the MAC source); info carries that hop's radio
+// metadata. Handlers own the packet.
+type Handler func(p *Packet, from phys.NodeID, info medium.RxInfo)
+
+// Sniffer observes every intact frame the node hears, regardless of
+// destination — this is how the kernel's neighbor table learns about
+// the neighborhood (Figure 2 routes received headers past the neighbor
+// table).
+type Sniffer func(src phys.NodeID, ftype mac.FrameType, info medium.RxInfo)
+
+// Stats counts stack-level dispatch outcomes.
+type Stats struct {
+	// Delivered counts packets handed to a subscriber.
+	Delivered uint64
+	// NoSubscriber counts packets for ports nobody listens on.
+	NoSubscriber uint64
+	// FilteredDst counts frames overheard for other nodes.
+	FilteredDst uint64
+	// Malformed counts undecodable packets.
+	Malformed uint64
+	// LocalDelivered counts localhost deliveries.
+	LocalDelivered uint64
+}
+
+// Stack is the per-node port-based communication layer. It is the only
+// component that talks to the MAC; everything above it — routing
+// protocols, the LiteView runtime controller, applications — interacts
+// exclusively through ports.
+type Stack struct {
+	eng      *sim.Engine
+	mac      *mac.MAC
+	ports    map[byte]Handler
+	sniffers []Sniffer
+	stats    Stats
+}
+
+// New wires a stack on top of m. Construct the MAC with the stack's
+// OnFrame as its deliver callback (a two-phase hookup: create the Stack
+// with a nil MAC placeholder is not allowed, so callers typically use a
+// small closure — see node.Build in package liteos).
+func New(eng *sim.Engine, m *mac.MAC) *Stack {
+	s := &Stack{eng: eng, mac: m, ports: make(map[byte]Handler)}
+	return s
+}
+
+// OnFrame is the MAC deliver callback; pass it to mac.New.
+func (s *Stack) OnFrame(f mac.Frame, info medium.RxInfo) {
+	for _, sn := range s.sniffers {
+		sn(f.Src, f.Type, info)
+	}
+	if f.Dst != s.mac.NodeID() && f.Dst != phys.Broadcast {
+		s.stats.FilteredDst++
+		return
+	}
+	p, err := DecodePacket(f.Payload)
+	if err != nil {
+		s.stats.Malformed++
+		return
+	}
+	h, ok := s.ports[p.Port]
+	if !ok {
+		s.stats.NoSubscriber++
+		return
+	}
+	s.stats.Delivered++
+	h(p, f.Src, info)
+}
+
+// MAC exposes the underlying link layer (for queue occupancy and radio
+// access by management commands).
+func (s *Stack) MAC() *mac.MAC { return s.mac }
+
+// NodeID returns the node's short address.
+func (s *Stack) NodeID() phys.NodeID { return s.mac.NodeID() }
+
+// Stats returns a snapshot of dispatch counters.
+func (s *Stack) Stats() Stats { return s.stats }
+
+// Subscribe registers h on port. Subscribing an occupied port is an
+// error: the paper's design gives each process a unique port.
+func (s *Stack) Subscribe(port byte, h Handler) error {
+	if h == nil {
+		return errors.New("stack: nil handler")
+	}
+	if _, taken := s.ports[port]; taken {
+		return fmt.Errorf("stack: port %d already subscribed", port)
+	}
+	s.ports[port] = h
+	return nil
+}
+
+// Unsubscribe frees a port. Unsubscribing a free port is a no-op,
+// matching process exit semantics.
+func (s *Stack) Unsubscribe(port byte) { delete(s.ports, port) }
+
+// Subscribed reports whether a port has a listener.
+func (s *Stack) Subscribed(port byte) bool {
+	_, ok := s.ports[port]
+	return ok
+}
+
+// Ports returns the number of active subscriptions.
+func (s *Stack) Ports() int { return len(s.ports) }
+
+// AddSniffer registers an observer of all intact overheard frames.
+func (s *Stack) AddSniffer(sn Sniffer) {
+	if sn != nil {
+		s.sniffers = append(s.sniffers, sn)
+	}
+}
+
+// Send transmits p one hop to nextHop (phys.Broadcast for all
+// neighbors). ftype classifies the frame for overhead accounting. sent
+// may be nil.
+func (s *Stack) Send(p *Packet, nextHop phys.NodeID, ftype mac.FrameType, sent mac.SentFunc) error {
+	raw, err := p.Encode()
+	if err != nil {
+		return err
+	}
+	return s.mac.Send(mac.Frame{Type: ftype, Dst: nextHop, Payload: raw}, sent)
+}
+
+// SendLocal delivers p to the local subscriber on its port without
+// touching the radio — the "Localhost packet" path in Figure 2. The
+// delivery is scheduled as a zero-delay event so handlers never recurse
+// into each other.
+func (s *Stack) SendLocal(p *Packet) error {
+	h, ok := s.ports[p.Port]
+	if !ok {
+		s.stats.NoSubscriber++
+		return fmt.Errorf("stack: no local subscriber on port %d", p.Port)
+	}
+	q := p.Clone()
+	s.eng.MustSchedule(0, func() {
+		s.stats.LocalDelivered++
+		h(q, s.mac.NodeID(), medium.RxInfo{From: s.mac.NodeID(), At: s.eng.Now()})
+	})
+	return nil
+}

@@ -1,0 +1,116 @@
+package testbed
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/routing"
+)
+
+func TestLPLOptionDutyCyclesNodes(t *testing.T) {
+	opt := DefaultOptions(91)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	opt.LPL = true
+	opt.BeaconPeriod = 10 * time.Second
+	tb, err := Line(2, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(30 * time.Second)
+	// A duty-cycled idle node spends most of its time with the radio
+	// off.
+	st := tb.Node(1).Energy().Stats()
+	if st.OffTime < st.RXTime {
+		t.Fatalf("LPL node mostly awake: %+v", st)
+	}
+}
+
+func TestBeaconPeriodOption(t *testing.T) {
+	opt := DefaultOptions(92)
+	opt.BeaconPeriod = 7 * time.Second
+	tb, err := Line(2, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Node(0).Neighbors().Period(); got != 7*time.Second {
+		t.Fatalf("beacon period = %v", got)
+	}
+}
+
+func TestAlwaysOnDefaultStaysAwake(t *testing.T) {
+	opt := DefaultOptions(93)
+	tb, err := Line(2, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(10 * time.Second)
+	if tb.Node(0).Radio().State() == radio.Off {
+		t.Fatal("always-on node slept")
+	}
+	st := tb.Node(0).Energy().Stats()
+	if st.OffTime != 0 {
+		t.Fatalf("always-on node accrued off time: %+v", st)
+	}
+}
+
+func TestAttachOnDemandOption(t *testing.T) {
+	opt := DefaultOptions(94)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := Line(3, 15, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AttachOnDemand(routing.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i <= 3; i++ {
+		if _, ok := tb.Router(routing.OnDemandPort, phys.NodeID(i)); !ok {
+			t.Fatalf("on-demand router missing at node %d", i)
+		}
+	}
+}
+
+func TestRunAdvancesClock(t *testing.T) {
+	opt := DefaultOptions(95)
+	tb, err := Line(1, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := tb.Eng.Now()
+	tb.Run(3 * time.Second)
+	if tb.Eng.Now()-before != 3*time.Second {
+		t.Fatalf("Run advanced %v", tb.Eng.Now()-before)
+	}
+}
+
+func TestRecordTrace(t *testing.T) {
+	opt := DefaultOptions(96)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := Line(2, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf strings.Builder
+	stop := tb.RecordTrace(&buf)
+	tb.WarmUp(10 * time.Second)
+	stop()
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("trace too short:\n%s", buf.String())
+	}
+	if lines[0] != "start_us,end_us,from,channel,tx_dbm,bytes" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	before := len(lines)
+	tb.Run(10 * time.Second)
+	after := len(strings.Split(strings.TrimSpace(buf.String()), "\n"))
+	if after != before {
+		t.Fatal("stopped recorder kept writing")
+	}
+}

@@ -98,6 +98,7 @@ func All() []Experiment {
 		{"d5", "ablation: one ping command over two routing protocols", ProtocolComparison},
 		{"d6", "ablation: transmit-power tuning vs energy", EnergyTuning},
 		{"d7", "ablation: always-on vs low-power listening", DutyCycling},
+		{"chaos", "command behaviour under injected faults", Chaos},
 	}
 }
 

@@ -1,0 +1,171 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"liteview/internal/core"
+	"liteview/internal/fault"
+	"liteview/internal/phys"
+	"liteview/internal/routing"
+	"liteview/internal/trace"
+)
+
+// Chaos runs the fault-injection experiment: the same management
+// commands the paper evaluates, but executed while the deployment is
+// failing underneath them. Each scenario deploys a fresh six-node line,
+// scripts one fault class, runs a ping and a traceroute through it, and
+// records whether the command terminated inside its window and what
+// verdict it returned. The shape checks assert the robustness story:
+// every command terminates, failures produce explicit verdicts instead
+// of silence, a rebooted node answers again, and the whole experiment
+// is deterministic in the seed.
+func Chaos(seed uint64) (*Result, error) {
+	r := &Result{ID: "CHAOS", Title: "command behaviour under injected faults (6-node line)"}
+	r.Table = trace.NewTable("scenario", "command", "ok", "delay_ms", "verdict")
+
+	type outcome struct {
+		ok      bool
+		delayMs float64
+		verdict string
+	}
+	// run deploys, scripts the scenario's faults, executes ping 1→2 and
+	// traceroute 1→6, and returns both outcomes.
+	run := func(script func(*deployment, *fault.Injector) error) (pingOut, trOut outcome, err error) {
+		dep, err := lineDeployment(6, 22, seed, 0, 0, routing.DefaultConfig())
+		if err != nil {
+			return outcome{}, outcome{}, err
+		}
+		inj := dep.tb.FaultInjector()
+		if script != nil {
+			if err := script(dep, inj); err != nil {
+				return outcome{}, outcome{}, err
+			}
+		}
+		p, perr := dep.ws.Ping(1, core.PingOptions{Dst: 2, Rounds: 2, Length: 32})
+		if p == nil {
+			return outcome{}, outcome{}, fmt.Errorf("ping returned no output: %w", perr)
+		}
+		pingOut = outcome{ok: perr == nil && p.Lost == 0, delayMs: ms(p.ResponseDelay), verdict: p.Verdict}
+		t, terr := dep.ws.Traceroute(1, core.TrOptions{Dst: 6, Length: 32, RouterPort: routing.GeographicPort})
+		if t == nil {
+			return outcome{}, outcome{}, fmt.Errorf("traceroute returned no output: %w", terr)
+		}
+		trOut = outcome{ok: terr == nil && t.FailedHop == 0 && len(t.Reports) > 0 && t.Reports[len(t.Reports)-1].Final,
+			delayMs: ms(t.ResponseDelay), verdict: t.Verdict}
+		return pingOut, trOut, nil
+	}
+	record := func(scenario string, p, t outcome) {
+		r.Table.AddRow(scenario, "ping 1→2", p.ok, p.delayMs, p.verdict)
+		r.Table.AddRow(scenario, "traceroute 1→6", t.ok, t.delayMs, t.verdict)
+	}
+
+	// Baseline: no faults; both commands succeed.
+	pBase, tBase, err := run(nil)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	record("baseline", pBase, tBase)
+	r.check("baseline ping ok", pBase.ok, "verdict %q", pBase.verdict)
+	r.check("baseline traceroute ok", tBase.ok, "verdict %q", tBase.verdict)
+
+	// Crash: relay node 3 power-fails; the traceroute must name the hop.
+	pCrash, tCrash, err := run(func(dep *deployment, inj *fault.Injector) error {
+		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 3})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("crash: %w", err)
+	}
+	record("crash relay 3", pCrash, tCrash)
+	r.check("crash: ping past the crash still ok", pCrash.ok, "verdict %q", pCrash.verdict)
+	r.check("crash: traceroute reports a broken path", !tCrash.ok && tCrash.verdict != "",
+		"verdict %q", tCrash.verdict)
+
+	// Blackout: the 1↔2 link drops every frame; ping loses all rounds
+	// with an explicit verdict rather than hanging.
+	pBlack, tBlack, err := run(func(dep *deployment, inj *fault.Injector) error {
+		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.LinkBlackout, A: 1, B: 2})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("blackout: %w", err)
+	}
+	record("blackout 1-2", pBlack, tBlack)
+	r.check("blackout: ping fails explicitly", !pBlack.ok && pBlack.verdict != "",
+		"verdict %q", pBlack.verdict)
+
+	// Corrupt burst: node 2 corrupts 80% of received frames; commands
+	// still terminate, loss is visible.
+	pCor, tCor, err := run(func(dep *deployment, inj *fault.Injector) error {
+		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.CorruptBurst, Node: 2})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("corrupt: %w", err)
+	}
+	record("corrupt-burst 2", pCor, tCor)
+	r.check("corrupt: ping terminates with a verdict", pCor.verdict != "", "verdict %q", pCor.verdict)
+
+	// Partition: nodes 4..6 are cut off; the traceroute breaks at the
+	// boundary.
+	pPart, tPart, err := run(func(dep *deployment, inj *fault.Injector) error {
+		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.Partition,
+			Group: []phys.NodeID{4, 5, 6}})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("partition: %w", err)
+	}
+	record("partition {4,5,6}", pPart, tPart)
+	r.check("partition: ping inside the main segment ok", pPart.ok, "verdict %q", pPart.verdict)
+	r.check("partition: traceroute reports a broken path", !tPart.ok && tPart.verdict != "",
+		"verdict %q", tPart.verdict)
+
+	// Jam: every channel is jammed — even command delivery fails, with
+	// an explicit verdict.
+	pJam, tJam, err := run(func(dep *deployment, inj *fault.Injector) error {
+		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.Jam})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("jam: %w", err)
+	}
+	record("jam all channels", pJam, tJam)
+	r.check("jam: ping fails explicitly", !pJam.ok && pJam.verdict != "", "verdict %q", pJam.verdict)
+	r.check("jam: traceroute fails explicitly", !tJam.ok && tJam.verdict != "", "verdict %q", tJam.verdict)
+
+	// Recovery: node 2 crashes for two seconds, reboots, re-registers,
+	// and answers commands again.
+	pRec, tRec, err := run(func(dep *deployment, inj *fault.Injector) error {
+		if _, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 2,
+			Duration: 2 * time.Second}); err != nil {
+			return err
+		}
+		dep.tb.Run(4 * time.Second) // crash window plus re-registration time
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("recovery: %w", err)
+	}
+	record("crash 2 + reboot", pRec, tRec)
+	r.check("recovery: rebooted node answers ping", pRec.ok, "verdict %q", pRec.verdict)
+	r.check("recovery: traceroute crosses the rebooted node", tRec.ok, "verdict %q", tRec.verdict)
+
+	// Determinism: the crash scenario replayed with the same seed must
+	// reproduce the exact delays and verdicts.
+	pCrash2, tCrash2, err := run(func(dep *deployment, inj *fault.Injector) error {
+		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 3})
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("determinism: %w", err)
+	}
+	r.check("determinism: same seed, same fault, same outcome",
+		pCrash == pCrash2 && tCrash == tCrash2,
+		"crash replay: ping %.3f/%.3f ms, traceroute %.3f/%.3f ms",
+		pCrash.delayMs, pCrash2.delayMs, tCrash.delayMs, tCrash2.delayMs)
+
+	r.note("every command above terminated inside its response window; failures are explicit verdicts, not hangs")
+	return r, nil
+}

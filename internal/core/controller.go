@@ -75,7 +75,33 @@ func NewController(os *liteos.Node, routers RouterLookup) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Crash/reboot lifecycle: a crash loses every in-flight command and
+	// transfer; a reboot restarts the controller process and re-registers
+	// on the management channel.
+	os.OnCrash(c.onCrash)
+	os.OnReboot(c.onReboot)
 	return c, nil
+}
+
+// onCrash drops all RAM-resident controller state. The process itself
+// was already killed by the kernel teardown.
+func (c *Controller) onCrash() {
+	c.ep.Reset()
+	c.ping.Reset()
+	c.tr.Reset()
+	c.busy = false
+	c.proc = nil
+}
+
+// onReboot re-registers the controller: the boot image restarts the
+// controller process exactly as the node's first boot did.
+func (c *Controller) onReboot() {
+	c.os.SysSetParamBuffer("")
+	if _, err := c.os.StartProcess(ControllerBinary.Name); err != nil {
+		c.os.SysLogEvent("controller", "restart failed: %v", err)
+		return
+	}
+	c.os.SysLogEvent("controller", "re-registered after reboot")
 }
 
 // Endpoint exposes the controller's reliable-protocol endpoint (for
@@ -217,7 +243,7 @@ func (c *Controller) replyStats(to phys.NodeID, broadcast bool) {
 	ms := c.os.MAC().Stats()
 	ss := c.os.Stack().Stats()
 	node := NodeStats{
-		UptimeMs:     uint32(c.eng.Now() / time.Millisecond),
+		UptimeMs:     uint32(c.os.Uptime() / time.Millisecond),
 		MACSent:      uint32(ms.Sent),
 		MACReceived:  uint32(ms.Received),
 		MACRetries:   uint32(ms.FrameRetries),
@@ -427,7 +453,14 @@ func (c *Controller) runTraceroute(from phys.NodeID, broadcast bool, cmd Command
 		c.reply(from, broadcast, EncodeStatus(Status{Code: StatusErr, Msg: err.Error()}))
 		return
 	}
-	opts := TrOptions{Dst: cmd.Dst, Length: cmd.Length, RouterPort: cmd.RouterPort}
+	opts := TrOptions{Dst: cmd.Dst, Length: cmd.Length, RouterPort: cmd.RouterPort, ProbeRetries: cmd.Retries}
+	if cmd.Retries == 0 {
+		// The workstation always encodes its normalized retry budget, so
+		// zero is an explicit "no retries", not "use the default".
+		opts.ProbeRetries = -1
+	} else if cmd.Retries < 0 {
+		opts.ProbeRetries = 0 // malformed wire value: fall back to default
+	}
 	c.busy = true
 	c.proc = proc
 	err = c.tr.Start(opts,

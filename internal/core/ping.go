@@ -110,6 +110,18 @@ func NewPingEngine(eng *sim.Engine, os *liteos.Node, routers RouterLookup) (*Pin
 	return pe, nil
 }
 
+// Reset abandons every in-flight ping task without callbacks — the
+// node crashed and its task state is gone. nextID survives so
+// post-reboot tasks do not alias dead ones.
+func (pe *PingEngine) Reset() {
+	for id, t := range pe.tasks {
+		if t.timer != nil {
+			pe.eng.Cancel(t.timer)
+		}
+		delete(pe.tasks, id)
+	}
+}
+
 // Start launches a ping task. onDone receives one PingResult per round
 // once all rounds complete (lost rounds report Lost=true).
 func (pe *PingEngine) Start(opts PingOptions, onDone func([]PingResult)) error {

@@ -53,6 +53,15 @@ type ReliableConfig struct {
 	FixedBatch bool
 	// GroupBackoffMax is the random delay range for group responses.
 	GroupBackoffMax sim.Time
+	// RetryBackoff is the extra delay inserted before the first
+	// retransmission round, doubling on every consecutive retry up to
+	// RetryBackoffCap. It keeps retry rounds from hammering a peer that
+	// is rebooting or a channel that is jammed. Zero selects a default
+	// scaled to AckTimeout; a negative value disables the backoff.
+	RetryBackoff sim.Time
+	// RetryBackoffCap caps the exponential growth of RetryBackoff
+	// (zero selects a default scaled to AckTimeout).
+	RetryBackoffCap sim.Time
 }
 
 // DefaultReliableConfig returns parameters tuned for one-hop exchanges
@@ -132,6 +141,20 @@ func NewEndpoint(eng *sim.Engine, st *stack.Stack, cfg ReliableConfig, onMsg Mes
 	}
 	if cfg.AckTimeout <= 0 || cfg.InitBatch < 1 || cfg.MaxBatch < cfg.InitBatch {
 		return nil, fmt.Errorf("core: invalid reliable config %+v", cfg)
+	}
+	// Backoff defaults scale with the ack timeout so fast-test configs
+	// (millisecond timeouts) stay fast and the default 60 ms timeout
+	// still finishes a full failed transfer inside the paper's 500 ms
+	// command window: 5×60 ms of timeouts + 10+20+40+60 ms of backoff.
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = cfg.AckTimeout / 6
+	} else if cfg.RetryBackoff < 0 {
+		cfg.RetryBackoff = 0
+	}
+	if cfg.RetryBackoffCap == 0 {
+		cfg.RetryBackoffCap = cfg.AckTimeout
+	} else if cfg.RetryBackoffCap < 0 {
+		cfg.RetryBackoffCap = 0
 	}
 	e := &Endpoint{
 		eng:   eng,
@@ -268,7 +291,52 @@ func (e *Endpoint) onTimeout(x *outXfer) {
 			x.batch = 1
 		}
 	}
-	e.sendWindow(x)
+	// Capped exponential backoff before the retransmission round: a
+	// peer that missed a whole window is likely rebooting or jammed, and
+	// immediate resends would collide with whatever caused the loss. The
+	// backoff event reuses x.timer, so an ack arriving meanwhile (a
+	// straggler from the previous window) cancels it via armTimer.
+	delay := e.retryDelay(x.retries)
+	if delay <= 0 {
+		e.sendWindow(x)
+		return
+	}
+	x.timer = e.eng.MustSchedule(delay, func() {
+		if _, live := e.out[outKey(x.to, x.id)]; !live {
+			return
+		}
+		e.sendWindow(x)
+	})
+}
+
+// retryDelay returns the backoff before retransmission round n (1-based).
+func (e *Endpoint) retryDelay(n int) sim.Time {
+	d := e.cfg.RetryBackoff
+	if d <= 0 {
+		return 0
+	}
+	for i := 1; i < n && d < e.cfg.RetryBackoffCap; i++ {
+		d *= 2
+	}
+	if d > e.cfg.RetryBackoffCap {
+		d = e.cfg.RetryBackoffCap
+	}
+	return d
+}
+
+// Reset abandons every transfer in flight without running completion
+// callbacks — the power-failure path. The crashed side's peers still
+// time out normally and surface ErrXferFailed to their callers.
+func (e *Endpoint) Reset() {
+	for _, x := range e.out {
+		if x.timer != nil {
+			e.eng.Cancel(x.timer)
+			x.timer = nil
+		}
+	}
+	e.out = make(map[uint32]*outXfer)
+	e.in = make(map[inKey]*inXfer)
+	e.inQ = nil
 }
 
 func (e *Endpoint) onPacket(p *stack.Packet, from phys.NodeID, info medium.RxInfo) {

@@ -302,3 +302,99 @@ func TestGroupBackoffWithinWindow(t *testing.T) {
 		}
 	}
 }
+
+func TestTransferFailsUnderTotalLoss(t *testing.T) {
+	// 100% injected loss: every frame arrives corrupted. The transfer
+	// must abandon with ErrXferFailed inside the retry budget — the
+	// paper's 500 ms response window — and leave no timers behind.
+	e := newRelEnv(11)
+	a := e.node(t, 1, 0)
+	b := e.node(t, 2, 5)
+	e.med.SetLossFunc(func(phys.NodeID, phys.NodeID, []byte) bool { return true })
+	var gotErr error
+	done := false
+	start := e.eng.Now()
+	if err := a.ep.Send(2, [][]byte{[]byte("a"), []byte("b"), []byte("c")}, 0,
+		func(err error) { done = true; gotErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	e.eng.Run()
+	if !done || !errors.Is(gotErr, ErrXferFailed) {
+		t.Fatalf("done=%v err=%v", done, gotErr)
+	}
+	// Retry budget: (MaxRetries+1) ack timeouts plus the capped
+	// exponential backoffs between rounds must fit the 500 ms window.
+	if elapsed := e.eng.Now() - start; elapsed > 500*time.Millisecond {
+		t.Fatalf("failure took %v, over the 500 ms response window", elapsed)
+	}
+	if e.eng.Pending() != 0 {
+		t.Fatalf("%d leaked timer(s)", e.eng.Pending())
+	}
+	if len(b.got) != 0 {
+		t.Fatalf("receiver got %d messages through 100%% loss", len(b.got))
+	}
+}
+
+func TestTransferAbortsOnReceiverCrashMidBatch(t *testing.T) {
+	// The receiver dies mid-transfer: its endpoint state is wiped (the
+	// crash path calls Reset) and nothing it hears is answered again.
+	// The sender must fail the transfer within its retry budget rather
+	// than hang on a peer that will never ack.
+	e := newRelEnv(12)
+	a := e.node(t, 1, 0)
+	b := e.node(t, 2, 5)
+	var msgs [][]byte
+	for i := 0; i < 30; i++ {
+		msgs = append(msgs, []byte{byte(i)})
+	}
+	var gotErr error
+	done := false
+	start := e.eng.Now()
+	if err := a.ep.Send(2, msgs, 0, func(err error) { done = true; gotErr = err }); err != nil {
+		t.Fatal(err)
+	}
+	// Crash after the first batches land: wipe the receiver's transfer
+	// state and drop everything addressed to it from then on.
+	e.eng.MustSchedule(20*time.Millisecond, func() {
+		b.ep.Reset()
+		received := len(b.got)
+		b.got = b.got[:received] // freeze what arrived pre-crash
+		e.med.SetLossFunc(func(_ phys.NodeID, to phys.NodeID, _ []byte) bool { return to == 2 })
+	})
+	e.eng.Run()
+	if !done || !errors.Is(gotErr, ErrXferFailed) {
+		t.Fatalf("done=%v err=%v", done, gotErr)
+	}
+	if len(b.got) >= 30 {
+		t.Fatal("receiver completed a transfer it crashed out of")
+	}
+	// Budget: the batches that landed pre-crash plus a full retry
+	// ladder; generously under one second.
+	if elapsed := e.eng.Now() - start; elapsed > time.Second {
+		t.Fatalf("failure took %v", elapsed)
+	}
+	if e.eng.Pending() != 0 {
+		t.Fatalf("%d leaked timer(s)", e.eng.Pending())
+	}
+}
+
+func TestEndpointResetDropsTransfersWithoutCallbacks(t *testing.T) {
+	// Reset on the *sender* abandons outgoing transfers silently (the
+	// crash path: callbacks belong to processes that died with the
+	// node) and cancels their timers.
+	e := newRelEnv(13)
+	a := e.node(t, 1, 0)
+	e.node(t, 2, 5000) // out of range: the transfer would retry forever
+	called := false
+	if err := a.ep.Send(2, [][]byte{[]byte("x")}, 0, func(error) { called = true }); err != nil {
+		t.Fatal(err)
+	}
+	e.eng.MustSchedule(5*time.Millisecond, func() { a.ep.Reset() })
+	e.eng.Run()
+	if called {
+		t.Fatal("reset fired a completion callback")
+	}
+	if e.eng.Pending() != 0 {
+		t.Fatalf("%d leaked timer(s) after reset", e.eng.Pending())
+	}
+}

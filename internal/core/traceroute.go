@@ -44,6 +44,11 @@ type TrOptions struct {
 	HopTimeout sim.Time
 	// MaxHops caps the walked path (default 24).
 	MaxHops int
+	// ProbeRetries is how many times each hop probe is retried before
+	// the hop is reported lost. One retry (the default) recovers the
+	// occasional collision — hidden terminals two hops apart cannot
+	// carrier-sense each other. A negative value disables retries.
+	ProbeRetries int
 }
 
 func (o *TrOptions) normalize() error {
@@ -65,34 +70,49 @@ func (o *TrOptions) normalize() error {
 	if o.MaxHops <= 0 {
 		o.MaxHops = 24
 	}
+	switch {
+	case o.ProbeRetries == 0:
+		o.ProbeRetries = 1
+	case o.ProbeRetries < 0:
+		o.ProbeRetries = 0
+	case o.ProbeRetries > 9:
+		return fmt.Errorf("core: traceroute probe retries %d exceeds limit 9", o.ProbeRetries)
+	}
 	return nil
 }
 
+// SessionBudget is the total traceroute deadline implied by the
+// options: every hop may burn (retries+1) timeouts plus continuation
+// jitter, and two extra hop-slots of slack cover report routing. The
+// workstation sizes its listen window from the same formula so a
+// retried final hop cannot be cut off by the task deadline.
+func (o TrOptions) SessionBudget() sim.Time {
+	attempts := sim.Time(o.ProbeRetries + 1)
+	perHop := attempts*o.HopTimeout + 32*time.Millisecond
+	return sim.Time(o.MaxHops+2) * perHop
+}
+
 // trProbeHeaderLen: kind + taskID + source + dst + routerPort + hop +
-// maxHops.
-const trProbeHeaderLen = 10
+// maxHops + retries.
+const trProbeHeaderLen = 11
 
 // trSegment is one in-flight hop probe initiated by this node.
 type trSegment struct {
-	taskID  uint16
-	source  phys.NodeID
-	dst     phys.NodeID
-	port    byte
-	hop     int
-	maxHops int
-	length  int
-	timeout sim.Time
-	next    phys.NodeID
-	sentAt  sim.Time
-	timer   *sim.Event
-	probe   []byte
-	retries int
+	taskID     uint16
+	source     phys.NodeID
+	dst        phys.NodeID
+	port       byte
+	hop        int
+	maxHops    int
+	maxRetries int
+	length     int
+	timeout    sim.Time
+	next       phys.NodeID
+	sentAt     sim.Time
+	timer      *sim.Event
+	probe      []byte
+	retries    int
 }
-
-// trProbeRetries is how many times a hop probe is retried before the
-// hop is reported lost. One retry recovers the occasional collision
-// (hidden terminals two hops apart cannot carrier-sense each other).
-const trProbeRetries = 1
 
 // trSession is the source-side state of a traceroute this node started.
 type trSession struct {
@@ -138,6 +158,27 @@ func segKey(source phys.NodeID, taskID uint16, hop int) uint64 {
 	return uint64(source)<<32 | uint64(taskID)<<8 | uint64(hop&0xFF)
 }
 
+// Reset abandons every in-flight segment and session without callbacks
+// — the node crashed and its traceroute state is gone. nextID survives
+// so post-reboot tasks do not alias dead ones at other nodes.
+func (te *TracerouteEngine) Reset() {
+	for k, seg := range te.segments {
+		if seg.timer != nil {
+			te.eng.Cancel(seg.timer)
+		}
+		delete(te.segments, k)
+	}
+	for id, s := range te.sessions {
+		s.done = true
+		if s.deadline != nil {
+			te.eng.Cancel(s.deadline)
+		}
+		delete(te.sessions, id)
+	}
+	te.seen = make(map[uint64]struct{})
+	te.seenQ = nil
+}
+
 // Start launches a traceroute from this node. onReport is invoked for
 // every hop report as it arrives back at the source; onDone fires when
 // the destination's report arrives or the session deadline passes.
@@ -159,10 +200,9 @@ func (te *TracerouteEngine) Start(opts TrOptions, onReport func(TrHopReport), on
 	id := te.nextID
 	s := &trSession{opts: opts, onReport: onReport, onDone: onDone}
 	te.sessions[id] = s
-	// Session deadline: generous per-hop budget.
-	total := sim.Time(opts.MaxHops+2) * opts.HopTimeout * 2
-	s.deadline = te.eng.MustSchedule(total, func() { te.finishSession(id) })
-	te.initiate(id, te.os.ID(), opts.Dst, opts.RouterPort, 0, opts.MaxHops, opts.Length, opts.HopTimeout)
+	// Session deadline: the per-hop budget accounts for probe retries.
+	s.deadline = te.eng.MustSchedule(opts.SessionBudget(), func() { te.finishSession(id) })
+	te.initiate(id, te.os.ID(), opts.Dst, opts.RouterPort, 0, opts.MaxHops, opts.ProbeRetries, opts.Length, opts.HopTimeout)
 	return nil
 }
 
@@ -183,7 +223,7 @@ func (te *TracerouteEngine) finishSession(id uint16) {
 
 // initiate starts one traceroute task at this node: probe the next hop
 // toward dst (Figure 4 steps 1-3).
-func (te *TracerouteEngine) initiate(taskID uint16, source, dst phys.NodeID, port byte, hop, maxHops, length int, timeout sim.Time) {
+func (te *TracerouteEngine) initiate(taskID uint16, source, dst phys.NodeID, port byte, hop, maxHops, retries, length int, timeout sim.Time) {
 	if hop >= maxHops {
 		te.os.SysLogEvent("traceroute", "task %d exceeded max hops", taskID)
 		return
@@ -200,7 +240,8 @@ func (te *TracerouteEngine) initiate(taskID uint16, source, dst phys.NodeID, por
 	}
 	seg := &trSegment{
 		taskID: taskID, source: source, dst: dst, port: port,
-		hop: hop, maxHops: maxHops, length: length, timeout: timeout,
+		hop: hop, maxHops: maxHops, maxRetries: retries,
+		length: length, timeout: timeout,
 		next: next,
 	}
 	te.segments[segKey(source, taskID, hop)] = seg
@@ -212,6 +253,7 @@ func (te *TracerouteEngine) initiate(taskID uint16, source, dst phys.NodeID, por
 	w.u8(port)
 	w.u8(byte(hop))
 	w.u8(byte(maxHops))
+	w.u8(byte(retries))
 	for len(w.b) < length {
 		w.u8(0x5A)
 	}
@@ -244,7 +286,7 @@ func (te *TracerouteEngine) segmentTimeout(seg *trSegment) {
 	if _, live := te.segments[segKey(seg.source, seg.taskID, seg.hop)]; !live {
 		return
 	}
-	if seg.retries < trProbeRetries {
+	if seg.retries < seg.maxRetries {
 		seg.retries++
 		te.os.SysLogEvent("traceroute", "hop %d probe to %d timed out; retrying", seg.hop+1, seg.next)
 		te.sendProbe(seg)
@@ -316,6 +358,7 @@ func (te *TracerouteEngine) onProbe(p *stack.Packet, from phys.NodeID, info medi
 	port := r.u8()
 	hop := int(r.u8())
 	maxHops := int(r.u8())
+	retries := int(r.u8())
 	if r.fail() {
 		return
 	}
@@ -358,7 +401,7 @@ func (te *TracerouteEngine) onProbe(p *stack.Packet, from phys.NodeID, info medi
 		// the phase lock.
 		delay := 8*time.Millisecond + te.rng.Jitter(16*time.Millisecond)
 		te.eng.MustSchedule(delay, func() {
-			te.initiate(taskID, source, dst, port, hop+1, maxHops, len(p.Data), te.defaultHopTimeout())
+			te.initiate(taskID, source, dst, port, hop+1, maxHops, retries, len(p.Data), te.defaultHopTimeout())
 		})
 	}
 }

@@ -191,6 +191,10 @@ type Command struct {
 	Rounds     int
 	Length     int
 	RouterPort byte
+	// Retries is the per-hop probe retry budget for traceroute. On the
+	// wire it travels as retries+1, so a decoded command always carries
+	// the actual budget and zero still means "protocol default".
+	Retries int
 	// WithLink selects neighbor listing with or without link info.
 	WithLink bool
 	// Count bounds KindLogDump replies.
@@ -227,6 +231,9 @@ func EncodeCommand(c Command) []byte {
 		w.u8(byte(c.Rounds))
 		w.u8(byte(c.Length))
 		w.u8(c.RouterPort)
+		if c.Kind == KindTraceroute {
+			w.u8(byte(c.Retries + 1))
+		}
 	case KindLogCtl:
 		if c.On {
 			w.u8(1)
@@ -262,6 +269,9 @@ func DecodeCommand(data []byte) (Command, error) {
 		c.Rounds = int(r.u8())
 		c.Length = int(r.u8())
 		c.RouterPort = r.u8()
+		if c.Kind == KindTraceroute {
+			c.Retries = int(r.u8()) - 1
+		}
 	case KindLogCtl:
 		c.On = r.u8() != 0
 	case KindLogDump:

@@ -290,6 +290,11 @@ type PingOutput struct {
 	ResponseDelay sim.Time
 	// Protocol is the carrying protocol's display name.
 	Protocol string
+	// Verdict is the interpreter's one-line reading of the outcome:
+	// "ok", a partial-loss summary, or an explicit failure statement.
+	// It is set even when Ping also returns an error, so callers can
+	// surface what was learned before the failure.
+	Verdict string
 }
 
 // Ping runs the ping command on node (the node the user is logged
@@ -308,7 +313,11 @@ func (w *Workstation) Ping(node phys.NodeID, opts PingOptions) (*PingOutput, err
 	}
 	c, elapsed, err := w.command(node, cmd, window, false)
 	if err != nil {
-		return nil, err
+		// Delivering the command itself failed (node down, out of range,
+		// or channel jammed): report the explicit verdict with the error.
+		out := &PingOutput{ResponseDelay: elapsed, Sent: opts.Rounds,
+			Verdict: fmt.Sprintf("command delivery to node %d failed (node down, out of range, or channel jammed)", node)}
+		return out, err
 	}
 	out := &PingOutput{ResponseDelay: elapsed, Sent: opts.Rounds}
 	bySeq := make(map[int]*PingResult)
@@ -333,7 +342,16 @@ func (w *Workstation) Ping(node phys.NodeID, opts PingOptions) (*PingOutput, err
 		}
 	}
 	if len(c.replies) == 0 {
-		return nil, errors.New("core: no ping reply within the response window")
+		out.Verdict = "no response: controller unreachable within the response window"
+		return out, errors.New("core: no ping reply within the response window")
+	}
+	switch {
+	case out.Received == 0 && out.Lost > 0:
+		out.Verdict = fmt.Sprintf("destination %d unreachable: all %d round(s) lost", opts.Dst, out.Lost)
+	case out.Lost > 0:
+		out.Verdict = fmt.Sprintf("partial: %d/%d round(s) lost", out.Lost, out.Sent)
+	default:
+		out.Verdict = "ok"
 	}
 	return out, firstStatusErr(c)
 }
@@ -357,6 +375,13 @@ type TracerouteOutput struct {
 	Protocol string
 	// ResponseDelay is the time until the final report (or window).
 	ResponseDelay sim.Time
+	// Verdict is the interpreter's one-line reading of the outcome:
+	// "destination reached...", a "path broke at hop k" statement, or
+	// an explicit failure. Set even when Traceroute returns an error.
+	Verdict string
+	// FailedHop is the 1-based hop index where the path broke (0 when
+	// the walk completed or produced no reports at all).
+	FailedHop int
 }
 
 // Traceroute runs the traceroute command on node toward opts.Dst,
@@ -367,12 +392,17 @@ func (w *Workstation) Traceroute(node phys.NodeID, opts TrOptions) (*TracerouteO
 	if err := (&opts).normalize(); err != nil {
 		return nil, err
 	}
-	cmd := Command{Kind: KindTraceroute, Dst: opts.Dst, Rounds: 1, Length: opts.Length, RouterPort: opts.RouterPort}
-	window := w.window + sim.Time(opts.MaxHops+2)*opts.HopTimeout*2
+	cmd := Command{Kind: KindTraceroute, Dst: opts.Dst, Rounds: 1, Length: opts.Length,
+		RouterPort: opts.RouterPort, Retries: opts.ProbeRetries}
+	// The listen window mirrors the controller's session budget (which
+	// accounts for per-hop retries) plus the usual command window.
+	window := w.window + opts.SessionBudget()
 	start := w.eng.Now()
-	c, _, err := w.command(node, cmd, window, true)
+	c, elapsed, err := w.command(node, cmd, window, true)
 	if err != nil {
-		return nil, err
+		out := &TracerouteOutput{ResponseDelay: elapsed,
+			Verdict: fmt.Sprintf("command delivery to node %d failed (node down, out of range, or channel jammed)", node)}
+		return out, err
 	}
 	out := &TracerouteOutput{}
 	for i, r := range c.replies {
@@ -397,9 +427,32 @@ func (w *Workstation) Traceroute(node phys.NodeID, opts TrOptions) (*TracerouteO
 	}
 	out.ResponseDelay = w.eng.Now() - start
 	if len(c.replies) == 0 {
-		return nil, errors.New("core: no traceroute reply within the response window")
+		out.Verdict = "no response: controller unreachable within the response window"
+		return out, errors.New("core: no traceroute reply within the response window")
 	}
+	out.Verdict, out.FailedHop = trVerdict(opts.Dst, out.Reports)
 	return out, firstStatusErr(c)
+}
+
+// trVerdict reads a traceroute's hop reports into a one-line outcome
+// and, when the path broke, the 1-based failing hop.
+func trVerdict(dst phys.NodeID, reports []TimedHopReport) (string, int) {
+	if len(reports) == 0 {
+		return "no hop reports: no route toward the destination, or all reports lost", 0
+	}
+	last := reports[len(reports)-1]
+	switch {
+	case last.Final && !last.Lost:
+		return fmt.Sprintf("destination %d reached in %d hop(s)", dst, last.Hop), 0
+	case last.Lost && last.From != 0:
+		return fmt.Sprintf("path broke at hop %d: node %d did not answer its probe (crashed, jammed, or link down)",
+			last.Hop, last.From), last.Hop
+	case last.Lost:
+		return fmt.Sprintf("path broke at hop %d: no next hop toward the destination (route lost)",
+			last.Hop), last.Hop
+	default:
+		return fmt.Sprintf("incomplete: last report from hop %d, session cut by the response window", last.Hop), 0
+	}
 }
 
 // StatsOutput is the interpreter-side result of a stats query.

@@ -11,7 +11,17 @@
 //   - asymmetric links, by comparing each link's LQI as seen from both
 //     ends ("likely to become traffic bottlenecks");
 //   - loss hotspots, from the MAC's retry/no-ack counters;
-//   - exhausted batteries, from the energy meter.
+//   - exhausted batteries, from the energy meter;
+//   - crashed nodes, unreachable yet still present in live peers'
+//     neighbor tables (a recent failure, not a removed node);
+//   - partitioned segments, connected components of the live topology
+//     that cannot reach the largest segment;
+//   - bursty links, whose hardware LQI looks healthy while the beacon
+//     delivery ratio says most frames die (interference, jamming).
+//
+// DiagnosePath complements the deployment-wide health check with the
+// paper's path-level workflow: run a traceroute and turn its hop
+// reports into findings that name the hop where the path broke.
 package diagnose
 
 import (
@@ -135,6 +145,13 @@ type Options struct {
 	// LossHotspotNoAck flags nodes whose MAC abandoned at least this
 	// many frames (default 10).
 	LossHotspotNoAck int
+	// BurstyLQIMin and BurstyPRRMax bound the bursty-link detector: a
+	// link is bursty when its hardware LQI is at least BurstyLQIMin
+	// (the radio demodulates cleanly when it hears at all, default 90)
+	// yet the beacon delivery ratio is at most BurstyPRRMax percent
+	// (most frames never arrive, default 60).
+	BurstyLQIMin int
+	BurstyPRRMax int
 }
 
 func (o *Options) normalize() {
@@ -146,6 +163,12 @@ func (o *Options) normalize() {
 	}
 	if o.LossHotspotNoAck <= 0 {
 		o.LossHotspotNoAck = 10
+	}
+	if o.BurstyLQIMin <= 0 {
+		o.BurstyLQIMin = 90
+	}
+	if o.BurstyPRRMax <= 0 {
+		o.BurstyPRRMax = 60
 	}
 }
 
@@ -191,8 +214,13 @@ func analyze(nodes []NodeHealth, opt Options) []Finding {
 	}
 	// lqi[a][b] = LQI of the link b→a as estimated by a's kernel table.
 	lqi := make(map[phys.NodeID]map[phys.NodeID]int)
+	// prr[a][b] = beacon delivery ratio (percent) of b→a as seen at a;
+	// populated only when the neighbor list carried link info.
+	prr := make(map[phys.NodeID]map[phys.NodeID]int)
+	var unreachable []phys.NodeID
 	for _, n := range nodes {
 		if !n.Reachable {
+			unreachable = append(unreachable, n.Target.ID)
 			out = append(out, Finding{
 				Severity: Critical, Kind: "unreachable", Node: n.Target.ID,
 				Detail: fmt.Sprintf("%s did not answer management commands (dead node, wrong channel, or moved)", n.Target.Name),
@@ -219,10 +247,77 @@ func analyze(nodes []NodeHealth, opt Options) []Finding {
 			})
 		}
 		row := make(map[phys.NodeID]int, len(n.Neighbors))
+		prow := make(map[phys.NodeID]int, len(n.Neighbors))
 		for _, e := range n.Neighbors {
 			row[e.ID] = int(e.LQI)
+			if e.WithLink {
+				prow[e.ID] = int(e.PRRPercent)
+			}
 		}
 		lqi[n.Target.ID] = row
+		prr[n.Target.ID] = prow
+	}
+	// Crashed nodes: an unreachable node still listed in a live peer's
+	// neighbor table failed recently — the peers have not yet aged it
+	// out, so the operator is looking at a crash or reboot loop rather
+	// than a node that was removed or never deployed.
+	for _, dead := range unreachable {
+		var witnesses []string
+		for a, row := range lqi {
+			if _, heard := row[dead]; heard {
+				witnesses = append(witnesses, names[a])
+			}
+		}
+		if len(witnesses) > 0 {
+			sort.Strings(witnesses)
+			out = append(out, Finding{
+				Severity: Warning, Kind: "crashed-node", Node: dead,
+				Detail: fmt.Sprintf("%s is still in the neighbor tables of %s — it was alive recently, so this looks like a crash, not a missing node",
+					names[dead], strings.Join(witnesses, ", ")),
+			})
+		}
+	}
+	// Partitioned segments: connected components of the live topology,
+	// with an (undirected) edge wherever either end heard the other.
+	// Every component outside the largest one is cut off from it.
+	if comps := components(lqi); len(comps) > 1 {
+		for _, comp := range comps[1:] { // comps[0] is the largest
+			var members []string
+			for _, id := range comp {
+				members = append(members, names[id])
+			}
+			out = append(out, Finding{
+				Severity: Critical, Kind: "partitioned-segment", Node: comp[0],
+				Detail: fmt.Sprintf("segment {%s} is cut off from the main deployment (%d node(s) unreachable over multihop routes)",
+					strings.Join(members, ", "), len(comp)),
+			})
+		}
+	}
+	// Bursty links: the radio reports a clean signal whenever a frame
+	// does get through (high LQI) but the beacon delivery ratio says
+	// most frames die in flight — classic interference or jamming, and
+	// invisible to an LQI-driven routing metric.
+	burstSeen := make(map[[2]phys.NodeID]bool)
+	for a, prow := range prr {
+		for b, p := range prow {
+			if _, visited := lqi[b]; !visited {
+				continue // only judge links between interrogated nodes
+			}
+			q, heard := lqi[a][b]
+			if !heard || q < opt.BurstyLQIMin || p > opt.BurstyPRRMax {
+				continue
+			}
+			key := [2]phys.NodeID{min2(a, b), max2(a, b)}
+			if burstSeen[key] {
+				continue
+			}
+			burstSeen[key] = true
+			out = append(out, Finding{
+				Severity: Warning, Kind: "bursty-link", Node: key[0], Peer: key[1],
+				Detail: fmt.Sprintf("link %s↔%s: LQI %d looks healthy but only %d%% of beacons arrive — bursty loss (interference or jamming)",
+					names[a], names[b], q, p),
+			})
+		}
 	}
 	// Link symmetry: compare both ends' estimates of the same link.
 	type pair struct{ a, b phys.NodeID }
@@ -278,6 +373,124 @@ func max2(a, b phys.NodeID) phys.NodeID {
 		return a
 	}
 	return b
+}
+
+// components returns the connected components of the live topology,
+// largest first (ties broken by smallest member), members ascending.
+// An undirected edge exists wherever either end heard the other.
+func components(lqi map[phys.NodeID]map[phys.NodeID]int) [][]phys.NodeID {
+	ids := make([]phys.NodeID, 0, len(lqi))
+	for id := range lqi {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	visited := make(map[phys.NodeID]bool, len(ids))
+	var comps [][]phys.NodeID
+	for _, start := range ids {
+		if visited[start] {
+			continue
+		}
+		var comp []phys.NodeID
+		queue := []phys.NodeID{start}
+		visited[start] = true
+		for len(queue) > 0 {
+			cur := queue[0]
+			queue = queue[1:]
+			comp = append(comp, cur)
+			var nbrs []phys.NodeID
+			for b := range lqi[cur] {
+				if _, live := lqi[b]; live {
+					nbrs = append(nbrs, b)
+				}
+			}
+			for a, row := range lqi {
+				if _, heardCur := row[cur]; heardCur {
+					nbrs = append(nbrs, a)
+				}
+			}
+			sort.Slice(nbrs, func(i, j int) bool { return nbrs[i] < nbrs[j] })
+			for _, b := range nbrs {
+				if !visited[b] {
+					visited[b] = true
+					queue = append(queue, b)
+				}
+			}
+		}
+		sort.Slice(comp, func(i, j int) bool { return comp[i] < comp[j] })
+		comps = append(comps, comp)
+	}
+	sort.SliceStable(comps, func(i, j int) bool {
+		if len(comps[i]) != len(comps[j]) {
+			return len(comps[i]) > len(comps[j])
+		}
+		return comps[i][0] < comps[j][0]
+	})
+	return comps
+}
+
+// PathReport is the outcome of a path diagnosis: the traceroute's raw
+// output plus findings that name the failing hop.
+type PathReport struct {
+	Traceroute *core.TracerouteOutput
+	Findings   []Finding
+}
+
+// String renders the path report for terminal output.
+func (p *PathReport) String() string {
+	var b strings.Builder
+	if p.Traceroute != nil {
+		fmt.Fprintf(&b, "path diagnosis: %d hop report(s): %s\n", len(p.Traceroute.Reports), p.Traceroute.Verdict)
+	}
+	if len(p.Findings) == 0 {
+		b.WriteString("path healthy\n")
+		return b.String()
+	}
+	for _, f := range p.Findings {
+		fmt.Fprintf(&b, "[%s] %s: %s\n", f.Severity, f.Kind, f.Detail)
+	}
+	return b.String()
+}
+
+// DiagnosePath runs the paper's path-level workflow: walk to the source
+// node, traceroute toward the destination, and read the hop reports
+// into findings that name the failing hop. A dead destination, a
+// crashed relay, or a partition each yield a distinct verdict rather
+// than a silent timeout.
+func DiagnosePath(ws *core.Workstation, from Target, opts core.TrOptions) (*PathReport, error) {
+	if ws == nil {
+		return nil, errors.New("diagnose: nil workstation")
+	}
+	ws.MoveTo(from.Pos)
+	out, err := ws.Traceroute(from.ID, opts)
+	if out == nil {
+		return nil, fmt.Errorf("diagnose: traceroute from %s: %w", from.Name, err)
+	}
+	rep := &PathReport{Traceroute: out}
+	switch {
+	case err != nil && len(out.Reports) == 0:
+		rep.Findings = append(rep.Findings, Finding{
+			Severity: Critical, Kind: "path-unreachable", Node: from.ID,
+			Detail: fmt.Sprintf("traceroute %s→%d: %s", from.Name, opts.Dst, out.Verdict),
+		})
+	case out.FailedHop > 0:
+		// The last report names the hop that failed: either a probed
+		// node that never answered, or a relay with no route onward.
+		last := out.Reports[len(out.Reports)-1]
+		node := last.From
+		if node == 0 {
+			node = from.ID
+		}
+		rep.Findings = append(rep.Findings, Finding{
+			Severity: Critical, Kind: "path-broken", Node: node,
+			Detail: fmt.Sprintf("traceroute %s→%d: %s", from.Name, opts.Dst, out.Verdict),
+		})
+	case err != nil:
+		rep.Findings = append(rep.Findings, Finding{
+			Severity: Warning, Kind: "path-partial", Node: from.ID,
+			Detail: fmt.Sprintf("traceroute %s→%d: %s", from.Name, opts.Dst, out.Verdict),
+		})
+	}
+	return rep, nil
 }
 
 // Pair names one source→destination RTT probe of a survey.

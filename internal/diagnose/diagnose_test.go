@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"liteview/internal/core"
+	"liteview/internal/fault"
 	"liteview/internal/diagnose"
 	"liteview/internal/radio"
 	"liteview/internal/routing"
@@ -236,5 +237,152 @@ func TestRTTSurveyRanksCongestion(t *testing.T) {
 	}
 	if _, err := diagnose.RTTSurvey(ws, nil, 1); err == nil {
 		t.Fatal("empty pairs accepted")
+	}
+}
+
+func TestCrashedNodeFlagged(t *testing.T) {
+	// A crashed node differs from a missing one: live peers still carry
+	// it in their neighbor tables, and the health check says so.
+	tb, ws, targets := deployDiag(t, 3, 20, 9, 0)
+	tb.Node(2).Crash()
+	rep, err := diagnose.HealthCheck(ws, targets, diagnose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var unreachable, crashed bool
+	for _, f := range rep.Findings {
+		if f.Kind == "unreachable" && f.Node == 3 {
+			unreachable = true
+		}
+		if f.Kind == "crashed-node" && f.Node == 3 {
+			crashed = true
+		}
+	}
+	if !unreachable || !crashed {
+		t.Fatalf("unreachable=%v crashed=%v: %v", unreachable, crashed, rep.Findings)
+	}
+}
+
+func TestPartitionedSegmentFlagged(t *testing.T) {
+	// A blackout on the 2-3 link from before discovery: at 30 m spacing
+	// only adjacent nodes hear each other, so the deployment converges
+	// as two segments — while every node still answers one-hop
+	// management commands.
+	opt := testbed.DefaultOptions(10)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Line(5, 30, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := tb.FaultInjector()
+	if _, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.LinkBlackout, A: 2, B: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.AttachGeographic(routing.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.InstallLiteView(); err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(20 * time.Second)
+	ws, err := tb.NewWorkstation(tb.Node(0).Position())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []diagnose.Target
+	for _, node := range tb.Nodes {
+		targets = append(targets, diagnose.Target{ID: node.ID(), Name: node.Name(), Pos: node.Position()})
+	}
+	rep, err := diagnose.HealthCheck(ws, targets, diagnose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == "partitioned-segment" {
+			found = true
+			if f.Severity != diagnose.Critical {
+				t.Fatalf("partition not critical: %+v", f)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("partition not flagged: %v", rep.Findings)
+	}
+}
+
+func TestBurstyLinkFlagged(t *testing.T) {
+	// Burst corruption during discovery: the surviving beacons carry a
+	// healthy LQI while the delivery ratio collapses. The burst window
+	// closes before the walk so the node still answers management.
+	opt := testbed.DefaultOptions(11)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Line(2, 10, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := tb.FaultInjector()
+	if _, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.CorruptBurst, Node: 2,
+		Prob: 0.8, Duration: 19 * time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.InstallLiteView(); err != nil {
+		t.Fatal(err)
+	}
+	tb.WarmUp(20 * time.Second)
+	ws, err := tb.NewWorkstation(tb.Node(0).Position())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var targets []diagnose.Target
+	for _, node := range tb.Nodes {
+		targets = append(targets, diagnose.Target{ID: node.ID(), Name: node.Name(), Pos: node.Position()})
+	}
+	rep, err := diagnose.HealthCheck(ws, targets, diagnose.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == "bursty-link" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("bursty link not flagged: %v", rep.Findings)
+	}
+}
+
+func TestDiagnosePathNamesFailingHop(t *testing.T) {
+	tb, ws, targets := deployDiag(t, 5, 20, 12, 0)
+	// Healthy path first.
+	rep, err := diagnose.DiagnosePath(ws, targets[0], core.TrOptions{Dst: 5, Length: 32,
+		RouterPort: routing.GeographicPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Findings) != 0 {
+		t.Fatalf("healthy path produced findings: %v", rep.Findings)
+	}
+	if !strings.Contains(rep.String(), "path healthy") {
+		t.Fatalf("report:\n%s", rep.String())
+	}
+	// Crash the relay and diagnose again: the report names it.
+	tb.Node(2).Crash()
+	rep, err = diagnose.DiagnosePath(ws, targets[0], core.TrOptions{Dst: 5, Length: 32,
+		RouterPort: routing.GeographicPort})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, f := range rep.Findings {
+		if f.Kind == "path-broken" && f.Node == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("failing hop not named: %v (verdict %q)", rep.Findings, rep.Traceroute.Verdict)
 	}
 }

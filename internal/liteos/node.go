@@ -76,6 +76,13 @@ type Node struct {
 
 	ramUsed   int
 	flashUsed int
+
+	// Crash/reboot lifecycle (driven by internal/fault).
+	alive       bool
+	bootAt      sim.Time
+	beaconWasOn bool
+	crashHooks  []func()
+	rebootHooks []func()
 }
 
 // NewNode builds a node and attaches it to the medium. The neighbor
@@ -102,6 +109,7 @@ func NewNode(eng *sim.Engine, med *medium.Medium, cfg Config) (*Node, error) {
 		log:      NewEventLog(64),
 		procs:    make(map[int]*Process),
 		binaries: make(map[string]*Binary),
+		alive:    true,
 	}
 	var st *stack.Stack
 	m, err := mac.New(eng, med, rad, cfg.ID, cfg.Pos, cfg.MAC,
@@ -183,6 +191,69 @@ func (n *Node) SysNeighborTable() *neighbor.Table { return n.nbr.Table() }
 // SysLogEvent appends to the node's event log when logging is enabled.
 func (n *Node) SysLogEvent(tag, format string, args ...any) {
 	n.log.Append(n.eng.Now(), tag, fmt.Sprintf(format, args...))
+}
+
+// Crash/reboot lifecycle. Real motes power-fail: every byte of RAM —
+// processes, parameter buffer, neighbor table, event log, MAC state —
+// is gone, and the radio goes dark until the next boot.
+
+// Alive reports whether the node is powered up.
+func (n *Node) Alive() bool { return n.alive }
+
+// Uptime returns the virtual time since the node's last boot.
+func (n *Node) Uptime() sim.Time { return n.eng.Now() - n.bootAt }
+
+// OnCrash registers fn to run at every crash, after the kernel has torn
+// down. The controller uses this to drop in-flight command state.
+func (n *Node) OnCrash(fn func()) { n.crashHooks = append(n.crashHooks, fn) }
+
+// OnReboot registers fn to run at every reboot, once the kernel is back
+// up. The controller uses this to re-register with the workstation side.
+func (n *Node) OnReboot(fn func()) { n.rebootHooks = append(n.rebootHooks, fn) }
+
+// Crash power-fails the node: kills every process, wipes RAM-resident
+// kernel state, resets the link layer, and turns the radio off. A crash
+// of an already-dead node is a no-op.
+func (n *Node) Crash() {
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	for _, pid := range n.Processes() {
+		if p, ok := n.procs[pid]; ok {
+			_ = p.Exit()
+		}
+	}
+	n.paramBuf = ""
+	n.log.Clear()
+	n.beaconWasOn = n.nbr.Running()
+	n.nbr.Stop()
+	n.nbr.Table().Clear()
+	n.mac.Reset()
+	n.rad.SetState(radio.Off)
+	for _, fn := range n.crashHooks {
+		fn()
+	}
+}
+
+// Reboot cold-boots a crashed node: the radio comes back up listening,
+// the beacon service restarts if it was running at crash time (it is
+// part of the boot image), and reboot hooks fire. Rebooting a live node
+// is a no-op.
+func (n *Node) Reboot() {
+	if n.alive {
+		return
+	}
+	n.alive = true
+	n.bootAt = n.eng.Now()
+	n.rad.SetState(radio.RX)
+	n.mac.Boot()
+	if n.beaconWasOn {
+		n.nbr.Start()
+	}
+	for _, fn := range n.rebootHooks {
+		fn()
+	}
 }
 
 // RAMUsed returns the bytes of static RAM currently accounted.

@@ -133,6 +133,13 @@ type MAC struct {
 	// receivers track the last sequence number per source).
 	dupSeq  map[phys.NodeID]byte
 	dupSeqQ []phys.NodeID
+	// epoch invalidates in-flight transmit and ack completions across
+	// Reset: a callback scheduled before a crash must not touch the
+	// radio of the rebooted (or still-dead) node.
+	epoch uint64
+	// rxFault, when set, injects bit errors into received frames (burst
+	// corruption from internal/fault).
+	rxFault func(from phys.NodeID) bool
 	stats   Stats
 }
 
@@ -196,6 +203,34 @@ func (m *MAC) QueueLen() int { return len(m.queue) }
 // Stats returns a snapshot of the MAC counters.
 func (m *MAC) Stats() Stats { return m.stats }
 
+// SetRxFault installs a receive-path fault hook: frames for which fn
+// returns true take bit errors before the CRC check, exactly as if the
+// air had corrupted them. Pass nil to remove.
+func (m *MAC) SetRxFault(fn func(from phys.NodeID) bool) { m.rxFault = fn }
+
+// Reset force-clears all link-layer state — transmit queue, pending
+// ack wait, duplicate table, LPL phase — without running completion
+// callbacks, the way a power failure would. In-flight transmit
+// completions scheduled before the reset are invalidated and will not
+// touch the radio.
+func (m *MAC) Reset() {
+	m.epoch++
+	m.queue = nil
+	m.sending = false
+	if m.awaitTimer != nil {
+		m.eng.Cancel(m.awaitTimer)
+		m.awaitTimer = nil
+	}
+	m.dupSeq = make(map[phys.NodeID]byte)
+	m.dupSeqQ = nil
+	m.lplSleeping = false
+	m.lingerUntil = 0
+}
+
+// Boot re-primes the MAC after a reboot; today that means restarting
+// the LPL duty cycle (a no-op when LPL is off).
+func (m *MAC) Boot() { m.lplInit() }
+
 // Send queues a frame for CSMA/CA transmission. The source address and
 // sequence number are filled in by the MAC. sent may be nil.
 func (m *MAC) Send(f Frame, sent SentFunc) error {
@@ -232,7 +267,11 @@ func (m *MAC) kick() {
 // attempt performs one backoff-then-CCA round for the queue head.
 func (m *MAC) attempt(be, retries int) {
 	backoff := sim.Time(m.rng.Intn(1<<be)) * UnitBackoff
+	ep := m.epoch
 	m.eng.MustSchedule(backoff, func() {
+		if m.epoch != ep {
+			return // link layer was reset meanwhile
+		}
 		if len(m.queue) == 0 { // queue flushed meanwhile
 			m.sending = false
 			return
@@ -286,7 +325,11 @@ func (m *MAC) transmit() {
 	if head.firstTx == 0 {
 		head.firstTx = m.eng.Now()
 	}
+	ep := m.epoch
 	m.eng.MustSchedule(airtime+radio.TurnaroundTime, func() {
+		if m.epoch != ep {
+			return // link layer was reset mid-flight
+		}
 		m.rad.SetState(radio.RX)
 		m.stats.Sent++
 		switch out.frame.Type {
@@ -362,7 +405,11 @@ func (m *MAC) onAckTimeout() {
 // frame, one turnaround after reception, bypassing the CSMA queue as
 // the CC2420's auto-ack does.
 func (m *MAC) autoAck(f Frame) {
+	ep := m.epoch
 	m.eng.MustSchedule(radio.TurnaroundTime, func() {
+		if m.epoch != ep {
+			return // link layer was reset meanwhile
+		}
 		if m.rad.State() != radio.RX {
 			return // busy transmitting; the peer will retry
 		}
@@ -378,6 +425,9 @@ func (m *MAC) autoAck(f Frame) {
 			return
 		}
 		m.eng.MustSchedule(airtime+radio.TurnaroundTime, func() {
+			if m.epoch != ep {
+				return
+			}
 			m.rad.SetState(radio.RX)
 			m.stats.Sent++
 			m.stats.SentMACAcks++
@@ -387,6 +437,10 @@ func (m *MAC) autoAck(f Frame) {
 
 // finish pops the queue head, notifies, and services the next frame.
 func (m *MAC) finish(err error) {
+	if len(m.queue) == 0 {
+		m.sending = false
+		return
+	}
 	out := m.queue[0]
 	m.queue = m.queue[1:]
 	m.sending = false
@@ -398,6 +452,9 @@ func (m *MAC) finish(err error) {
 
 // OnFrame is the medium's delivery upcall.
 func (m *MAC) OnFrame(raw []byte, info medium.RxInfo) {
+	if !info.Corrupted && m.rxFault != nil && m.rxFault(info.From) {
+		info.Corrupted = true // injected burst corruption
+	}
 	if info.Corrupted {
 		// Bit errors on the air manifest as an FCS failure: flip a bit
 		// so the CRC check genuinely fails rather than trusting a flag.

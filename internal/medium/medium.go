@@ -71,6 +71,22 @@ type Stats struct {
 	// BelowSensitivity counts potential deliveries under the radio
 	// sensitivity floor (never detected at all).
 	BelowSensitivity uint64
+	// InjectedDrops counts deliveries suppressed by the fault hook
+	// (blackouts and partitions swallow frames without a trace).
+	InjectedDrops uint64
+}
+
+// FaultEffect is what an injected fault does to one delivery. Effects
+// compose: a degraded link loses ExtraLossDB of signal before the
+// sensitivity check, a jammed channel corrupts whatever still decodes,
+// and a blackout or partition drops the frame outright.
+type FaultEffect struct {
+	// ExtraLossDB is additional path loss applied to this delivery.
+	ExtraLossDB float64
+	// Drop suppresses the delivery entirely (the receiver hears nothing).
+	Drop bool
+	// Corrupt forces bit errors even if the SINR draw succeeded.
+	Corrupt bool
 }
 
 type transmission struct {
@@ -98,6 +114,10 @@ type Medium struct {
 	// lossFn, when set, force-drops deliveries (failure injection for
 	// tests: returning true corrupts the frame at the receiver).
 	lossFn func(from, to phys.NodeID, frame []byte) bool
+	// faultFn, when set, is consulted per delivery by the fault
+	// injector (internal/fault). It is a separate slot from lossFn so
+	// tests and the injector can coexist.
+	faultFn func(from, to phys.NodeID, channel int) FaultEffect
 	// tap, when set, observes every transmission put on the air.
 	tap func(TapRecord)
 }
@@ -116,6 +136,13 @@ type TapRecord struct {
 // fn returns true arrives corrupted. Pass nil to remove.
 func (m *Medium) SetLossFunc(fn func(from, to phys.NodeID, frame []byte) bool) {
 	m.lossFn = fn
+}
+
+// SetFaultHook installs the fault injector's per-delivery hook: fn is
+// asked what effect, if any, active faults have on a frame from one
+// node to another on a channel. Pass nil to remove.
+func (m *Medium) SetFaultHook(fn func(from, to phys.NodeID, channel int) FaultEffect) {
+	m.faultFn = fn
 }
 
 // SetTap installs an observer of every transmission (nil removes it).
@@ -227,7 +254,15 @@ func (m *Medium) deliver(t *transmission) {
 		if rx.Channel() != t.channel {
 			continue
 		}
-		rxDBm := m.model.ReceivedPower(t.txDBm, t.from, id, t.pos, rx.Position())
+		var eff FaultEffect
+		if m.faultFn != nil {
+			eff = m.faultFn(t.from, id, t.channel)
+		}
+		if eff.Drop {
+			m.stats.InjectedDrops++
+			continue
+		}
+		rxDBm := m.model.ReceivedPower(t.txDBm, t.from, id, t.pos, rx.Position()) - eff.ExtraLossDB
 		if rxDBm < radio.SensitivityDBm {
 			m.stats.BelowSensitivity++
 			continue
@@ -247,6 +282,9 @@ func (m *Medium) deliver(t *transmission) {
 			ok2 = false
 		} else {
 			ok2 = m.rng.Bool(phys.PRR(sinr, len(t.frame)))
+		}
+		if ok2 && eff.Corrupt {
+			ok2 = false // jammed channel
 		}
 		if ok2 && m.lossFn != nil && m.lossFn(t.from, id, t.frame) {
 			ok2 = false // injected loss

@@ -191,6 +191,12 @@ func (t *Table) IsBlacklisted(id phys.NodeID) bool {
 // Remove deletes an entry entirely.
 func (t *Table) Remove(id phys.NodeID) { delete(t.entries, id) }
 
+// Clear drops every entry, blacklisted or not. The kernel calls this on
+// a crash: neighbor state lives in RAM and does not survive a reboot.
+func (t *Table) Clear() {
+	t.entries = make(map[phys.NodeID]*Entry)
+}
+
 // Expire drops entries not heard since the cutoff, keeping blacklisted
 // pins.
 func (t *Table) Expire(cutoff sim.Time) int {

@@ -16,6 +16,7 @@ import (
 
 	"liteview/internal/core"
 	"liteview/internal/diagnose"
+	"liteview/internal/fault"
 	"liteview/internal/phys"
 	"liteview/internal/sim"
 	"liteview/internal/testbed"
@@ -80,6 +81,8 @@ type Shell struct {
 	out      io.Writer
 	cwd      string // "/" or a node path
 	curName  string // name of the node logged into, "" at the root
+	// inj drives the fault command; nil disables it.
+	inj *fault.Injector
 }
 
 // New creates a session writing output to out.
@@ -90,10 +93,19 @@ func New(ws *core.Workstation, resolver Resolver, out io.Writer) (*Shell, error)
 	return &Shell{ws: ws, resolver: resolver, out: out, cwd: "/"}, nil
 }
 
-// NewForTestbed creates a session over a deployed testbed.
+// NewForTestbed creates a session over a deployed testbed. The session
+// gets the testbed's fault injector, enabling the fault command.
 func NewForTestbed(tb *testbed.Testbed, ws *core.Workstation, out io.Writer) (*Shell, error) {
-	return New(ws, testbedResolver{tb}, out)
+	s, err := New(ws, testbedResolver{tb}, out)
+	if err != nil {
+		return nil, err
+	}
+	s.inj = tb.FaultInjector()
+	return s, nil
 }
+
+// SetFaultInjector enables the fault command on a session built with New.
+func (s *Shell) SetFaultInjector(inj *fault.Injector) { s.inj = inj }
 
 // Cwd returns the current directory.
 func (s *Shell) Cwd() string { return s.cwd }
@@ -154,6 +166,8 @@ func (s *Shell) Exec(line string) error {
 		return s.stats()
 	case "energy":
 		return s.energy()
+	case "fault":
+		return s.fault(args)
 	default:
 		return fmt.Errorf("shell: unknown command %q (try help)", cmd)
 	}
@@ -176,6 +190,13 @@ func (s *Shell) help() {
   healthcheck                 walk every node and diagnose the deployment
   ping <name|id> [round=N] [length=B] [port=P]
   traceroute <name|id> [round=N] [length=B] [port=P]
+  fault list                  show the scripted fault schedule
+  fault crash <node> [at=ms] [for=ms]
+  fault blackout <node> <node> [at=ms] [for=ms]
+  fault degrade <node> <node> [at=ms] [for=ms] [db=N]
+  fault corrupt <node> [at=ms] [for=ms] [prob=percent]
+  fault jam [channel] [at=ms] [for=ms]
+  fault partition <node>... [at=ms] [for=ms]
 `)
 }
 
@@ -612,6 +633,110 @@ func (s *Shell) power(args []string) error {
 	default:
 		return errors.New("shell: usage: power [level]")
 	}
+}
+
+// fault scripts deterministic failures on the deployment — the chaos
+// counterpart of the management commands. Times are relative
+// milliseconds: at=0 (the default) schedules the fault for the next
+// simulation step, for=0 makes it permanent.
+func (s *Shell) fault(args []string) error {
+	if s.inj == nil {
+		return errors.New("shell: this session has no fault injector")
+	}
+	if len(args) == 0 {
+		return errors.New("shell: usage: fault list|crash|blackout|degrade|corrupt|jam|partition ...")
+	}
+	sub := args[0]
+	if sub == "list" {
+		faults := s.inj.Faults()
+		s.printf("fault schedule (%d entries):\n", len(faults))
+		for _, st := range faults {
+			s.printf("  %s\n", st)
+		}
+		return nil
+	}
+	opts, rest, err := parseOpts(args[1:])
+	if err != nil {
+		return err
+	}
+	f := fault.Fault{
+		At:       s.inj.Now() + sim.Time(opts["at"])*time.Millisecond,
+		Duration: sim.Time(opts["for"]) * time.Millisecond,
+	}
+	resolveAll := func() ([]phys.NodeID, error) {
+		targets := make([]phys.NodeID, 0, len(rest))
+		for _, a := range rest {
+			id, err := s.resolveTarget(a)
+			if err != nil {
+				return nil, err
+			}
+			targets = append(targets, id)
+		}
+		return targets, nil
+	}
+	switch sub {
+	case "crash", "corrupt":
+		targets, err := resolveAll()
+		if err != nil {
+			return err
+		}
+		if len(targets) != 1 {
+			return fmt.Errorf("shell: usage: fault %s <node> [at=ms] [for=ms]", sub)
+		}
+		f.Node = targets[0]
+		if sub == "crash" {
+			f.Kind = fault.NodeCrash
+		} else {
+			f.Kind = fault.CorruptBurst
+			f.Prob = float64(opts["prob"]) / 100
+		}
+	case "blackout", "degrade":
+		targets, err := resolveAll()
+		if err != nil {
+			return err
+		}
+		if len(targets) != 2 {
+			return fmt.Errorf("shell: usage: fault %s <node> <node> [at=ms] [for=ms]", sub)
+		}
+		f.A, f.B = targets[0], targets[1]
+		if sub == "blackout" {
+			f.Kind = fault.LinkBlackout
+		} else {
+			f.Kind = fault.LinkDegrade
+			f.ExtraLossDB = float64(opts["db"])
+		}
+	case "jam":
+		f.Kind = fault.Jam
+		switch len(rest) {
+		case 0:
+		case 1:
+			ch, err := strconv.Atoi(rest[0])
+			if err != nil {
+				return fmt.Errorf("shell: bad channel %q", rest[0])
+			}
+			f.Channel = ch
+		default:
+			return errors.New("shell: usage: fault jam [channel] [at=ms] [for=ms]")
+		}
+	case "partition":
+		targets, err := resolveAll()
+		if err != nil {
+			return err
+		}
+		if len(targets) == 0 {
+			return errors.New("shell: usage: fault partition <node>... [at=ms] [for=ms]")
+		}
+		f.Kind = fault.Partition
+		f.Group = targets
+	default:
+		return fmt.Errorf("shell: unknown fault subcommand %q", sub)
+	}
+	id, err := s.inj.Schedule(f)
+	if err != nil {
+		return err
+	}
+	s.printf("fault #%d scheduled: %s at %v\n", id, f.Kind, f.At)
+	return nil
 }
 
 func (s *Shell) channel(args []string) error {

@@ -211,3 +211,55 @@ func TestLsInsideNode(t *testing.T) {
 		t.Fatalf("ls = %q", got)
 	}
 }
+
+func TestFaultCommand(t *testing.T) {
+	f := deployShell(t, 3, 18, 9)
+	// Schedule a crash of node 2 starting now, lasting one second.
+	out := f.run(t, "fault crash 192.168.0.2 for=1000")
+	if !strings.Contains(out, "fault #1 scheduled") {
+		t.Fatalf("schedule output: %q", out)
+	}
+	out = f.run(t, "fault list")
+	if !strings.Contains(out, "node-crash") || !strings.Contains(out, "node 2") {
+		t.Fatalf("list output: %q", out)
+	}
+	// Let the crash take effect; the node stops answering.
+	f.tb.Run(100 * time.Millisecond)
+	if f.tb.Node(1).Alive() {
+		t.Fatal("node still alive after fault crash")
+	}
+	f.run(t, "cd 192.168.0.2")
+	if err := f.sh.Exec("power"); err == nil {
+		t.Fatal("power on crashed node succeeded")
+	}
+	// After the window the node reboots and answers again.
+	f.tb.Run(2 * time.Second)
+	out = f.run(t, "power")
+	if !strings.Contains(out, "Power = ") {
+		t.Fatalf("power after reboot: %q", out)
+	}
+	// The other fault classes and bad input parse correctly.
+	for _, line := range []string{
+		"fault blackout 192.168.0.1 192.168.0.2 for=500",
+		"fault degrade 1 2 db=25 for=500",
+		"fault corrupt 192.168.0.3 prob=70 for=500",
+		"fault jam 17 for=500",
+		"fault partition 192.168.0.3 for=500",
+	} {
+		if out := f.run(t, line); !strings.Contains(out, "scheduled") {
+			t.Fatalf("%q output: %q", line, out)
+		}
+	}
+	for _, line := range []string{
+		"fault",
+		"fault crash",
+		"fault crash nope",
+		"fault blackout 1",
+		"fault jam 99",
+		"fault nonsense 1",
+	} {
+		if err := f.sh.Exec(line); err == nil {
+			t.Fatalf("%q accepted", line)
+		}
+	}
+}

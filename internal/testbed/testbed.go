@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"liteview/internal/fault"
 	"liteview/internal/liteos"
 	"liteview/internal/mac"
 	"liteview/internal/medium"
@@ -59,6 +60,8 @@ type Testbed struct {
 	byName map[string]*liteos.Node
 	// routers[port][node] holds attached protocol instances.
 	routers map[byte]map[phys.NodeID]*routing.Router
+	// injector is the lazily created fault injector.
+	injector *fault.Injector
 }
 
 // build creates nodes at the given positions with paper-style names:
@@ -264,6 +267,17 @@ func (tb *Testbed) record(r *routing.Router, id phys.NodeID) {
 func (tb *Testbed) Router(port byte, id phys.NodeID) (*routing.Router, bool) {
 	r, ok := tb.routers[port][id]
 	return r, ok
+}
+
+// FaultInjector returns the deployment's fault injector, creating it on
+// first use. Faults draw from a stream derived from the deployment seed
+// but independent of the engine's, so installing the injector does not
+// change a fault-free run's packet trace.
+func (tb *Testbed) FaultInjector() *fault.Injector {
+	if tb.injector == nil {
+		tb.injector = fault.New(tb.Eng, tb.Med, tb.Nodes, tb.opt.Seed)
+	}
+	return tb.injector
 }
 
 // RecordTrace streams every transmission on the medium to w as CSV

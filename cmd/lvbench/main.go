@@ -21,8 +21,10 @@ func main() {
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		csv   = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
 		list  = flag.Bool("list", false, "list experiments and exit")
+		trace = flag.String("trace", "", "write per-scenario telemetry artifacts (JSONL + Chrome trace) into this directory")
 	)
 	flag.Parse()
+	bench.SetTraceDir(*trace)
 
 	if *list {
 		for _, e := range bench.All() {

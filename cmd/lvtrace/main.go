@@ -1,0 +1,182 @@
+// Command lvtrace records a scripted run of a simulated deployment with
+// the cross-layer telemetry recorder enabled and exports the captured
+// event stream two ways: JSONL (one event per line, for grep/jq) and
+// Chrome trace-event format (open chrome://tracing or ui.perfetto.dev
+// and load the file to see every node's layers as a timeline).
+//
+// With no -script, a built-in script exercises every layer on the
+// deployment: a direct one-hop ping, a routed multi-hop ping, and a
+// traceroute across the whole topology.
+//
+//	lvtrace -topo line -nodes 9 -spacing 20 -seed 1
+//	lvtrace -script run.lvsh -jsonl - -chrome ''
+//	lvtrace -layer mac -node 3                     # filter the exports
+//	lvtrace -link 2-3                              # one link, both ways
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"liteview/internal/cli"
+	"liteview/internal/phys"
+	"liteview/internal/shell"
+	"liteview/internal/telemetry"
+)
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lvtrace:", err)
+	os.Exit(1)
+}
+
+func main() {
+	var dep cli.DeploymentFlags
+	dep.Register(flag.CommandLine)
+	var (
+		script  = flag.String("script", "", "shell script to record (default: built-in all-layer script)")
+		jsonl   = flag.String("jsonl", "lvtrace.jsonl", "JSONL output path ('-' = stdout, '' = skip)")
+		chrome  = flag.String("chrome", "lvtrace-chrome.json", "Chrome trace-event output path ('' = skip)")
+		node    = flag.Int("node", 0, "filter: only events owned by this node id (0 = all)")
+		layer   = flag.String("layer", "", "filter: only this layer (medium|mac|stack|routing|reliable|controller|fault)")
+		kind    = flag.String("kind", "", "filter: only this event kind")
+		link    = flag.String("link", "", "filter: only events involving both nodes of 'A-B'")
+		port    = flag.Int("port", 0, "filter: only events with this port attribute (0 = all)")
+		summary = flag.Bool("summary", true, "print per-layer event counts")
+		quiet   = flag.Bool("q", false, "suppress the shell transcript of the recorded run")
+	)
+	flag.Parse()
+
+	tb, err := dep.BuildManaged()
+	if err != nil {
+		fatal(err)
+	}
+	// Enable recording only after warm-up: the interesting timeline is
+	// the scripted commands, not thousands of discovery beacons.
+	rec := tb.Telemetry()
+
+	ws, err := tb.NewWorkstation(phys.Position{X: -2})
+	if err != nil {
+		fatal(err)
+	}
+	shellOut := os.Stdout
+	if *quiet {
+		devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+		if err != nil {
+			fatal(err)
+		}
+		defer devnull.Close()
+		shellOut = devnull
+	}
+	sh, err := shell.NewForTestbed(tb, ws, shellOut)
+	if err != nil {
+		fatal(err)
+	}
+
+	lines, err := scriptLines(*script, tb.Node(0).Name(), tb.Node(len(tb.Nodes)-1).Name())
+	if err != nil {
+		fatal(err)
+	}
+
+	rec.Start()
+	for _, line := range lines {
+		if !*quiet {
+			fmt.Printf("$ %s\n", line)
+		}
+		if err := sh.Exec(line); err != nil {
+			fmt.Fprintf(os.Stderr, "lvtrace: %s: %v\n", line, err)
+		}
+	}
+	rec.Stop()
+
+	f := telemetry.Filter{
+		Node:  phys.NodeID(*node),
+		Layer: telemetry.Layer(*layer),
+		Kind:  *kind,
+		Link:  *link,
+		Port:  *port,
+	}
+	events := rec.Events()
+
+	if *jsonl != "" {
+		if err := writeOut(*jsonl, func(w *bufio.Writer) error {
+			return telemetry.WriteJSONL(w, events, f)
+		}); err != nil {
+			fatal(err)
+		}
+		if *jsonl != "-" {
+			fmt.Printf("wrote %s\n", *jsonl)
+		}
+	}
+	if *chrome != "" {
+		if err := writeOut(*chrome, func(w *bufio.Writer) error {
+			return telemetry.WriteChromeTrace(w, events, f)
+		}); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *chrome)
+	}
+	if *summary {
+		fmt.Print(telemetry.Summarize(events, f))
+		if m := rec.Metrics().String(); m != "" {
+			fmt.Printf("metrics:\n%s", indent(m))
+		}
+	}
+}
+
+// scriptLines loads the script file, or builds the default all-layer
+// script between the first and last node of the deployment.
+func scriptLines(path, first, last string) ([]string, error) {
+	if path == "" {
+		return []string{
+			"cd " + first,
+			"ping " + last + " round=1 length=32",         // direct: times out beyond one hop, still exercises MAC
+			"ping " + last + " round=2 length=32 port=10", // routed multi-hop
+			"traceroute " + last + " port=10",
+			"stats medium",
+		}, nil
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var lines []string
+	for _, l := range strings.Split(string(raw), "\n") {
+		l = strings.TrimSpace(l)
+		if l == "" || strings.HasPrefix(l, "#") {
+			continue
+		}
+		lines = append(lines, l)
+	}
+	return lines, nil
+}
+
+func writeOut(path string, write func(*bufio.Writer) error) error {
+	var w *bufio.Writer
+	if path == "-" {
+		w = bufio.NewWriter(os.Stdout)
+	} else {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := write(w); err != nil {
+		return err
+	}
+	return w.Flush()
+}
+
+func indent(s string) string {
+	var b strings.Builder
+	for _, line := range strings.Split(strings.TrimRight(s, "\n"), "\n") {
+		b.WriteString("  ")
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

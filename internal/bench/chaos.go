@@ -8,6 +8,7 @@ import (
 	"liteview/internal/fault"
 	"liteview/internal/phys"
 	"liteview/internal/routing"
+	"liteview/internal/telemetry"
 	"liteview/internal/trace"
 )
 
@@ -30,11 +31,17 @@ func Chaos(seed uint64) (*Result, error) {
 		verdict string
 	}
 	// run deploys, scripts the scenario's faults, executes ping 1→2 and
-	// traceroute 1→6, and returns both outcomes.
-	run := func(script func(*deployment, *fault.Injector) error) (pingOut, trOut outcome, err error) {
+	// traceroute 1→6, and returns both outcomes. With -trace set, the
+	// whole scenario is recorded and exported under chaos-<slug>.
+	run := func(slug string, script func(*deployment, *fault.Injector) error) (pingOut, trOut outcome, err error) {
 		dep, err := lineDeployment(6, 22, seed, 0, 0, routing.DefaultConfig())
 		if err != nil {
 			return outcome{}, outcome{}, err
+		}
+		var rec *telemetry.Recorder
+		if tracing() {
+			rec = dep.tb.Telemetry()
+			rec.Start()
 		}
 		inj := dep.tb.FaultInjector()
 		if script != nil {
@@ -53,6 +60,12 @@ func Chaos(seed uint64) (*Result, error) {
 		}
 		trOut = outcome{ok: terr == nil && t.FailedHop == 0 && len(t.Reports) > 0 && t.Reports[len(t.Reports)-1].Final,
 			delayMs: ms(t.ResponseDelay), verdict: t.Verdict}
+		if rec != nil {
+			rec.Stop()
+			if err := writeTelemetry("chaos-"+slug, rec); err != nil {
+				return outcome{}, outcome{}, fmt.Errorf("telemetry artifacts: %w", err)
+			}
+		}
 		return pingOut, trOut, nil
 	}
 	record := func(scenario string, p, t outcome) {
@@ -61,7 +74,7 @@ func Chaos(seed uint64) (*Result, error) {
 	}
 
 	// Baseline: no faults; both commands succeed.
-	pBase, tBase, err := run(nil)
+	pBase, tBase, err := run("baseline", nil)
 	if err != nil {
 		return nil, fmt.Errorf("baseline: %w", err)
 	}
@@ -70,7 +83,7 @@ func Chaos(seed uint64) (*Result, error) {
 	r.check("baseline traceroute ok", tBase.ok, "verdict %q", tBase.verdict)
 
 	// Crash: relay node 3 power-fails; the traceroute must name the hop.
-	pCrash, tCrash, err := run(func(dep *deployment, inj *fault.Injector) error {
+	pCrash, tCrash, err := run("crash-relay-3", func(dep *deployment, inj *fault.Injector) error {
 		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 3})
 		return err
 	})
@@ -84,7 +97,7 @@ func Chaos(seed uint64) (*Result, error) {
 
 	// Blackout: the 1↔2 link drops every frame; ping loses all rounds
 	// with an explicit verdict rather than hanging.
-	pBlack, tBlack, err := run(func(dep *deployment, inj *fault.Injector) error {
+	pBlack, tBlack, err := run("blackout-1-2", func(dep *deployment, inj *fault.Injector) error {
 		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.LinkBlackout, A: 1, B: 2})
 		return err
 	})
@@ -97,7 +110,7 @@ func Chaos(seed uint64) (*Result, error) {
 
 	// Corrupt burst: node 2 corrupts 80% of received frames; commands
 	// still terminate, loss is visible.
-	pCor, tCor, err := run(func(dep *deployment, inj *fault.Injector) error {
+	pCor, tCor, err := run("corrupt-burst-2", func(dep *deployment, inj *fault.Injector) error {
 		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.CorruptBurst, Node: 2})
 		return err
 	})
@@ -109,7 +122,7 @@ func Chaos(seed uint64) (*Result, error) {
 
 	// Partition: nodes 4..6 are cut off; the traceroute breaks at the
 	// boundary.
-	pPart, tPart, err := run(func(dep *deployment, inj *fault.Injector) error {
+	pPart, tPart, err := run("partition-4-5-6", func(dep *deployment, inj *fault.Injector) error {
 		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.Partition,
 			Group: []phys.NodeID{4, 5, 6}})
 		return err
@@ -124,7 +137,7 @@ func Chaos(seed uint64) (*Result, error) {
 
 	// Jam: every channel is jammed — even command delivery fails, with
 	// an explicit verdict.
-	pJam, tJam, err := run(func(dep *deployment, inj *fault.Injector) error {
+	pJam, tJam, err := run("jam", func(dep *deployment, inj *fault.Injector) error {
 		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.Jam})
 		return err
 	})
@@ -137,7 +150,7 @@ func Chaos(seed uint64) (*Result, error) {
 
 	// Recovery: node 2 crashes for two seconds, reboots, re-registers,
 	// and answers commands again.
-	pRec, tRec, err := run(func(dep *deployment, inj *fault.Injector) error {
+	pRec, tRec, err := run("crash-2-reboot", func(dep *deployment, inj *fault.Injector) error {
 		if _, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 2,
 			Duration: 2 * time.Second}); err != nil {
 			return err
@@ -154,7 +167,7 @@ func Chaos(seed uint64) (*Result, error) {
 
 	// Determinism: the crash scenario replayed with the same seed must
 	// reproduce the exact delays and verdicts.
-	pCrash2, tCrash2, err := run(func(dep *deployment, inj *fault.Injector) error {
+	pCrash2, tCrash2, err := run("crash-replay", func(dep *deployment, inj *fault.Injector) error {
 		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 3})
 		return err
 	})

@@ -1,0 +1,54 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+
+	"liteview/internal/telemetry"
+)
+
+// traceDir, when non-empty, makes experiments that support it record
+// cross-layer telemetry and write per-scenario artifacts
+// (<dir>/<stem>.jsonl and <dir>/<stem>.trace.json). Set from lvbench's
+// -trace flag. Recording is non-perturbing, so results are identical
+// with or without it — the chaos determinism check still holds.
+var traceDir string
+
+// SetTraceDir enables per-scenario telemetry artifacts under dir
+// (empty disables them again).
+func SetTraceDir(dir string) { traceDir = dir }
+
+// tracing reports whether artifact recording is enabled.
+func tracing() bool { return traceDir != "" }
+
+// writeTelemetry exports rec's captured events under the given artifact
+// stem, as both JSONL and a Chrome trace-event file.
+func writeTelemetry(stem string, rec *telemetry.Recorder) error {
+	if traceDir == "" || rec == nil {
+		return nil
+	}
+	if err := os.MkdirAll(traceDir, 0o755); err != nil {
+		return err
+	}
+	events := rec.Events()
+	jf, err := os.Create(filepath.Join(traceDir, stem+".jsonl"))
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteJSONL(jf, events, telemetry.Filter{}); err != nil {
+		jf.Close()
+		return err
+	}
+	if err := jf.Close(); err != nil {
+		return err
+	}
+	cf, err := os.Create(filepath.Join(traceDir, stem+".trace.json"))
+	if err != nil {
+		return err
+	}
+	if err := telemetry.WriteChromeTrace(cf, events, telemetry.Filter{}); err != nil {
+		cf.Close()
+		return err
+	}
+	return cf.Close()
+}

@@ -11,6 +11,7 @@ import (
 	"liteview/internal/radio"
 	"liteview/internal/routing"
 	"liteview/internal/sim"
+	"liteview/internal/telemetry"
 )
 
 // Footprints of the LiteView binaries, as the paper reports them: the
@@ -40,6 +41,15 @@ type Controller struct {
 	routers RouterLookup
 	busy    bool
 	proc    *liteos.Process
+	// tel, when set, receives controller-layer telemetry events.
+	tel *telemetry.Recorder
+}
+
+// SetTelemetry points the controller (and its reliable endpoint) at a
+// telemetry recorder (nil detaches).
+func (c *Controller) SetTelemetry(rec *telemetry.Recorder) {
+	c.tel = rec
+	c.ep.SetTelemetry(rec)
 }
 
 // NewController installs the LiteView binaries on the node, starts the
@@ -123,6 +133,11 @@ func (c *Controller) handle(from phys.NodeID, payload []byte, info medium.RxInfo
 		return
 	}
 	c.os.SysLogEvent("controller", "command %v from %d", cmd.Kind, from)
+	if c.tel.Recording() {
+		c.tel.Emit(c.os.ID(), telemetry.LayerController, "command",
+			telemetry.String("kind", cmd.Kind.String()),
+			telemetry.Node("from", from))
+	}
 	switch cmd.Kind {
 	case KindRadioGet:
 		c.reply(from, broadcast, EncodeRadioInfo(RadioInfo{
@@ -407,6 +422,18 @@ func (c *Controller) runPing(from phys.NodeID, broadcast bool, cmd Command) {
 	err = c.ping.Start(opts, func(results []PingResult) {
 		msgs := make([][]byte, 0, len(results)+1)
 		for _, r := range results {
+			if c.tel.Recording() {
+				rttMs := float64(r.RTT) / 1000
+				c.tel.Emit(c.os.ID(), telemetry.LayerController, "ping-result",
+					telemetry.Node("dst", cmd.Dst),
+					telemetry.Int("seq", r.Seq),
+					telemetry.Bool("lost", r.Lost),
+					telemetry.Float("rtt_ms", rttMs))
+				if !r.Lost {
+					c.tel.Metrics().Histogram("ping.rtt_ms", telemetry.DefaultRTTBucketsMs()).
+						Observe(rttMs)
+				}
+			}
 			msgs = append(msgs, EncodePingResult(r))
 			// Per-hop padding records of multi-hop rounds ride in
 			// continuation chunks: they do not fit one packet.
@@ -465,6 +492,13 @@ func (c *Controller) runTraceroute(from phys.NodeID, broadcast bool, cmd Command
 	c.proc = proc
 	err = c.tr.Start(opts,
 		func(rep TrHopReport) {
+			if c.tel.Recording() {
+				c.tel.Emit(c.os.ID(), telemetry.LayerController, "tr-hop",
+					telemetry.Int("hop", rep.Hop),
+					telemetry.Node("from", rep.From),
+					telemetry.Bool("lost", rep.Lost),
+					telemetry.Float("rtt_ms", float64(rep.RTT)/1000))
+			}
 			c.reply(from, broadcast, EncodeTrHopReport(rep))
 		},
 		func() {

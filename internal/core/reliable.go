@@ -10,6 +10,7 @@ import (
 	"liteview/internal/phys"
 	"liteview/internal/sim"
 	"liteview/internal/stack"
+	"liteview/internal/telemetry"
 )
 
 // This file implements the paper's reliable one-hop message exchange
@@ -130,7 +131,13 @@ type Endpoint struct {
 	in     map[inKey]*inXfer
 	inQ    []inKey
 	stats  ReliableStats
+	// tel, when set, receives reliable-exchange telemetry events.
+	tel *telemetry.Recorder
 }
+
+// SetTelemetry points the endpoint at a telemetry recorder (nil
+// detaches).
+func (e *Endpoint) SetTelemetry(rec *telemetry.Recorder) { e.tel = rec }
 
 const inCacheSize = 64
 
@@ -218,6 +225,12 @@ func (e *Endpoint) Send(to phys.NodeID, msgs [][]byte, delay sim.Time, done func
 		return nil
 	}
 	e.out[outKey(to, x.id)] = x
+	if e.tel.Recording() {
+		e.tel.Emit(e.st.NodeID(), telemetry.LayerReliable, "xfer-start",
+			telemetry.Node("to", to),
+			telemetry.Int("id", int(x.id)),
+			telemetry.Int("msgs", len(msgs)))
+	}
 	e.eng.MustSchedule(delay, func() { e.sendWindow(x) })
 	return nil
 }
@@ -230,6 +243,13 @@ func (e *Endpoint) sendWindow(x *outXfer) {
 	end := x.base + x.batch
 	if end > len(x.msgs) {
 		end = len(x.msgs)
+	}
+	if e.tel.Recording() {
+		e.tel.Emit(e.st.NodeID(), telemetry.LayerReliable, "window",
+			telemetry.Node("to", x.to),
+			telemetry.Int("id", int(x.id)),
+			telemetry.Int("base", x.base),
+			telemetry.Int("batch", end-x.base))
 	}
 	for i := x.base; i < end; i++ {
 		var w writer
@@ -277,12 +297,25 @@ func (e *Endpoint) onTimeout(x *outXfer) {
 	if x.retries > e.cfg.MaxRetries {
 		e.stats.Failures++
 		delete(e.out, outKey(x.to, x.id))
+		if e.tel.Recording() {
+			e.tel.Emit(e.st.NodeID(), telemetry.LayerReliable, "xfer-fail",
+				telemetry.Node("to", x.to),
+				telemetry.Int("id", int(x.id)),
+				telemetry.Int("retries", x.retries-1))
+		}
 		if x.done != nil {
 			x.done(fmt.Errorf("%w: to %d after %d retries", ErrXferFailed, x.to, x.retries-1))
 		}
 		return
 	}
 	e.stats.Retransmissions++
+	if e.tel.Recording() {
+		e.tel.Emit(e.st.NodeID(), telemetry.LayerReliable, "retry",
+			telemetry.Node("to", x.to),
+			telemetry.Int("id", int(x.id)),
+			telemetry.Int("retries", x.retries),
+			telemetry.Int("batch", x.batch))
+	}
 	// Loss signal: shrink the batch ("a smaller batch size is preferred
 	// when packets are more likely to get lost").
 	if !e.cfg.FixedBatch {
@@ -364,6 +397,12 @@ func (e *Endpoint) onAck(data []byte, from phys.NodeID) {
 		return
 	}
 	e.stats.AcksReceived++
+	if e.tel.Recording() {
+		e.tel.Emit(e.st.NodeID(), telemetry.LayerReliable, "ack-rx",
+			telemetry.Node("from", from),
+			telemetry.Int("id", int(id)),
+			telemetry.Int("next", nextExpected))
+	}
 	if nextExpected > x.base {
 		x.base = nextExpected
 		x.retries = 0
@@ -374,6 +413,12 @@ func (e *Endpoint) onAck(data []byte, from phys.NodeID) {
 			}
 			delete(e.out, outKey(from, id))
 			e.stats.Completed++
+			if e.tel.Recording() {
+				e.tel.Emit(e.st.NodeID(), telemetry.LayerReliable, "xfer-done",
+					telemetry.Node("to", x.to),
+					telemetry.Int("id", int(id)),
+					telemetry.Int("msgs", len(x.msgs)))
+			}
 			if x.done != nil {
 				x.done(nil)
 			}
@@ -468,5 +513,11 @@ func (e *Endpoint) sendAck(to phys.NodeID, id uint16, nextExpected int) {
 	}
 	if err := e.st.Send(p, to, mac.TypeControl, nil); err == nil {
 		e.stats.AcksSent++
+		if e.tel.Recording() {
+			e.tel.Emit(e.st.NodeID(), telemetry.LayerReliable, "ack-tx",
+				telemetry.Node("to", to),
+				telemetry.Int("id", int(id)),
+				telemetry.Int("next", nextExpected))
+		}
 	}
 }

@@ -11,6 +11,7 @@ import (
 	"liteview/internal/radio"
 	"liteview/internal/sim"
 	"liteview/internal/stack"
+	"liteview/internal/telemetry"
 )
 
 // WorkstationID is the reserved short address of the management
@@ -45,6 +46,14 @@ type Workstation struct {
 	// groupMode auto-creates collectors for any responder (broadcast
 	// commands collect from many nodes at once).
 	groupMode bool
+}
+
+// SetTelemetry points the workstation's MAC, stack, and reliable
+// endpoint at a telemetry recorder (nil detaches).
+func (w *Workstation) SetTelemetry(rec *telemetry.Recorder) {
+	w.mac.SetTelemetry(rec)
+	w.st.SetTelemetry(rec)
+	w.ep.SetTelemetry(rec)
 }
 
 type collector struct {

@@ -24,6 +24,7 @@ import (
 	"liteview/internal/medium"
 	"liteview/internal/phys"
 	"liteview/internal/sim"
+	"liteview/internal/telemetry"
 )
 
 // Kind enumerates the fault classes.
@@ -194,6 +195,22 @@ type Injector struct {
 	nextID int
 	// faults is kept in scheduling order for deterministic evaluation.
 	faults []*scheduled
+	// tel, when set, receives fault activation/clear telemetry events.
+	tel *telemetry.Recorder
+}
+
+// SetTelemetry points the injector at a telemetry recorder (nil
+// detaches).
+func (in *Injector) SetTelemetry(rec *telemetry.Recorder) { in.tel = rec }
+
+// emitTransition records one fault state change.
+func (in *Injector) emitTransition(s *scheduled, kind string) {
+	if !in.tel.Recording() {
+		return
+	}
+	in.tel.Emit(s.f.Node, telemetry.LayerFault, kind,
+		telemetry.Int("id", s.id),
+		telemetry.String("fault", s.f.Kind.String()))
 }
 
 // seedSalt decorrelates the injector's stream from the engine's.
@@ -320,6 +337,7 @@ func (in *Injector) activate(s *scheduled) {
 		return
 	}
 	s.state = Active
+	in.emitTransition(s, "fault-active")
 	if s.f.Kind == NodeCrash {
 		if n, ok := in.nodes[s.f.Node]; ok {
 			n.Crash()
@@ -333,6 +351,7 @@ func (in *Injector) deactivate(s *scheduled) {
 		return
 	}
 	s.state = Done
+	in.emitTransition(s, "fault-clear")
 	if s.f.Kind == NodeCrash {
 		if n, ok := in.nodes[s.f.Node]; ok {
 			n.Reboot()

@@ -8,11 +8,15 @@ import (
 
 // EventLog is LiteOS's on-demand logging of internal events: a small
 // ring buffer a user enables only when debugging, so it costs nothing
-// in the common case.
+// in the common case. The buffer is circular — appends are O(1) and
+// memory stays flat at the configured capacity no matter how long the
+// node runs.
 type EventLog struct {
 	enabled bool
-	cap     int
-	entries []LogEntry
+	buf     []LogEntry
+	// head indexes the oldest entry; n is the number of live entries.
+	head    int
+	n       int
 	dropped uint64
 }
 
@@ -35,7 +39,7 @@ func NewEventLog(capacity int) *EventLog {
 	if capacity <= 0 {
 		capacity = 64
 	}
-	return &EventLog{cap: capacity}
+	return &EventLog{buf: make([]LogEntry, capacity)}
 }
 
 // Enable turns logging on.
@@ -47,30 +51,47 @@ func (l *EventLog) Disable() { l.enabled = false }
 // Enabled reports whether events are being recorded.
 func (l *EventLog) Enabled() bool { return l.enabled }
 
+// Cap returns the ring's capacity in entries.
+func (l *EventLog) Cap() int { return len(l.buf) }
+
+// Len returns the number of recorded entries.
+func (l *EventLog) Len() int { return l.n }
+
 // Append records an event when enabled, evicting the oldest entry when
 // the ring is full.
 func (l *EventLog) Append(at sim.Time, tag, msg string) {
 	if !l.enabled {
 		return
 	}
-	if len(l.entries) >= l.cap {
-		copy(l.entries, l.entries[1:])
-		l.entries = l.entries[:len(l.entries)-1]
+	if l.n == len(l.buf) {
+		l.buf[l.head] = LogEntry{At: at, Tag: tag, Msg: msg}
+		l.head = (l.head + 1) % len(l.buf)
 		l.dropped++
+		return
 	}
-	l.entries = append(l.entries, LogEntry{At: at, Tag: tag, Msg: msg})
+	l.buf[(l.head+l.n)%len(l.buf)] = LogEntry{At: at, Tag: tag, Msg: msg}
+	l.n++
 }
 
 // Entries returns a copy of the recorded events, oldest first.
 func (l *EventLog) Entries() []LogEntry {
-	return append([]LogEntry(nil), l.entries...)
+	out := make([]LogEntry, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.buf[(l.head+i)%len(l.buf)]
+	}
+	return out
 }
 
 // Dropped reports how many events were evicted from the ring.
-func (l *EventLog) Dropped() uint64 { return l.dropped }
+func (l *EventLog) Dropped() uint64 {
+	return l.dropped
+}
 
 // Clear discards recorded entries.
 func (l *EventLog) Clear() {
-	l.entries = l.entries[:0]
-	l.dropped = 0
+	// Zero the slots so evicted strings are collectable.
+	for i := range l.buf {
+		l.buf[i] = LogEntry{}
+	}
+	l.head, l.n, l.dropped = 0, 0, 0
 }

@@ -235,7 +235,7 @@ func TestEventLog(t *testing.T) {
 	if len(l.Entries()) != 0 || l.Dropped() != 0 {
 		t.Fatal("clear failed")
 	}
-	if NewEventLog(0).cap != 64 {
+	if NewEventLog(0).Cap() != 64 {
 		t.Fatal("default capacity wrong")
 	}
 }

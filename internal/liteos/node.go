@@ -51,6 +51,8 @@ type Config struct {
 	MAC mac.Config
 	// NeighborCapacity bounds the kernel neighbor table (0 = default).
 	NeighborCapacity int
+	// EventLogCap bounds the kernel event-log ring (0 = 64 entries).
+	EventLogCap int
 	// BatteryJ is the usable battery energy in joules (0 = a 2×AA
 	// pack).
 	BatteryJ float64
@@ -106,7 +108,7 @@ func NewNode(eng *sim.Engine, med *medium.Medium, cfg Config) (*Node, error) {
 		eng:      eng,
 		cfg:      cfg,
 		rad:      rad,
-		log:      NewEventLog(64),
+		log:      NewEventLog(cfg.EventLogCap),
 		procs:    make(map[int]*Process),
 		binaries: make(map[string]*Binary),
 		alive:    true,

@@ -12,11 +12,13 @@ package mac
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"liteview/internal/medium"
 	"liteview/internal/phys"
 	"liteview/internal/radio"
 	"liteview/internal/sim"
+	"liteview/internal/telemetry"
 )
 
 // UnitBackoff is the 802.15.4 unit backoff period (20 symbols).
@@ -140,7 +142,9 @@ type MAC struct {
 	// rxFault, when set, injects bit errors into received frames (burst
 	// corruption from internal/fault).
 	rxFault func(from phys.NodeID) bool
-	stats   Stats
+	// tel, when set, receives MAC-layer telemetry events.
+	tel   *telemetry.Recorder
+	stats Stats
 }
 
 // New creates a MAC for node id at pos and attaches it to med. The
@@ -203,6 +207,21 @@ func (m *MAC) QueueLen() int { return len(m.queue) }
 // Stats returns a snapshot of the MAC counters.
 func (m *MAC) Stats() Stats { return m.stats }
 
+// ResetStats zeroes the counters (the medium has had this from the
+// start; the shell's `stats reset` needs it here too).
+func (m *MAC) ResetStats() { m.stats = Stats{} }
+
+// SetTelemetry points the MAC at a telemetry recorder (nil detaches).
+func (m *MAC) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
+
+// emitQueueDepth publishes the transmit-queue occupancy gauge.
+func (m *MAC) emitQueueDepth() {
+	if m.tel.Recording() {
+		m.tel.Metrics().Gauge("mac.queue." + strconv.FormatUint(uint64(m.id), 10)).
+			Set(float64(len(m.queue)))
+	}
+}
+
 // SetRxFault installs a receive-path fault hook: frames for which fn
 // returns true take bit errors before the CRC check, exactly as if the
 // air had corrupted them. Pass nil to remove.
@@ -242,6 +261,11 @@ func (m *MAC) Send(f Frame, sent SentFunc) error {
 	}
 	if len(m.queue) >= m.cfg.QueueCap {
 		m.stats.QueueDrops++
+		if m.tel.Recording() {
+			m.tel.Emit(m.id, telemetry.LayerMAC, "queue-drop",
+				telemetry.Node("dst", f.Dst),
+				telemetry.Int("depth", len(m.queue)))
+		}
 		return ErrQueueFull
 	}
 	f.Src = m.id
@@ -251,6 +275,13 @@ func (m *MAC) Send(f Frame, sent SentFunc) error {
 		return err
 	}
 	m.queue = append(m.queue, outgoing{frame: f, sent: sent, queued: m.eng.Now()})
+	if m.tel.Recording() {
+		m.tel.Emit(m.id, telemetry.LayerMAC, "enqueue",
+			telemetry.Node("dst", f.Dst),
+			telemetry.Int("type", int(f.Type)),
+			telemetry.Int("depth", len(m.queue)))
+		m.emitQueueDepth()
+	}
 	m.kick()
 	return nil
 }
@@ -290,6 +321,10 @@ func (m *MAC) attempt(be, retries int) {
 		}
 		if m.med.ChannelBusy(m, m.cfg.CCAThresholdDBm) {
 			m.stats.BackoffRetries++
+			if m.tel.Recording() {
+				m.tel.Emit(m.id, telemetry.LayerMAC, "cca-busy",
+					telemetry.Int("round", retries+1))
+			}
 			if retries+1 > m.cfg.MaxCSMABackoffs {
 				m.stats.ChannelAccess++
 				m.finish(ErrChannelAccess)
@@ -342,6 +377,13 @@ func (m *MAC) transmit() {
 		case TypeAck:
 			m.stats.SentMACAcks++
 		}
+		if m.tel.Recording() {
+			m.tel.Emit(m.id, telemetry.LayerMAC, "sent",
+				telemetry.Node("dst", out.frame.Dst),
+				telemetry.Int("type", int(out.frame.Type)),
+				telemetry.Int("seq", int(out.frame.Seq)),
+				telemetry.Int("tries", out.retries+1))
+		}
 		if m.cfg.LinkAcks && out.frame.Dst != phys.Broadcast {
 			m.armAckWait(out.frame)
 			return
@@ -378,6 +420,12 @@ func (m *MAC) onAckTimeout() {
 	if head.retries < m.cfg.MaxFrameRetries || lplRetry {
 		head.retries++
 		m.stats.FrameRetries++
+		if m.tel.Recording() {
+			m.tel.Emit(m.id, telemetry.LayerMAC, "ack-timeout",
+				telemetry.Node("dst", head.frame.Dst),
+				telemetry.Int("seq", int(head.frame.Seq)),
+				telemetry.Int("retry", head.retries))
+		}
 		if m.cfg.LPL {
 			// LPL repeats back-to-back: the peer is asleep, not
 			// contended — the next copy must land inside its upcoming
@@ -398,6 +446,11 @@ func (m *MAC) onAckTimeout() {
 		return
 	}
 	m.stats.NoAck++
+	if m.tel.Recording() {
+		m.tel.Emit(m.id, telemetry.LayerMAC, "no-ack",
+			telemetry.Node("dst", head.frame.Dst),
+			telemetry.Int("seq", int(head.frame.Seq)))
+	}
 	m.finish(ErrNoAck)
 }
 
@@ -444,6 +497,12 @@ func (m *MAC) finish(err error) {
 	out := m.queue[0]
 	m.queue = m.queue[1:]
 	m.sending = false
+	m.emitQueueDepth()
+	if m.tel.Recording() && err != nil {
+		m.tel.Emit(m.id, telemetry.LayerMAC, "tx-fail",
+			telemetry.Node("dst", out.frame.Dst),
+			telemetry.String("err", err.Error()))
+	}
 	if out.sent != nil {
 		out.sent(out.frame, err)
 	}
@@ -466,6 +525,10 @@ func (m *MAC) OnFrame(raw []byte, info medium.RxInfo) {
 	f, err := Decode(raw)
 	if err != nil {
 		m.stats.CRCFailures++
+		if m.tel.Recording() {
+			m.tel.Emit(m.id, telemetry.LayerMAC, "crc-fail",
+				telemetry.Node("from", info.From))
+		}
 		return
 	}
 	if f.Type == TypeAck {
@@ -473,6 +536,11 @@ func (m *MAC) OnFrame(raw []byte, info medium.RxInfo) {
 			m.eng.Cancel(m.awaitTimer)
 			m.awaitTimer = nil
 			m.stats.AckedOK++
+			if m.tel.Recording() {
+				m.tel.Emit(m.id, telemetry.LayerMAC, "acked",
+					telemetry.Node("from", f.Src),
+					telemetry.Int("seq", int(f.Seq)))
+			}
 			m.finish(nil)
 		}
 		return // MAC acks never reach the stack

@@ -12,10 +12,12 @@ package medium
 import (
 	"fmt"
 	"math"
+	"strconv"
 
 	"liteview/internal/phys"
 	"liteview/internal/radio"
 	"liteview/internal/sim"
+	"liteview/internal/telemetry"
 )
 
 // RxInfo carries the physical-layer metadata the receiver's radio chip
@@ -74,6 +76,77 @@ type Stats struct {
 	// InjectedDrops counts deliveries suppressed by the fault hook
 	// (blackouts and partitions swallow frames without a trace).
 	InjectedDrops uint64
+	// WrongChannel counts deliveries skipped because the would-be
+	// receiver was tuned elsewhere.
+	WrongChannel uint64
+}
+
+// DeliveryOutcome classifies what happened to one (frame, receiver)
+// pair when the frame's airtime completed.
+type DeliveryOutcome int
+
+// Per-receiver delivery outcomes, from best to worst.
+const (
+	// OutcomeDelivered: the frame arrived intact.
+	OutcomeDelivered DeliveryOutcome = iota
+	// OutcomeCorrupted: the frame arrived with bit errors (the MAC's
+	// CRC check will fail). TapDelivery.Cause says why.
+	OutcomeCorrupted
+	// OutcomeWrongChannel: the receiver was tuned to another channel.
+	OutcomeWrongChannel
+	// OutcomeRadioOff: the receiver was not in RX (off or transmitting)
+	// when the frame ended.
+	OutcomeRadioOff
+	// OutcomeBelowSensitivity: the signal arrived under the radio's
+	// sensitivity floor and was never detected.
+	OutcomeBelowSensitivity
+	// OutcomeInjectedDrop: an active fault (blackout, partition)
+	// swallowed the frame.
+	OutcomeInjectedDrop
+)
+
+// String returns the outcome's wire name (used in telemetry exports).
+func (o DeliveryOutcome) String() string {
+	switch o {
+	case OutcomeDelivered:
+		return "delivered"
+	case OutcomeCorrupted:
+		return "corrupted"
+	case OutcomeWrongChannel:
+		return "wrong-channel"
+	case OutcomeRadioOff:
+		return "radio-off"
+	case OutcomeBelowSensitivity:
+		return "below-sensitivity"
+	case OutcomeInjectedDrop:
+		return "injected-drop"
+	}
+	return "unknown"
+}
+
+// TapDelivery describes one per-receiver delivery outcome — the answer
+// to "who actually heard this frame, and if not, why not".
+type TapDelivery struct {
+	// TxSeq ties the outcome back to the TapRecord with the same Seq.
+	TxSeq uint64
+	// From and To are the transmitter and the would-be receiver.
+	From, To phys.NodeID
+	// Channel is the transmission's 802.15.4 channel.
+	Channel int
+	// Outcome classifies the delivery.
+	Outcome DeliveryOutcome
+	// Cause refines OutcomeCorrupted: "capture" (lost a co-channel
+	// collision), "per" (SINR packet-error draw), "jam" (jammed
+	// channel), "injected" (test loss hook). Empty otherwise.
+	Cause string
+	// RxPowerDBm and SINRDB are the received power and
+	// signal-to-interference-plus-noise ratio; only meaningful for
+	// outcomes where the frame was demodulated (delivered/corrupted).
+	RxPowerDBm, SINRDB float64
+	// RSSI and LQI are the radio register values for demodulated frames.
+	RSSI, LQI int
+	// At is the delivery instant (end of airtime).
+	At sim.Time
 }
 
 // FaultEffect is what an injected fault does to one delivery. Effects
@@ -120,10 +193,21 @@ type Medium struct {
 	faultFn func(from, to phys.NodeID, channel int) FaultEffect
 	// tap, when set, observes every transmission put on the air.
 	tap func(TapRecord)
+	// deliveryTap, when set, observes every per-receiver delivery
+	// outcome.
+	deliveryTap func(TapDelivery)
+	// txSeq numbers transmissions so delivery outcomes can be joined
+	// back to the frame they belong to.
+	txSeq uint64
+	// tel, when set, receives medium-layer telemetry events.
+	tel *telemetry.Recorder
 }
 
 // TapRecord describes one transmission for trace tooling.
 type TapRecord struct {
+	// Seq is the transmission's medium-wide sequence number; the
+	// TapDelivery records for this frame carry it as TxSeq.
+	Seq     uint64
 	From    phys.NodeID
 	Channel int
 	TxDBm   float64
@@ -147,6 +231,13 @@ func (m *Medium) SetFaultHook(fn func(from, to phys.NodeID, channel int) FaultEf
 
 // SetTap installs an observer of every transmission (nil removes it).
 func (m *Medium) SetTap(fn func(TapRecord)) { m.tap = fn }
+
+// SetDeliveryTap installs an observer of every per-receiver delivery
+// outcome (nil removes it).
+func (m *Medium) SetDeliveryTap(fn func(TapDelivery)) { m.deliveryTap = fn }
+
+// SetTelemetry points the medium at a telemetry recorder (nil detaches).
+func (m *Medium) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
 
 // New returns a medium running on eng with the given propagation model.
 func New(eng *sim.Engine, model *phys.Model) *Medium {
@@ -233,16 +324,62 @@ func (m *Medium) Transmit(tx Receiver, frame []byte) (sim.Time, error) {
 	}
 	m.active = append(m.active, t)
 	m.stats.Transmitted++
+	m.txSeq++
+	seq := m.txSeq
 	if m.tap != nil {
-		m.tap(TapRecord{From: t.from, Channel: t.channel, TxDBm: t.txDBm,
+		m.tap(TapRecord{Seq: seq, From: t.from, Channel: t.channel, TxDBm: t.txDBm,
 			Bytes: len(t.frame), Start: t.start, End: t.end})
 	}
-	m.eng.MustSchedule(airtime, func() { m.deliver(t) })
+	if m.tel.Recording() {
+		m.tel.EmitSpan(t.from, telemetry.LayerMedium, "tx", airtime,
+			telemetry.Uint64("txseq", seq),
+			telemetry.Int("ch", t.channel),
+			telemetry.Float("dbm", t.txDBm),
+			telemetry.Int("bytes", len(t.frame)))
+	}
+	m.eng.MustSchedule(airtime, func() { m.deliver(t, seq) })
 	return airtime, nil
 }
 
+// report publishes one per-receiver delivery outcome to the stats
+// counters' observers: the delivery tap and the telemetry recorder.
+func (m *Medium) report(d TapDelivery) {
+	if m.deliveryTap != nil {
+		m.deliveryTap(d)
+	}
+	if !m.tel.Recording() {
+		return
+	}
+	attrs := []telemetry.Attr{
+		telemetry.Uint64("txseq", d.TxSeq),
+		telemetry.Node("from", d.From),
+		telemetry.String("outcome", d.Outcome.String()),
+	}
+	if d.Cause != "" {
+		attrs = append(attrs, telemetry.String("cause", d.Cause))
+	}
+	if d.Outcome == OutcomeDelivered || d.Outcome == OutcomeCorrupted {
+		attrs = append(attrs,
+			telemetry.Float("rx_dbm", d.RxPowerDBm),
+			telemetry.Float("sinr_db", d.SINRDB),
+			telemetry.Int("lqi", d.LQI))
+	}
+	m.tel.Emit(d.To, telemetry.LayerMedium, "rx", attrs...)
+	link := "link." + strconv.FormatUint(uint64(d.From), 10) + "-" +
+		strconv.FormatUint(uint64(d.To), 10)
+	switch d.Outcome {
+	case OutcomeDelivered:
+		m.tel.Metrics().Counter(link + ".delivered").Inc()
+		m.tel.Metrics().Gauge(link + ".lqi").Set(float64(d.LQI))
+	case OutcomeCorrupted, OutcomeRadioOff, OutcomeInjectedDrop:
+		// Out-of-range and off-channel outcomes are not link losses —
+		// counting them would flatten every long link's PRR to zero.
+		m.tel.Metrics().Counter(link + ".lost").Inc()
+	}
+}
+
 // deliver fans t out to every eligible listener at t.end.
-func (m *Medium) deliver(t *transmission) {
+func (m *Medium) deliver(t *transmission, seq uint64) {
 	for _, id := range m.order {
 		if id == t.from {
 			continue
@@ -251,7 +388,12 @@ func (m *Medium) deliver(t *transmission) {
 		if !ok {
 			continue
 		}
+		outcome := TapDelivery{TxSeq: seq, From: t.from, To: id,
+			Channel: t.channel, At: m.eng.Now()}
 		if rx.Channel() != t.channel {
+			m.stats.WrongChannel++
+			outcome.Outcome = OutcomeWrongChannel
+			m.report(outcome)
 			continue
 		}
 		var eff FaultEffect
@@ -260,15 +402,23 @@ func (m *Medium) deliver(t *transmission) {
 		}
 		if eff.Drop {
 			m.stats.InjectedDrops++
+			outcome.Outcome = OutcomeInjectedDrop
+			m.report(outcome)
 			continue
 		}
 		rxDBm := m.model.ReceivedPower(t.txDBm, t.from, id, t.pos, rx.Position()) - eff.ExtraLossDB
 		if rxDBm < radio.SensitivityDBm {
 			m.stats.BelowSensitivity++
+			outcome.Outcome = OutcomeBelowSensitivity
+			outcome.RxPowerDBm = rxDBm
+			m.report(outcome)
 			continue
 		}
 		if rx.RadioState() != radio.RX {
 			m.stats.MissedNotListening++
+			outcome.Outcome = OutcomeRadioOff
+			outcome.RxPowerDBm = rxDBm
+			m.report(outcome)
 			continue
 		}
 		sinr, interfered := m.sinrAt(t, id, rx.Position(), rxDBm)
@@ -278,16 +428,23 @@ func (m *Medium) deliver(t *transmission) {
 		// interferer to capture it, so frames that collided and fall
 		// under the co-channel rejection threshold are lost outright.
 		var ok2 bool
+		cause := ""
 		if interfered && sinr < CaptureThresholdDB {
 			ok2 = false
+			cause = "capture"
 		} else {
 			ok2 = m.rng.Bool(phys.PRR(sinr, len(t.frame)))
+			if !ok2 {
+				cause = "per"
+			}
 		}
 		if ok2 && eff.Corrupt {
 			ok2 = false // jammed channel
+			cause = "jam"
 		}
 		if ok2 && m.lossFn != nil && m.lossFn(t.from, id, t.frame) {
 			ok2 = false // injected loss
+			cause = "injected"
 		}
 		info := RxInfo{
 			From:       t.from,
@@ -300,9 +457,17 @@ func (m *Medium) deliver(t *transmission) {
 		}
 		if ok2 {
 			m.stats.Delivered++
+			outcome.Outcome = OutcomeDelivered
 		} else {
 			m.stats.Corrupted++
+			outcome.Outcome = OutcomeCorrupted
+			outcome.Cause = cause
 		}
+		outcome.RxPowerDBm = rxDBm
+		outcome.SINRDB = sinr
+		outcome.RSSI = info.RSSI
+		outcome.LQI = info.LQI
+		m.report(outcome)
 		rx.OnFrame(append([]byte(nil), t.frame...), info)
 	}
 }

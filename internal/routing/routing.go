@@ -34,6 +34,7 @@ import (
 	"liteview/internal/phys"
 	"liteview/internal/sim"
 	"liteview/internal/stack"
+	"liteview/internal/telemetry"
 )
 
 // Well-known ports for the bundled protocols.
@@ -179,6 +180,22 @@ type Router struct {
 	// pending parks packets whose route is still being discovered.
 	pending map[phys.NodeID][]*stack.Packet
 	stats   Stats
+	// tel, when set, receives routing-layer telemetry events.
+	tel *telemetry.Recorder
+}
+
+// SetTelemetry points the router at a telemetry recorder (nil detaches).
+func (r *Router) SetTelemetry(rec *telemetry.Recorder) { r.tel = rec }
+
+// emitDrop records one dropped packet with its cause.
+func (r *Router) emitDrop(p *stack.Packet, cause string) {
+	if r.tel.Recording() {
+		r.tel.Emit(r.st.NodeID(), telemetry.LayerRouting, "drop",
+			telemetry.String("cause", cause),
+			telemetry.Node("origin", p.Origin),
+			telemetry.Node("dst", p.Dst),
+			telemetry.Int("port", int(r.port)))
+	}
 }
 
 // Bounds on parked route-discovery packets (a 4 KB mote cannot buffer
@@ -282,7 +299,15 @@ func (r *Router) SendTo(dst phys.NodeID, innerPort byte, data []byte, pad, contr
 	}
 	if err != nil {
 		r.stats.DroppedNoRoute++
+		r.emitDrop(p, "noroute")
 		return err
+	}
+	if r.tel.Recording() {
+		r.tel.Emit(r.st.NodeID(), telemetry.LayerRouting, "originate",
+			telemetry.Node("dst", dst),
+			telemetry.Node("next", next),
+			telemetry.Int("port", int(r.port)),
+			telemetry.Int("inner", int(innerPort)))
 	}
 	r.enqueue(p, next, control)
 	return nil
@@ -340,6 +365,7 @@ func (r *Router) onPacket(p *stack.Packet, from phys.NodeID, info medium.RxInfo)
 	key := uint32(p.Origin)<<16 | uint32(id)
 	if _, dup := r.seen[key]; dup {
 		r.stats.DroppedDup++
+		r.emitDrop(p, "dup")
 		return
 	}
 	r.remember(key)
@@ -354,6 +380,13 @@ func (r *Router) onPacket(p *stack.Packet, from phys.NodeID, info medium.RxInfo)
 	if p.Dst == r.st.NodeID() || p.Dst == phys.Broadcast {
 		if err := r.deliverLocal(p); err == nil {
 			r.stats.Delivered++
+			if r.tel.Recording() {
+				r.tel.Emit(r.st.NodeID(), telemetry.LayerRouting, "deliver",
+					telemetry.Node("origin", p.Origin),
+					telemetry.Node("from", from),
+					telemetry.Int("port", int(r.port)),
+					telemetry.Int("inner", int(innerPort)))
+			}
 		}
 		if p.Dst != phys.Broadcast {
 			return
@@ -361,6 +394,7 @@ func (r *Router) onPacket(p *stack.Packet, from phys.NodeID, info medium.RxInfo)
 	}
 	if p.TTL == 0 {
 		r.stats.DroppedTTL++
+		r.emitDrop(p, "ttl")
 		return
 	}
 	p.TTL--
@@ -371,12 +405,21 @@ func (r *Router) onPacket(p *stack.Packet, from phys.NodeID, info medium.RxInfo)
 	}
 	if err != nil {
 		r.stats.DroppedNoRoute++
+		r.emitDrop(p, "noroute")
 		if debugNoRoute {
 			fmt.Printf("DEBUG noroute at node %d: origin=%d dst=%d ttl=%d err=%v\n", r.st.NodeID(), p.Origin, p.Dst, p.TTL, err)
 		}
 		return
 	}
 	r.stats.Forwarded++
+	if r.tel.Recording() {
+		r.tel.Emit(r.st.NodeID(), telemetry.LayerRouting, "forward",
+			telemetry.Node("origin", p.Origin),
+			telemetry.Node("dst", p.Dst),
+			telemetry.Node("next", next),
+			telemetry.Int("ttl", int(p.TTL)),
+			telemetry.Int("port", int(r.port)))
+	}
 	r.enqueue(p, next, false)
 }
 
@@ -413,6 +456,7 @@ func (r *Router) remember(key uint32) {
 func (r *Router) enqueue(p *stack.Packet, next phys.NodeID, ctl bool) {
 	if len(r.queue) >= r.cfg.QueueCap {
 		r.stats.DroppedQueue++
+		r.emitDrop(p, "queue")
 		return
 	}
 	r.queue = append(r.queue, queued{pkt: p, next: next, ctl: ctl})

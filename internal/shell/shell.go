@@ -19,6 +19,7 @@ import (
 	"liteview/internal/fault"
 	"liteview/internal/phys"
 	"liteview/internal/sim"
+	"liteview/internal/telemetry"
 	"liteview/internal/testbed"
 )
 
@@ -83,6 +84,9 @@ type Shell struct {
 	curName  string // name of the node logged into, "" at the root
 	// inj drives the fault command; nil disables it.
 	inj *fault.Injector
+	// tb enables the simulator-side observability commands (trace,
+	// stats medium/reset); nil on sessions built with New.
+	tb *testbed.Testbed
 }
 
 // New creates a session writing output to out.
@@ -101,6 +105,7 @@ func NewForTestbed(tb *testbed.Testbed, ws *core.Workstation, out io.Writer) (*S
 		return nil, err
 	}
 	s.inj = tb.FaultInjector()
+	s.tb = tb
 	return s, nil
 }
 
@@ -163,11 +168,13 @@ func (s *Shell) Exec(line string) error {
 	case "healthcheck":
 		return s.healthcheck()
 	case "stats":
-		return s.stats()
+		return s.stats(args)
 	case "energy":
 		return s.energy()
 	case "fault":
 		return s.fault(args)
+	case "trace":
+		return s.trace(args)
 	default:
 		return fmt.Errorf("shell: unknown command %q (try help)", cmd)
 	}
@@ -183,7 +190,10 @@ func (s *Shell) help() {
   neighborsetup list          show the kernel neighbor table
   neighborsetup blacklist add|remove <name|id>
   neighborsetup update period=<ms>
-  stats                       link/stack counters and routing state
+  stats [medium|reset]        link/stack counters and routing state;
+                              medium-wide counters; reset zeroes them
+  trace on|off|dump [count]   control the cross-layer telemetry recorder
+  trace summary               per-layer event counts of the recording
   energy                      battery account and lifetime estimate
   log on|off|show [count]     control / read the node's event log
   survey                      broadcast radio query to all nodes in range
@@ -540,8 +550,21 @@ func (s *Shell) healthcheck() error {
 	return nil
 }
 
-// stats prints the node's counters and routing protocol state.
-func (s *Shell) stats() error {
+// stats prints the node's counters and routing protocol state, plus the
+// simulator-side medium counters on testbed sessions. "stats medium"
+// prints only the medium block (no login needed); "stats reset" zeroes
+// the medium and every node's MAC counters.
+func (s *Shell) stats(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "medium":
+			return s.statsMedium()
+		case "reset":
+			return s.statsReset()
+		default:
+			return fmt.Errorf("shell: usage: stats [medium|reset]")
+		}
+	}
 	node, err := s.node()
 	if err != nil {
 		return err
@@ -564,7 +587,84 @@ func (s *Shell) stats() error {
 		}
 		s.printf("\n")
 	}
+	if s.tb != nil {
+		s.printMediumStats()
+	}
 	return nil
+}
+
+// printMediumStats renders the shared-air counters.
+func (s *Shell) printMediumStats() {
+	ms := s.tb.Med.Stats()
+	s.printf("  medium: transmitted=%d delivered=%d corrupted=%d missed=%d belowsens=%d wrongch=%d injected=%d\n",
+		ms.Transmitted, ms.Delivered, ms.Corrupted, ms.MissedNotListening,
+		ms.BelowSensitivity, ms.WrongChannel, ms.InjectedDrops)
+}
+
+// statsMedium prints the medium counters without needing a node login.
+func (s *Shell) statsMedium() error {
+	if s.tb == nil {
+		return errors.New("shell: this session has no testbed (medium stats unavailable)")
+	}
+	s.printf("medium counters:\n")
+	s.printMediumStats()
+	return nil
+}
+
+// statsReset zeroes the medium counters and every node's MAC counters.
+func (s *Shell) statsReset() error {
+	if s.tb == nil {
+		return errors.New("shell: this session has no testbed (stats reset unavailable)")
+	}
+	s.tb.Med.ResetStats()
+	for _, n := range s.tb.Nodes {
+		n.MAC().ResetStats()
+	}
+	s.printf("medium and MAC counters reset\n")
+	return nil
+}
+
+// trace controls the deployment-wide telemetry recorder: `trace on`
+// starts capturing cross-layer events, `trace off` stops, `trace dump
+// [count]` prints the newest events as JSONL, `trace summary` prints
+// per-layer counts.
+func (s *Shell) trace(args []string) error {
+	if s.tb == nil {
+		return errors.New("shell: this session has no testbed (telemetry unavailable)")
+	}
+	if len(args) == 0 {
+		return errors.New("shell: usage: trace on|off|dump [count]|summary")
+	}
+	rec := s.tb.Telemetry()
+	switch args[0] {
+	case "on":
+		rec.Start()
+		s.printf("telemetry recording on\n")
+		return nil
+	case "off":
+		rec.Stop()
+		s.printf("telemetry recording off (%d events captured)\n", rec.Len())
+		return nil
+	case "dump":
+		count := 20
+		if len(args) > 1 {
+			v, err := strconv.Atoi(args[1])
+			if err != nil || v < 0 {
+				return fmt.Errorf("shell: bad count %q", args[1])
+			}
+			count = v
+		}
+		events := rec.Events()
+		if count > 0 && len(events) > count {
+			events = events[len(events)-count:]
+		}
+		return telemetry.WriteJSONL(s.out, events, telemetry.Filter{})
+	case "summary":
+		s.printf("%s", telemetry.Summarize(rec.Events(), telemetry.Filter{}))
+		return nil
+	default:
+		return fmt.Errorf("shell: unknown trace subcommand %q", args[0])
+	}
 }
 
 // energy prints the node's battery account.

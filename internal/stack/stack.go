@@ -8,6 +8,7 @@ import (
 	"liteview/internal/medium"
 	"liteview/internal/phys"
 	"liteview/internal/sim"
+	"liteview/internal/telemetry"
 )
 
 // Handler receives packets addressed to a subscribed port. from is the
@@ -45,7 +46,12 @@ type Stack struct {
 	ports    map[byte]Handler
 	sniffers []Sniffer
 	stats    Stats
+	// tel, when set, receives port-dispatch telemetry events.
+	tel *telemetry.Recorder
 }
+
+// SetTelemetry points the stack at a telemetry recorder (nil detaches).
+func (s *Stack) SetTelemetry(rec *telemetry.Recorder) { s.tel = rec }
 
 // New wires a stack on top of m. Construct the MAC with the stack's
 // OnFrame as its deliver callback (a two-phase hookup: create the Stack
@@ -68,14 +74,28 @@ func (s *Stack) OnFrame(f mac.Frame, info medium.RxInfo) {
 	p, err := DecodePacket(f.Payload)
 	if err != nil {
 		s.stats.Malformed++
+		if s.tel.Recording() {
+			s.tel.Emit(s.mac.NodeID(), telemetry.LayerStack, "malformed",
+				telemetry.Node("from", f.Src))
+		}
 		return
 	}
 	h, ok := s.ports[p.Port]
 	if !ok {
 		s.stats.NoSubscriber++
+		if s.tel.Recording() {
+			s.tel.Emit(s.mac.NodeID(), telemetry.LayerStack, "no-subscriber",
+				telemetry.Node("from", f.Src),
+				telemetry.Int("port", int(p.Port)))
+		}
 		return
 	}
 	s.stats.Delivered++
+	if s.tel.Recording() {
+		s.tel.Emit(s.mac.NodeID(), telemetry.LayerStack, "dispatch",
+			telemetry.Node("from", f.Src),
+			telemetry.Int("port", int(p.Port)))
+	}
 	h(p, f.Src, info)
 }
 
@@ -146,6 +166,10 @@ func (s *Stack) SendLocal(p *Packet) error {
 	q := p.Clone()
 	s.eng.MustSchedule(0, func() {
 		s.stats.LocalDelivered++
+		if s.tel.Recording() {
+			s.tel.Emit(s.mac.NodeID(), telemetry.LayerStack, "local",
+				telemetry.Int("port", int(q.Port)))
+		}
 		h(q, s.mac.NodeID(), medium.RxInfo{From: s.mac.NodeID(), At: s.eng.Now()})
 	})
 	return nil

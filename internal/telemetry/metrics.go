@@ -1,0 +1,233 @@
+package telemetry
+
+import (
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v++ }
+
+// Add increases the counter by n.
+func (c *Counter) Add(n uint64) { c.v += n }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v }
+
+// Gauge is a value that can move both ways (queue depth, LQI).
+type Gauge struct{ v float64 }
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.v = v }
+
+// Add shifts the gauge by d (negative to decrease).
+func (g *Gauge) Add(d float64) { g.v += d }
+
+// Value returns the current gauge reading.
+func (g *Gauge) Value() float64 { return g.v }
+
+// Histogram accumulates a distribution with explicit bucket bounds.
+// Buckets count observations <= bound; observations beyond the last
+// bound land in the implicit overflow bucket.
+type Histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; last is overflow
+	count  uint64
+	sum    float64
+	min    float64
+	max    float64
+}
+
+// DefaultRTTBucketsMs are histogram bounds suited to simulated ping
+// round-trip times (milliseconds).
+func DefaultRTTBucketsMs() []float64 {
+	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
+}
+
+// Observe records one sample.
+func (h *Histogram) Observe(v float64) {
+	if h.count == 0 || v < h.min {
+		h.min = v
+	}
+	if h.count == 0 || v > h.max {
+		h.max = v
+	}
+	h.count++
+	h.sum += v
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i]++
+			return
+		}
+	}
+	h.counts[len(h.counts)-1]++
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Sum returns the total of all samples.
+func (h *Histogram) Sum() float64 { return h.sum }
+
+// Min returns the smallest sample (0 before any observation).
+func (h *Histogram) Min() float64 { return h.min }
+
+// Max returns the largest sample (0 before any observation).
+func (h *Histogram) Max() float64 { return h.max }
+
+// Mean returns the average sample, or NaN before any observation.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return math.NaN()
+	}
+	return h.sum / float64(h.count)
+}
+
+// Buckets returns the (bound, cumulative-count) pairs plus the overflow
+// count as the final entry with bound = +Inf.
+func (h *Histogram) Buckets() ([]float64, []uint64) {
+	bounds := append(append([]float64(nil), h.bounds...), math.Inf(1))
+	counts := append([]uint64(nil), h.counts...)
+	return bounds, counts
+}
+
+// Registry is a namespace of metrics, get-or-create by name. Names are
+// dotted paths ("ping.rtt_ms", "link.2-3.delivered", "mac.queue.4").
+// All accessors are deterministic: iteration for snapshots happens in
+// sorted name order.
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, creating it on first use.
+// Nil-safe: a nil registry returns a throwaway counter so callers can
+// chain r.Metrics().Counter(...).Inc() unconditionally.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return &Counter{}
+	}
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use. Nil-safe.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return &Gauge{}
+	}
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given
+// bucket bounds on first use (bounds are ignored on later calls; pass
+// sorted ascending bounds). Nil-safe.
+func (r *Registry) Histogram(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	}
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{bounds: append([]float64(nil), bounds...),
+			counts: make([]uint64, len(bounds)+1)}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot flattens every metric to named scalar values: counters and
+// gauges under their own name, histograms expanded to
+// name.count/.sum/.min/.max/.mean. The map is a copy; mutate freely.
+func (r *Registry) Snapshot() map[string]float64 {
+	snap := make(map[string]float64)
+	if r == nil {
+		return snap
+	}
+	for name, c := range r.counters {
+		snap[name] = float64(c.v)
+	}
+	for name, g := range r.gauges {
+		snap[name] = g.v
+	}
+	for name, h := range r.hists {
+		snap[name+".count"] = float64(h.count)
+		snap[name+".sum"] = h.sum
+		snap[name+".min"] = h.min
+		snap[name+".max"] = h.max
+		if h.count > 0 {
+			snap[name+".mean"] = h.sum / float64(h.count)
+		}
+	}
+	return snap
+}
+
+// Diff returns snapshot-minus-prev for every key in the current
+// snapshot (keys absent from prev diff against zero). Unchanged keys
+// are dropped, so the result is exactly "what moved".
+func (r *Registry) Diff(prev map[string]float64) map[string]float64 {
+	d := make(map[string]float64)
+	for k, v := range r.Snapshot() {
+		if delta := v - prev[k]; delta != 0 {
+			d[k] = delta
+		}
+	}
+	return d
+}
+
+// FormatSnapshot renders a snapshot as "name value" lines in sorted
+// name order — the deterministic text form used by the shell and by
+// per-experiment artifacts.
+func FormatSnapshot(snap map[string]float64) string {
+	names := make([]string, 0, len(snap))
+	for k := range snap {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, k := range names {
+		b.WriteString(k)
+		b.WriteByte(' ')
+		b.WriteString(formatValue(snap[k]))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// String renders the registry's current snapshot (see FormatSnapshot).
+func (r *Registry) String() string { return FormatSnapshot(r.Snapshot()) }
+
+// formatValue prints integers without a fraction and floats with up to
+// three decimals, trimmed — compact and byte-stable.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	s := strconv.FormatFloat(v, 'f', 3, 64)
+	s = strings.TrimRight(s, "0")
+	s = strings.TrimRight(s, ".")
+	return s
+}

@@ -1,0 +1,106 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCounterAndGauge(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("tx")
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d", c.Value())
+	}
+	if r.Counter("tx") != c {
+		t.Fatal("second lookup made a new counter")
+	}
+	g := r.Gauge("depth")
+	g.Set(3)
+	g.Add(-1)
+	if g.Value() != 2 {
+		t.Fatalf("gauge = %v", g.Value())
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("rtt", []float64{1, 10, 100})
+	if h.Count() != 0 || !math.IsNaN(h.Mean()) {
+		t.Fatal("empty histogram not empty")
+	}
+	for _, v := range []float64{0.5, 5, 50, 500} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 || h.Sum() != 555.5 {
+		t.Fatalf("count=%d sum=%v", h.Count(), h.Sum())
+	}
+	if h.Min() != 0.5 || h.Max() != 500 {
+		t.Fatalf("min=%v max=%v", h.Min(), h.Max())
+	}
+	if got := h.Mean(); math.Abs(got-138.875) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+	bounds, counts := h.Buckets()
+	if len(counts) != len(bounds) || !math.IsInf(bounds[len(bounds)-1], 1) {
+		t.Fatalf("bounds %v, %d counts", bounds, len(counts))
+	}
+	for i, want := range []uint64{1, 1, 1, 1} { // one per bucket incl. overflow
+		if counts[i] != want {
+			t.Fatalf("bucket %d = %d, want %d", i, counts[i], want)
+		}
+	}
+	if len(DefaultRTTBucketsMs()) == 0 {
+		t.Fatal("no default RTT buckets")
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Inc()
+	r.Gauge("g").Set(1.5)
+	r.Histogram("h", []float64{10}).Observe(4)
+	snap := r.Snapshot()
+	if snap["a"] != 1 || snap["g"] != 1.5 {
+		t.Fatalf("snapshot: %v", snap)
+	}
+	for _, k := range []string{"h.count", "h.sum", "h.min", "h.max", "h.mean"} {
+		if _, ok := snap[k]; !ok {
+			t.Fatalf("snapshot missing %s: %v", k, snap)
+		}
+	}
+	r.Counter("a").Add(2)
+	d := r.Diff(snap)
+	if d["a"] != 2 { // diff is the delta, not the new value
+		t.Fatalf("diff a = %v", d["a"])
+	}
+	if _, ok := d["g"]; ok {
+		t.Fatalf("diff kept unchanged gauge: %v", d)
+	}
+}
+
+func TestFormatSnapshotSortedAndTrimmed(t *testing.T) {
+	s := FormatSnapshot(map[string]float64{"b": 2, "a": 1.25, "c": 3.14159})
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "a ") || !strings.HasPrefix(lines[2], "c ") {
+		t.Fatalf("format:\n%s", s)
+	}
+	if !strings.Contains(s, "b 2\n") { // integral values print without a fraction
+		t.Fatalf("integer formatting:\n%s", s)
+	}
+	if !strings.Contains(s, "c 3.142") { // floats get three decimals
+		t.Fatalf("float formatting:\n%s", s)
+	}
+}
+
+func TestNilRegistryIsInert(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.Histogram("z", nil).Observe(1)
+	if len(r.Snapshot()) != 0 {
+		t.Fatal("nil registry has a non-empty snapshot")
+	}
+}

@@ -1,0 +1,212 @@
+// Package telemetry is the cross-layer observability spine of the
+// reproduction: a deterministic, zero-perturbation event bus plus a
+// metrics registry that every layer publishes into — the medium
+// (per-receiver delivery outcomes, SINR, corruption cause), the MAC
+// (CCA results, backoffs, retries, queue depth), routing (next-hop
+// decisions, drops), the port stack (dispatch), the reliable exchange
+// (batches, acks, timeouts, aborts), the runtime controllers (command
+// execution), and the fault injector (activations).
+//
+// The determinism contract mirrors the fault injector's: recording is
+// opt-in, and emitting events never draws from any random stream,
+// never schedules engine events, and never changes a code path in the
+// instrumented layers. A run with telemetry enabled therefore produces
+// a byte-identical packet trace and diagnosis report to the same
+// seeded run without it — asserted by the regression test in
+// determinism_test.go.
+//
+// Every event is stamped with the virtual clock, the owning node, the
+// layer, and a monotonic sequence number, so an exported stream is a
+// totally ordered timeline of everything the simulation did.
+package telemetry
+
+import (
+	"strconv"
+
+	"liteview/internal/phys"
+	"liteview/internal/sim"
+)
+
+// Layer names the subsystem an event came from. The values double as
+// the category strings in exported traces.
+type Layer string
+
+// The instrumented layers, bottom-up.
+const (
+	LayerMedium     Layer = "medium"
+	LayerMAC        Layer = "mac"
+	LayerStack      Layer = "stack"
+	LayerRouting    Layer = "routing"
+	LayerReliable   Layer = "reliable"
+	LayerController Layer = "controller"
+	LayerFault      Layer = "fault"
+)
+
+// Layers lists every known layer in stack order (bottom-up). Exporters
+// use the position as a stable thread id.
+func Layers() []Layer {
+	return []Layer{LayerMedium, LayerMAC, LayerStack, LayerRouting,
+		LayerReliable, LayerController, LayerFault}
+}
+
+// Attr is one key-value annotation on an event. Attributes are an
+// ordered slice, not a map, so exports are deterministic.
+type Attr struct {
+	Key string
+	Val string
+}
+
+// String builds a string attribute.
+func String(key, val string) Attr { return Attr{Key: key, Val: val} }
+
+// Int builds an integer attribute.
+func Int(key string, val int) Attr { return Attr{Key: key, Val: strconv.Itoa(val)} }
+
+// Uint64 builds an unsigned integer attribute.
+func Uint64(key string, val uint64) Attr {
+	return Attr{Key: key, Val: strconv.FormatUint(val, 10)}
+}
+
+// Node builds a node-reference attribute.
+func Node(key string, id phys.NodeID) Attr {
+	return Attr{Key: key, Val: strconv.FormatUint(uint64(id), 10)}
+}
+
+// Float builds a fixed-precision float attribute (two decimals — the
+// precision the paper's tables use; fixed so exports are byte-stable).
+func Float(key string, val float64) Attr {
+	return Attr{Key: key, Val: strconv.FormatFloat(val, 'f', 2, 64)}
+}
+
+// Bool builds a boolean attribute.
+func Bool(key string, val bool) Attr {
+	if val {
+		return Attr{Key: key, Val: "true"}
+	}
+	return Attr{Key: key, Val: "false"}
+}
+
+// Event is one recorded observation.
+type Event struct {
+	// Seq is the monotonic sequence number assigned at recording time;
+	// it totally orders the stream (the virtual clock alone does not:
+	// many events share an instant).
+	Seq uint64
+	// At is the virtual time of the event.
+	At sim.Time
+	// Dur is the event's extent for span-shaped events (a frame's
+	// airtime); zero for instants.
+	Dur sim.Time
+	// NodeID is the owning node (the receiver for delivery outcomes,
+	// the transmitter for transmissions); 0 for network-wide events.
+	NodeID phys.NodeID
+	// Layer is the emitting subsystem.
+	Layer Layer
+	// Kind classifies the event within its layer ("tx", "rx", "cca",
+	// "ack-timeout", "command", ...).
+	Kind string
+	// Attrs carries the event's key-value detail in emission order.
+	Attrs []Attr
+}
+
+// Attr returns the value of the named attribute and whether it exists.
+func (e *Event) Attr(key string) (string, bool) {
+	for _, a := range e.Attrs {
+		if a.Key == key {
+			return a.Val, true
+		}
+	}
+	return "", false
+}
+
+// Recorder is the event bus. One recorder serves a whole deployment:
+// every instrumented component holds a pointer and publishes through
+// it. A nil *Recorder is valid and records nothing, so components can
+// emit unconditionally:
+//
+//	m.tel.Emit(...)   // no-op when m.tel is nil or stopped
+//
+// Recording is off until Start is called; while off, Emit returns
+// before evaluating anything.
+type Recorder struct {
+	eng       *sim.Engine
+	recording bool
+	seq       uint64
+	events    []Event
+	reg       *Registry
+}
+
+// NewRecorder builds a stopped recorder on the engine's virtual clock.
+func NewRecorder(eng *sim.Engine) *Recorder {
+	return &Recorder{eng: eng, reg: NewRegistry()}
+}
+
+// Start begins recording. Events emitted while stopped are dropped.
+func (r *Recorder) Start() { r.recording = true }
+
+// Stop pauses recording without discarding what was captured.
+func (r *Recorder) Stop() { r.recording = false }
+
+// Recording reports whether events are being captured. It is safe on a
+// nil receiver (reports false), which is what lets instrumentation
+// sites guard expensive attribute formatting with one call.
+func (r *Recorder) Recording() bool { return r != nil && r.recording }
+
+// Metrics returns the recorder's registry (nil-safe: returns nil when
+// the recorder itself is nil).
+func (r *Recorder) Metrics() *Registry {
+	if r == nil {
+		return nil
+	}
+	return r.reg
+}
+
+// Emit records one instant event. No-op when the recorder is nil or
+// stopped.
+func (r *Recorder) Emit(node phys.NodeID, layer Layer, kind string, attrs ...Attr) {
+	r.EmitSpan(node, layer, kind, 0, attrs...)
+}
+
+// EmitSpan records one event with a duration (a span on the exported
+// timeline). No-op when the recorder is nil or stopped.
+func (r *Recorder) EmitSpan(node phys.NodeID, layer Layer, kind string, dur sim.Time, attrs ...Attr) {
+	if !r.Recording() {
+		return
+	}
+	r.seq++
+	r.events = append(r.events, Event{
+		Seq:    r.seq,
+		At:     r.eng.Now(),
+		Dur:    dur,
+		NodeID: node,
+		Layer:  layer,
+		Kind:   kind,
+		Attrs:  attrs,
+	})
+}
+
+// Len reports the number of recorded events.
+func (r *Recorder) Len() int {
+	if r == nil {
+		return 0
+	}
+	return len(r.events)
+}
+
+// Events returns a copy of the recorded stream in sequence order.
+func (r *Recorder) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	return append([]Event(nil), r.events...)
+}
+
+// Clear discards recorded events and resets the metrics registry; the
+// sequence counter keeps counting so replays never reuse numbers.
+func (r *Recorder) Clear() {
+	if r == nil {
+		return
+	}
+	r.events = r.events[:0]
+	r.reg = NewRegistry()
+}

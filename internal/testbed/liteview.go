@@ -29,6 +29,10 @@ func (tb *Testbed) InstallLiteView() (map[phys.NodeID]*core.Controller, error) {
 		if err != nil {
 			return nil, fmt.Errorf("testbed: install LiteView on %s: %w", n.Name(), err)
 		}
+		if tb.tel != nil {
+			c.SetTelemetry(tb.tel)
+		}
+		tb.ctls = append(tb.ctls, c)
 		out[n.ID()] = c
 	}
 	return out, nil
@@ -42,5 +46,13 @@ func (tb *Testbed) NewWorkstation(pos phys.Position) (*core.Workstation, error) 
 	if tb.opt.LPL {
 		macCfg.LPL = true
 	}
-	return core.NewWorkstationMAC(tb.Eng, tb.Med, pos, macCfg)
+	ws, err := core.NewWorkstationMAC(tb.Eng, tb.Med, pos, macCfg)
+	if err != nil {
+		return nil, err
+	}
+	if tb.tel != nil {
+		ws.SetTelemetry(tb.tel)
+	}
+	tb.wss = append(tb.wss, ws)
+	return ws, nil
 }

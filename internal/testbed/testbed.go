@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 
+	"liteview/internal/core"
 	"liteview/internal/fault"
 	"liteview/internal/liteos"
 	"liteview/internal/mac"
@@ -18,6 +19,7 @@ import (
 	"liteview/internal/phys"
 	"liteview/internal/routing"
 	"liteview/internal/sim"
+	"liteview/internal/telemetry"
 )
 
 // Options configures a deployment.
@@ -62,6 +64,12 @@ type Testbed struct {
 	routers map[byte]map[phys.NodeID]*routing.Router
 	// injector is the lazily created fault injector.
 	injector *fault.Injector
+	// tel is the lazily created telemetry recorder; ctls and wss track
+	// installed controllers and workstations so late-created components
+	// get wired into it too.
+	tel  *telemetry.Recorder
+	ctls []*core.Controller
+	wss  []*core.Workstation
 }
 
 // build creates nodes at the given positions with paper-style names:
@@ -261,6 +269,42 @@ func (tb *Testbed) record(r *routing.Router, id phys.NodeID) {
 		tb.routers[r.Port()] = m
 	}
 	m[id] = r
+	if tb.tel != nil {
+		r.SetTelemetry(tb.tel)
+	}
+}
+
+// Telemetry returns the deployment's telemetry recorder, creating and
+// wiring it into every layer on first use. The recorder starts stopped:
+// call Start on it to record. Wiring and recording are both
+// non-perturbing — emission draws no randomness and schedules no
+// events — so a run with telemetry produces the same packet trace as
+// one without (see the determinism regression in internal/telemetry).
+func (tb *Testbed) Telemetry() *telemetry.Recorder {
+	if tb.tel == nil {
+		tb.tel = telemetry.NewRecorder(tb.Eng)
+		tb.Med.SetTelemetry(tb.tel)
+		for _, n := range tb.Nodes {
+			n.MAC().SetTelemetry(tb.tel)
+			n.Stack().SetTelemetry(tb.tel)
+		}
+		// Map order is irrelevant here: wiring just sets a pointer.
+		for _, byNode := range tb.routers {
+			for _, r := range byNode {
+				r.SetTelemetry(tb.tel)
+			}
+		}
+		for _, c := range tb.ctls {
+			c.SetTelemetry(tb.tel)
+		}
+		for _, ws := range tb.wss {
+			ws.SetTelemetry(tb.tel)
+		}
+		if tb.injector != nil {
+			tb.injector.SetTelemetry(tb.tel)
+		}
+	}
+	return tb.tel
 }
 
 // Router returns the protocol instance on the given port at node id.
@@ -276,6 +320,9 @@ func (tb *Testbed) Router(port byte, id phys.NodeID) (*routing.Router, bool) {
 func (tb *Testbed) FaultInjector() *fault.Injector {
 	if tb.injector == nil {
 		tb.injector = fault.New(tb.Eng, tb.Med, tb.Nodes, tb.opt.Seed)
+		if tb.tel != nil {
+			tb.injector.SetTelemetry(tb.tel)
+		}
 	}
 	return tb.injector
 }

@@ -17,7 +17,7 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "all", "experiment id (e1,f5,f6,f7,t1,t2,t3,d2..d7,chaos) or all")
+		expID = flag.String("exp", "all", "experiment id (e1,f5,f6,f7,t1,t2,t3,d2..d7,chaos,recover) or all")
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		csv   = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
 		list  = flag.Bool("list", false, "list experiments and exit")

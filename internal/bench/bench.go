@@ -99,6 +99,7 @@ func All() []Experiment {
 		{"d6", "ablation: transmit-power tuning vs energy", EnergyTuning},
 		{"d7", "ablation: always-on vs low-power listening", DutyCycling},
 		{"chaos", "command behaviour under injected faults", Chaos},
+		{"recover", "self-healing: reroute after relay failure", Recovery},
 	}
 }
 

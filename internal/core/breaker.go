@@ -1,0 +1,166 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"liteview/internal/phys"
+	"liteview/internal/sim"
+)
+
+// Per-node circuit breaker around the command interpreter. A node that
+// repeatedly fails to acknowledge command transfers is almost certainly
+// crashed, out of range, or jammed; burning a full response window (and
+// a full retransmission ladder of airtime) on every further command
+// punishes the user and the channel alike. After BreakerThreshold
+// consecutive command failures the breaker opens and commands to that
+// node fail immediately with ErrBreakerOpen; once BreakerCooldown of
+// virtual time has passed, the next command is admitted as a half-open
+// probe — success closes the breaker, another failure re-opens it for a
+// fresh cooldown.
+
+// BreakerState is the classic three-state circuit-breaker lifecycle.
+type BreakerState int
+
+const (
+	// BreakerClosed: commands flow normally.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen: commands fail fast with ErrBreakerOpen.
+	BreakerOpen
+	// BreakerHalfOpen: one probe command is in flight; its outcome
+	// decides between closed and another open period.
+	BreakerHalfOpen
+)
+
+func (s BreakerState) String() string {
+	switch s {
+	case BreakerClosed:
+		return "closed"
+	case BreakerOpen:
+		return "open"
+	case BreakerHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("state(%d)", int(s))
+	}
+}
+
+// Breaker defaults.
+const (
+	// DefaultBreakerThreshold is how many consecutive command failures
+	// open the breaker.
+	DefaultBreakerThreshold = 3
+	// DefaultBreakerCooldown is how long an open breaker rejects
+	// commands before admitting a half-open probe.
+	DefaultBreakerCooldown = 2 * time.Second
+)
+
+// ErrBreakerOpen reports a command rejected without transmission
+// because the node's circuit breaker is open.
+var ErrBreakerOpen = errors.New("core: circuit breaker open (node repeatedly unreachable)")
+
+// breaker is the per-node state.
+type breaker struct {
+	state    BreakerState
+	fails    int // consecutive failures
+	openedAt sim.Time
+}
+
+// BreakerInfo is one node's breaker state for display (shell `health`).
+type BreakerInfo struct {
+	Node  phys.NodeID
+	State BreakerState
+	// Fails is the current consecutive-failure count.
+	Fails int
+	// RetryIn is how much virtual time remains before an open breaker
+	// admits its half-open probe (0 unless State is BreakerOpen).
+	RetryIn sim.Time
+}
+
+// ConfigureBreaker tunes the command circuit breaker. threshold <= 0
+// disables it entirely; cooldown <= 0 keeps the current cooldown.
+func (w *Workstation) ConfigureBreaker(threshold int, cooldown sim.Time) {
+	w.breakerThreshold = threshold
+	if cooldown > 0 {
+		w.breakerCooldown = cooldown
+	}
+	if threshold <= 0 {
+		w.breakers = make(map[phys.NodeID]*breaker)
+	}
+}
+
+// Breakers reports every node with a non-closed breaker or a non-zero
+// failure streak, sorted by node ID.
+func (w *Workstation) Breakers() []BreakerInfo {
+	out := make([]BreakerInfo, 0, len(w.breakers))
+	for id, b := range w.breakers {
+		if b.state == BreakerClosed && b.fails == 0 {
+			continue
+		}
+		out = append(out, w.breakerInfo(id, b))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
+	return out
+}
+
+// BreakerFor reports one node's breaker state.
+func (w *Workstation) BreakerFor(node phys.NodeID) BreakerInfo {
+	b, ok := w.breakers[node]
+	if !ok {
+		return BreakerInfo{Node: node, State: BreakerClosed}
+	}
+	return w.breakerInfo(node, b)
+}
+
+func (w *Workstation) breakerInfo(node phys.NodeID, b *breaker) BreakerInfo {
+	info := BreakerInfo{Node: node, State: b.state, Fails: b.fails}
+	if b.state == BreakerOpen {
+		if wait := b.openedAt + w.breakerCooldown - w.eng.Now(); wait > 0 {
+			info.RetryIn = wait
+		}
+	}
+	return info
+}
+
+// breakerAllow gates one command. It returns ErrBreakerOpen while the
+// breaker is open and inside its cooldown; once the cooldown has passed
+// the breaker moves to half-open and the command proceeds as the probe.
+func (w *Workstation) breakerAllow(node phys.NodeID) error {
+	if w.breakerThreshold <= 0 {
+		return nil
+	}
+	b, ok := w.breakers[node]
+	if !ok || b.state != BreakerOpen {
+		return nil
+	}
+	if wait := b.openedAt + w.breakerCooldown - w.eng.Now(); wait > 0 {
+		return fmt.Errorf("%w: node %d, retry in %v", ErrBreakerOpen, node, time.Duration(wait))
+	}
+	b.state = BreakerHalfOpen
+	return nil
+}
+
+// breakerRecord folds one command outcome into the node's breaker.
+func (w *Workstation) breakerRecord(node phys.NodeID, ok bool) {
+	if w.breakerThreshold <= 0 {
+		return
+	}
+	b := w.breakers[node]
+	if ok {
+		if b != nil {
+			delete(w.breakers, node)
+		}
+		return
+	}
+	if b == nil {
+		b = &breaker{}
+		w.breakers[node] = b
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= w.breakerThreshold {
+		b.state = BreakerOpen
+		b.openedAt = w.eng.Now()
+	}
+}

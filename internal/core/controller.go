@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -239,13 +240,15 @@ func (c *Controller) replyNeighborList(to phys.NodeID, broadcast, withLink bool)
 			name = fmt.Sprintf("node-%d", e.ID)
 		}
 		msgs = append(msgs, EncodeNbrEntry(NbrEntry{
-			ID:          e.ID,
-			Name:        name,
-			LQI:         uint8(clampInt(int(e.LQI+0.5), 0, 255)),
-			RSSI:        int8(clampInt(int(e.RSSI), -128, 127)),
-			PRRPercent:  uint8(prr),
-			Blacklisted: e.Blacklisted,
-			WithLink:    withLink,
+			ID:              e.ID,
+			Name:            name,
+			LQI:             uint8(clampInt(int(e.LQI+0.5), 0, 255)),
+			RSSI:            int8(clampInt(int(e.RSSI), -128, 127)),
+			PRRPercent:      uint8(prr),
+			DeliveryPercent: uint8(clampInt(int(e.Delivery*100+0.5), 0, 100)),
+			Blacklisted:     e.Blacklisted,
+			Suspect:         e.Suspect,
+			WithLink:        withLink,
 		}))
 	}
 	msgs = append(msgs, EncodeStatus(Status{Code: StatusOK, Msg: fmt.Sprintf("%d neighbors", len(msgs))}))
@@ -391,6 +394,17 @@ func (c *Controller) replyLogDump(to phys.NodeID, broadcast bool, count int) {
 	c.reply(to, broadcast, msgs...)
 }
 
+// startStatus classifies a command-start failure. Routing-layer "no
+// path" errors get their own wire code so the interpreter can surface
+// a typed ErrNoRoute — the management link worked; the network route
+// did not — instead of a generic parameter error.
+func startStatus(err error) Status {
+	if errors.Is(err, routing.ErrNoRoute) || errors.Is(err, routing.ErrNoUnicastPath) {
+		return Status{Code: StatusNoRoute, Msg: err.Error()}
+	}
+	return Status{Code: StatusBadParam, Msg: err.Error()}
+}
+
 func clampInt(v, lo, hi int) int {
 	if v < lo {
 		return lo
@@ -460,7 +474,7 @@ func (c *Controller) runPing(from phys.NodeID, broadcast bool, cmd Command) {
 	})
 	if err != nil {
 		c.finishCommand()
-		c.reply(from, broadcast, EncodeStatus(Status{Code: StatusBadParam, Msg: err.Error()}))
+		c.reply(from, broadcast, EncodeStatus(startStatus(err)))
 	}
 }
 
@@ -507,7 +521,7 @@ func (c *Controller) runTraceroute(from phys.NodeID, broadcast bool, cmd Command
 		})
 	if err != nil {
 		c.finishCommand()
-		c.reply(from, broadcast, EncodeStatus(Status{Code: StatusBadParam, Msg: err.Error()}))
+		c.reply(from, broadcast, EncodeStatus(startStatus(err)))
 	}
 }
 

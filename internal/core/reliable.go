@@ -80,6 +80,13 @@ func DefaultReliableConfig() ReliableConfig {
 // ErrXferFailed reports a transfer abandoned after MaxRetries.
 var ErrXferFailed = errors.New("core: reliable transfer failed")
 
+// ErrAckTimeout is the ErrXferFailed variant for the common failure
+// mode: every retransmission window elapsed without an acknowledgement.
+// It wraps ErrXferFailed, so errors.Is(err, ErrXferFailed) keeps
+// matching; callers that care can distinguish it from other transfer
+// failures (and from ErrBreakerOpen / ErrNoRoute) with errors.Is.
+var ErrAckTimeout = fmt.Errorf("%w: no acknowledgement", ErrXferFailed)
+
 // MessageFunc receives one in-order message of a transfer. broadcast
 // reports that the message arrived in a frame addressed to everyone
 // (the receiver should apply a group backoff before replying).
@@ -304,7 +311,7 @@ func (e *Endpoint) onTimeout(x *outXfer) {
 				telemetry.Int("retries", x.retries-1))
 		}
 		if x.done != nil {
-			x.done(fmt.Errorf("%w: to %d after %d retries", ErrXferFailed, x.to, x.retries-1))
+			x.done(fmt.Errorf("%w: to %d after %d retries", ErrAckTimeout, x.to, x.retries-1))
 		}
 		return
 	}

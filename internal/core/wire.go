@@ -99,6 +99,10 @@ const (
 	StatusBadParam
 	StatusUnknownNeighbor
 	StatusBusy
+	// StatusNoRoute reports that the carrying routing protocol had no
+	// path toward the requested destination (appended after the original
+	// codes; the enum is append-only like Kind).
+	StatusNoRoute
 )
 
 // ErrShortMessage reports a truncated wire message.
@@ -325,8 +329,14 @@ type NbrEntry struct {
 	LQI         uint8
 	RSSI        int8
 	PRRPercent  uint8
-	Blacklisted bool
-	WithLink    bool
+	// DeliveryPercent is the kernel's unicast delivery estimate (EWMA of
+	// MAC tx outcomes), carried alongside the beacon-based PRR.
+	DeliveryPercent uint8
+	Blacklisted     bool
+	// Suspect reports that the delivery estimator condemned the link
+	// after consecutive unicast failures.
+	Suspect  bool
+	WithLink bool
 }
 
 // EncodeNbrEntry serialises one neighbor row.
@@ -342,11 +352,15 @@ func EncodeNbrEntry(e NbrEntry) []byte {
 	if e.WithLink {
 		flags |= 2
 	}
+	if e.Suspect {
+		flags |= 4
+	}
 	w.u8(flags)
 	if e.WithLink {
 		w.u8(e.LQI)
 		w.i8(e.RSSI)
 		w.u8(e.PRRPercent)
+		w.u8(e.DeliveryPercent)
 	}
 	return w.b
 }
@@ -657,10 +671,12 @@ func DecodeReply(data []byte) (Reply, error) {
 		flags := r.u8()
 		rep.Nbr.Blacklisted = flags&1 != 0
 		rep.Nbr.WithLink = flags&2 != 0
+		rep.Nbr.Suspect = flags&4 != 0
 		if rep.Nbr.WithLink {
 			rep.Nbr.LQI = r.u8()
 			rep.Nbr.RSSI = r.i8()
 			rep.Nbr.PRRPercent = r.u8()
+			rep.Nbr.DeliveryPercent = r.u8()
 		}
 	case KindPingResult:
 		rep.Ping.Seq = int(r.u8())

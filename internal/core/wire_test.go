@@ -65,7 +65,8 @@ func TestStatusRoundTrip(t *testing.T) {
 }
 
 func TestNbrEntryRoundTrip(t *testing.T) {
-	e := NbrEntry{ID: 5, Name: "192.168.0.5", LQI: 107, RSSI: -12, PRRPercent: 97, Blacklisted: true, WithLink: true}
+	e := NbrEntry{ID: 5, Name: "192.168.0.5", LQI: 107, RSSI: -12, PRRPercent: 97,
+		DeliveryPercent: 83, Suspect: true, Blacklisted: true, WithLink: true}
 	rep, err := DecodeReply(EncodeNbrEntry(e))
 	if err != nil {
 		t.Fatal(err)

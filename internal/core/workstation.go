@@ -46,7 +46,19 @@ type Workstation struct {
 	// groupMode auto-creates collectors for any responder (broadcast
 	// commands collect from many nodes at once).
 	groupMode bool
+
+	// Per-node circuit breakers (see breaker.go). Group/broadcast
+	// commands bypass them: one dead node must not gag an inventory.
+	breakers         map[phys.NodeID]*breaker
+	breakerThreshold int
+	breakerCooldown  sim.Time
 }
+
+// ErrNoRoute reports a command the target node accepted but could not
+// act on because its routing layer found no path toward the requested
+// destination. Unlike ErrXferFailed/ErrAckTimeout the management link
+// itself is fine — the fault is deeper in the network.
+var ErrNoRoute = errors.New("core: node reports no route to destination")
 
 // SetTelemetry points the workstation's MAC, stack, and reliable
 // endpoint at a telemetry recorder (nil detaches).
@@ -80,11 +92,14 @@ func NewWorkstationMAC(eng *sim.Engine, med *medium.Medium, pos phys.Position, m
 		return nil, err
 	}
 	w := &Workstation{
-		eng:        eng,
-		med:        med,
-		rad:        rad,
-		window:     ResponseWindow,
-		collecting: make(map[phys.NodeID]*collector),
+		eng:              eng,
+		med:              med,
+		rad:              rad,
+		window:           ResponseWindow,
+		collecting:       make(map[phys.NodeID]*collector),
+		breakers:         make(map[phys.NodeID]*breaker),
+		breakerThreshold: DefaultBreakerThreshold,
+		breakerCooldown:  sim.Time(DefaultBreakerCooldown),
 	}
 	var st *stack.Stack
 	m, err := mac.New(eng, med, rad, WorkstationID, pos, macCfg,
@@ -168,6 +183,9 @@ func (w *Workstation) command(node phys.NodeID, cmd Command, window sim.Time, ea
 	if _, busy := w.collecting[node]; busy {
 		return nil, 0, fmt.Errorf("core: a command for node %d is already in flight", node)
 	}
+	if err := w.breakerAllow(node); err != nil {
+		return nil, 0, err
+	}
 	c := &collector{}
 	w.collecting[node] = c
 	defer delete(w.collecting, node)
@@ -183,16 +201,25 @@ func (w *Workstation) command(node phys.NodeID, cmd Command, window sim.Time, ea
 	}
 	w.pump(start+window, c, early)
 	elapsed := w.eng.Now() - start
+	// The breaker judges the management link only: did the reliable
+	// transfer reach the node? Status errors from a live controller are
+	// the network's problem, not this link's.
+	w.breakerRecord(node, c.sendErr == nil)
 	if c.sendErr != nil {
 		return c, elapsed, fmt.Errorf("core: command %v to node %d: %w", cmd.Kind, node, c.sendErr)
 	}
 	return c, elapsed, nil
 }
 
-// firstStatusErr surfaces an error status reply, if any.
+// firstStatusErr surfaces an error status reply, if any. Known status
+// codes map to typed errors so callers can distinguish failure modes
+// with errors.Is.
 func firstStatusErr(c *collector) error {
 	for _, r := range c.replies {
 		if r.Kind == KindStatus && r.Status.Code != StatusOK {
+			if r.Status.Code == StatusNoRoute {
+				return fmt.Errorf("%w: %s", ErrNoRoute, r.Status.Msg)
+			}
 			return fmt.Errorf("core: node replied status %d: %s", r.Status.Code, r.Status.Msg)
 		}
 	}
@@ -354,6 +381,12 @@ func (w *Workstation) Ping(node phys.NodeID, opts PingOptions) (*PingOutput, err
 		out.Verdict = "no response: controller unreachable within the response window"
 		return out, errors.New("core: no ping reply within the response window")
 	}
+	// Rounds whose result reply never made it back count as lost: the
+	// statistics block must always account for every round sent, even
+	// when the reply stream itself was clipped by losses or the window.
+	if missing := out.Sent - (out.Received + out.Lost); missing > 0 {
+		out.Lost += missing
+	}
 	switch {
 	case out.Received == 0 && out.Lost > 0:
 		out.Verdict = fmt.Sprintf("destination %d unreachable: all %d round(s) lost", opts.Dst, out.Lost)
@@ -391,6 +424,12 @@ type TracerouteOutput struct {
 	// FailedHop is the 1-based hop index where the path broke (0 when
 	// the walk completed or produced no reports at all).
 	FailedHop int
+	// Gaps lists 1-based hop numbers below the highest hop seen whose
+	// report never arrived: the probe walk continued past them, but the
+	// report routed back to the user was lost in the network. The
+	// display layer prints these as the classic "*" lines — partial
+	// knowledge beats a failed command.
+	Gaps []int
 }
 
 // Traceroute runs the traceroute command on node toward opts.Dst,
@@ -439,8 +478,30 @@ func (w *Workstation) Traceroute(node phys.NodeID, opts TrOptions) (*TracerouteO
 		out.Verdict = "no response: controller unreachable within the response window"
 		return out, errors.New("core: no traceroute reply within the response window")
 	}
+	out.Gaps = hopGaps(out.Reports)
 	out.Verdict, out.FailedHop = trVerdict(opts.Dst, out.Reports)
 	return out, firstStatusErr(c)
+}
+
+// hopGaps finds the hop numbers missing from a report sequence: hops
+// the walk passed (some later hop reported) whose own report was lost
+// on its way back to the workstation.
+func hopGaps(reports []TimedHopReport) []int {
+	maxHop := 0
+	seen := make(map[int]bool, len(reports))
+	for _, r := range reports {
+		seen[r.Hop] = true
+		if r.Hop > maxHop {
+			maxHop = r.Hop
+		}
+	}
+	var gaps []int
+	for h := 1; h < maxHop; h++ {
+		if !seen[h] {
+			gaps = append(gaps, h)
+		}
+	}
+	return gaps
 }
 
 // trVerdict reads a traceroute's hop reports into a one-line outcome

@@ -217,6 +217,10 @@ func analyze(nodes []NodeHealth, opt Options) []Finding {
 	// prr[a][b] = beacon delivery ratio (percent) of b→a as seen at a;
 	// populated only when the neighbor list carried link info.
 	prr := make(map[phys.NodeID]map[phys.NodeID]int)
+	// susp[a][b] = unicast delivery percent of a→b, present only when
+	// a's delivery estimator has marked the link to b suspect
+	// (consecutive failed unicasts) — the self-healing layer's signal.
+	susp := make(map[phys.NodeID]map[phys.NodeID]int)
 	var unreachable []phys.NodeID
 	for _, n := range nodes {
 		if !n.Reachable {
@@ -248,32 +252,51 @@ func analyze(nodes []NodeHealth, opt Options) []Finding {
 		}
 		row := make(map[phys.NodeID]int, len(n.Neighbors))
 		prow := make(map[phys.NodeID]int, len(n.Neighbors))
+		srow := make(map[phys.NodeID]int)
 		for _, e := range n.Neighbors {
 			row[e.ID] = int(e.LQI)
 			if e.WithLink {
 				prow[e.ID] = int(e.PRRPercent)
+				if e.Suspect {
+					srow[e.ID] = int(e.DeliveryPercent)
+				}
 			}
 		}
 		lqi[n.Target.ID] = row
 		prr[n.Target.ID] = prow
+		susp[n.Target.ID] = srow
 	}
 	// Crashed nodes: an unreachable node still listed in a live peer's
 	// neighbor table failed recently — the peers have not yet aged it
 	// out, so the operator is looking at a crash or reboot loop rather
 	// than a node that was removed or never deployed.
 	for _, dead := range unreachable {
-		var witnesses []string
+		var witnesses, suspectWitnesses []string
 		for a, row := range lqi {
 			if _, heard := row[dead]; heard {
 				witnesses = append(witnesses, names[a])
+				if _, s := susp[a][dead]; s {
+					suspectWitnesses = append(suspectWitnesses, names[a])
+				}
 			}
 		}
 		if len(witnesses) > 0 {
 			sort.Strings(witnesses)
+			detail := fmt.Sprintf("%s is still in the neighbor tables of %s — it was alive recently, so this looks like a crash, not a missing node",
+				names[dead], strings.Join(witnesses, ", "))
+			severity := Warning
+			if len(suspectWitnesses) > 0 {
+				// The delivery estimators corroborate: peers are actively
+				// failing to deliver unicasts to it right now, not just
+				// remembering old beacons. That upgrades the verdict.
+				sort.Strings(suspectWitnesses)
+				severity = Critical
+				detail += fmt.Sprintf("; %s mark their link to it suspect (consecutive unicast failures), confirming it stopped acknowledging",
+					strings.Join(suspectWitnesses, ", "))
+			}
 			out = append(out, Finding{
-				Severity: Warning, Kind: "crashed-node", Node: dead,
-				Detail: fmt.Sprintf("%s is still in the neighbor tables of %s — it was alive recently, so this looks like a crash, not a missing node",
-					names[dead], strings.Join(witnesses, ", ")),
+				Severity: severity, Kind: "crashed-node", Node: dead,
+				Detail: detail,
 			})
 		}
 	}
@@ -312,10 +335,39 @@ func analyze(nodes []NodeHealth, opt Options) []Finding {
 				continue
 			}
 			burstSeen[key] = true
+			detail := fmt.Sprintf("link %s↔%s: LQI %d looks healthy but only %d%% of beacons arrive — bursty loss (interference or jamming)",
+				names[a], names[b], q, p)
+			if d, s := susp[a][b]; s {
+				// Both ends are alive, so this is the link misbehaving,
+				// not a crashed peer: the estimator's suspect flag plus a
+				// reachable far end pins the verdict on the channel.
+				detail += fmt.Sprintf("; %s's delivery estimator agrees (link suspect, unicast delivery ~%d%%) while %s itself answers commands",
+					names[a], d, names[b])
+			}
 			out = append(out, Finding{
 				Severity: Warning, Kind: "bursty-link", Node: key[0], Peer: key[1],
-				Detail: fmt.Sprintf("link %s↔%s: LQI %d looks healthy but only %d%% of beacons arrive — bursty loss (interference or jamming)",
-					names[a], names[b], q, p),
+				Detail: detail,
+			})
+		}
+	}
+	// Suspect links between two reachable nodes that the bursty detector
+	// did not already flag: the delivery estimator is seeing consecutive
+	// unicast failures the beacon statistics have not caught up with —
+	// the earliest visible sign of a degrading link.
+	for a, srow := range susp {
+		for b, d := range srow {
+			if _, visited := lqi[b]; !visited {
+				continue // far end not interrogated (or unreachable: crash findings own it)
+			}
+			key := [2]phys.NodeID{min2(a, b), max2(a, b)}
+			if burstSeen[key] {
+				continue
+			}
+			burstSeen[key] = true
+			out = append(out, Finding{
+				Severity: Warning, Kind: "suspect-link", Node: key[0], Peer: key[1],
+				Detail: fmt.Sprintf("link %s→%s: delivery estimator marked it suspect after consecutive unicast failures (delivery ~%d%%), though %s still answers commands — watch for reroutes",
+					names[a], names[b], d, names[b]),
 			})
 		}
 	}
@@ -356,7 +408,10 @@ func analyze(nodes []NodeHealth, opt Options) []Finding {
 		if out[i].Node != out[j].Node {
 			return out[i].Node < out[j].Node
 		}
-		return out[i].Kind < out[j].Kind
+		if out[i].Kind != out[j].Kind {
+			return out[i].Kind < out[j].Kind
+		}
+		return out[i].Peer < out[j].Peer
 	})
 	return out
 }

@@ -127,6 +127,11 @@ func NewNode(eng *sim.Engine, med *medium.Medium, cfg Config) (*Node, error) {
 		return nil, fmt.Errorf("liteos: node %s: %w", cfg.Name, err)
 	}
 	n.nbr = nbr
+	// Close the link-estimation loop: every unicast outcome the MAC sees
+	// feeds the kernel neighbor table's delivery EWMA.
+	m.SetTxObserver(func(dst phys.NodeID, err error) {
+		nbr.Table().ObserveTxResult(dst, err == nil, eng.Now())
+	})
 	n.meter = energy.Attach(eng, rad, cfg.BatteryJ)
 	n.ramUsed = KernelRAM
 	n.flashUsed = KernelFlash

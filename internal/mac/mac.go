@@ -86,6 +86,14 @@ type DeliverFunc func(f Frame, info medium.RxInfo)
 // after successful transmission, ErrChannelAccess when CSMA gave up.
 type SentFunc func(f Frame, err error)
 
+// TxObserverFunc receives per-destination unicast transmit outcomes:
+// err is nil after an acknowledged delivery, ErrNoAck after the retry
+// budget is exhausted, ErrChannelAccess when CSMA gave up. It is the
+// raw input of data-driven link estimation — every unicast data or
+// control frame reports its fate, so link quality can react within a
+// few lost frames instead of waiting for beacon-period expiry.
+type TxObserverFunc func(dst phys.NodeID, err error)
+
 // Stats counts MAC-level outcomes.
 type Stats struct {
 	Sent           uint64
@@ -143,8 +151,11 @@ type MAC struct {
 	// corruption from internal/fault).
 	rxFault func(from phys.NodeID) bool
 	// tel, when set, receives MAC-layer telemetry events.
-	tel   *telemetry.Recorder
-	stats Stats
+	tel *telemetry.Recorder
+	// txObserver, when set, is told the outcome of every completed
+	// unicast data/control frame (link estimation feedback).
+	txObserver TxObserverFunc
+	stats      Stats
 }
 
 // New creates a MAC for node id at pos and attaches it to med. The
@@ -213,6 +224,12 @@ func (m *MAC) ResetStats() { m.stats = Stats{} }
 
 // SetTelemetry points the MAC at a telemetry recorder (nil detaches).
 func (m *MAC) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
+
+// SetTxObserver installs the per-destination transmit-outcome callback
+// (nil removes it). Beacons, broadcasts, and MAC acks are not reported:
+// only unicast frames carry ack-based delivery evidence. ErrRadioOff is
+// also withheld — a dark local radio says nothing about the link.
+func (m *MAC) SetTxObserver(fn TxObserverFunc) { m.txObserver = fn }
 
 // emitQueueDepth publishes the transmit-queue occupancy gauge.
 func (m *MAC) emitQueueDepth() {
@@ -502,6 +519,14 @@ func (m *MAC) finish(err error) {
 		m.tel.Emit(m.id, telemetry.LayerMAC, "tx-fail",
 			telemetry.Node("dst", out.frame.Dst),
 			telemetry.String("err", err.Error()))
+	}
+	// Link estimation feedback runs before the sender's completion
+	// callback: routing's repair logic reads the neighbor table from its
+	// send callback and must see this outcome already folded in.
+	if m.txObserver != nil && out.frame.Dst != phys.Broadcast &&
+		(out.frame.Type == TypeData || out.frame.Type == TypeControl) &&
+		!errors.Is(err, ErrRadioOff) {
+		m.txObserver(out.frame.Dst, err)
 	}
 	if out.sent != nil {
 		out.sent(out.frame, err)

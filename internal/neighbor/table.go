@@ -35,6 +35,15 @@ type Entry struct {
 	RSSI float64
 	// PRR estimates the beacon delivery ratio from sequence gaps.
 	PRR float64
+	// Delivery is an EWMA estimate of unicast delivery probability,
+	// driven by MAC transmit outcomes (acks versus no-acks/channel
+	// failures). It starts optimistic at 1 and, unlike the beacon-driven
+	// PRR, reacts within a few lost frames.
+	Delivery float64
+	// Suspect marks a link penalized by SuspectAfter consecutive failed
+	// unicasts. Routing protocols deprioritize suspect next hops; the
+	// flag clears on the next acknowledged delivery.
+	Suspect bool
 	// LastHeard is the virtual time of the most recent frame.
 	LastHeard sim.Time
 	// Blacklisted marks the neighbor disabled for protocol use.
@@ -42,10 +51,32 @@ type Entry struct {
 	// lastBeaconSeq supports gap-based PRR estimation.
 	lastBeaconSeq uint16
 	seenBeacon    bool
+	// consecFails counts consecutive failed unicasts toward Suspect.
+	consecFails int
+}
+
+// ETX returns the expected-transmissions cost of the link: the inverse
+// of the delivery estimate, floored so a dead link costs at most
+// 1/minDelivery rather than infinity.
+func (e Entry) ETX() float64 {
+	d := e.Delivery
+	if d < minDelivery {
+		d = minDelivery
+	}
+	return 1 / d
 }
 
 // ewmaAlpha is the smoothing weight given to each new observation.
 const ewmaAlpha = 0.3
+
+// minDelivery floors the delivery estimate so a long failure streak
+// cannot pin it at zero forever: recovery within a handful of acks must
+// stay possible, and ETX stays finite.
+const minDelivery = 0.05
+
+// SuspectAfter is how many consecutive failed unicasts mark a link
+// suspect.
+const SuspectAfter = 3
 
 // DefaultCapacity bounds the table as a 4 KB-RAM kernel must.
 const DefaultCapacity = 16
@@ -53,11 +84,21 @@ const DefaultCapacity = 16
 // ErrUnknownNeighbor is returned for operations on absent entries.
 var ErrUnknownNeighbor = errors.New("neighbor: unknown neighbor")
 
+// EstimatorStats counts link-estimator inputs and verdicts at one node.
+type EstimatorStats struct {
+	TxAcked       uint64 // unicast outcomes folded in as successes
+	TxFailed      uint64 // unicast outcomes folded in as failures
+	TxUnknownDst  uint64 // outcomes for destinations not in the table
+	SuspectMarks  uint64 // links newly marked suspect
+	SuspectClears uint64 // suspect flags cleared by an acked delivery
+}
+
 // Table is the kernel neighbor table. It is single-threaded, like
 // everything on the simulated mote.
 type Table struct {
 	entries map[phys.NodeID]*Entry
 	cap     int
+	est     EstimatorStats
 }
 
 // NewTable returns a table bounded to capacity entries (DefaultCapacity
@@ -84,7 +125,7 @@ func (t *Table) Observe(id phys.NodeID, lqi int, rssi int, now sim.Time) *Entry 
 		if len(t.entries) >= t.cap && !t.evictStalest(now) {
 			return nil
 		}
-		e = &Entry{ID: id, LQI: float64(lqi), RSSI: float64(rssi), PRR: 1}
+		e = &Entry{ID: id, LQI: float64(lqi), RSSI: float64(rssi), PRR: 1, Delivery: 1}
 		t.entries[id] = e
 	} else {
 		e.LQI += ewmaAlpha * (float64(lqi) - e.LQI)
@@ -113,6 +154,88 @@ func (t *Table) evictStalest(now sim.Time) bool {
 	delete(t.entries, victim.ID)
 	return true
 }
+
+// ObserveTxResult folds one unicast transmit outcome for neighbor id
+// into the delivery estimate: ok refreshes the EWMA toward 1 (and
+// clears any suspect flag), a failure drags it toward the minDelivery
+// floor. SuspectAfter consecutive failures mark the link suspect; the
+// return value reports whether this call newly did so, letting the
+// caller emit a telemetry event exactly once per streak. Outcomes for
+// unknown destinations are counted and dropped — a transmit result
+// carries no LQI/RSSI to seed an entry with.
+func (t *Table) ObserveTxResult(id phys.NodeID, ok bool, now sim.Time) (becameSuspect bool) {
+	e, known := t.entries[id]
+	if !known {
+		t.est.TxUnknownDst++
+		return false
+	}
+	if ok {
+		t.est.TxAcked++
+		e.Delivery += ewmaAlpha * (1 - e.Delivery)
+		e.consecFails = 0
+		if e.Suspect {
+			e.Suspect = false
+			t.est.SuspectClears++
+		}
+		// An ack is first-hand evidence the neighbor is alive.
+		e.LastHeard = now
+		return false
+	}
+	t.est.TxFailed++
+	e.Delivery += ewmaAlpha * (0 - e.Delivery)
+	if e.Delivery < minDelivery {
+		e.Delivery = minDelivery
+	}
+	e.consecFails++
+	if e.consecFails >= SuspectAfter && !e.Suspect {
+		e.Suspect = true
+		t.est.SuspectMarks++
+		return true
+	}
+	return false
+}
+
+// MarkSuspect sets or clears the suspect flag directly — routing uses
+// this when its own failure streak condemns a next hop before the
+// estimator threshold fires (or when the table wiring is absent).
+func (t *Table) MarkSuspect(id phys.NodeID, on bool) error {
+	e, ok := t.entries[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrUnknownNeighbor, id)
+	}
+	if e.Suspect != on {
+		e.Suspect = on
+		if on {
+			t.est.SuspectMarks++
+		} else {
+			t.est.SuspectClears++
+		}
+	}
+	if !on {
+		e.consecFails = 0
+	}
+	return nil
+}
+
+// Suspects returns copies of the currently suspect entries sorted by ID
+// (the shell's `health` view).
+func (t *Table) Suspects() []Entry {
+	out := make([]Entry, 0, len(t.entries))
+	for _, e := range t.entries {
+		if e.Suspect {
+			out = append(out, *e)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// EstimatorStats returns a snapshot of the link-estimator counters.
+func (t *Table) EstimatorStats() EstimatorStats { return t.est }
+
+// ResetEstimatorStats zeroes the link-estimator counters (the shell's
+// `stats reset` includes them so chaos runs start from a clean slate).
+func (t *Table) ResetEstimatorStats() { t.est = EstimatorStats{} }
 
 // ObserveBeacon folds a received beacon into the table: it refreshes
 // link metadata, records the advertised name, and updates the PRR

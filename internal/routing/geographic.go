@@ -60,18 +60,23 @@ func (g *geographic) nextHop(p *stack.Packet) (phys.NodeID, error) {
 		return 0, fmt.Errorf("%w: unknown position for self", ErrNoRoute)
 	}
 	selfDist := selfPos.Distance(dstPos)
-	// First choice: the most progress among neighbors whose smoothed
-	// LQI clears the gate. When interference has temporarily dragged
-	// every estimate under the gate (link estimators are noisy under
-	// load), fall back to the *highest-LQI* neighbor that still makes
-	// progress — forwarding on the least-suspect link beats dropping
-	// the packet, and preferring quality in the fallback avoids lunging
-	// at marginal long links.
+	// First choice: the most progress among non-suspect neighbors whose
+	// smoothed LQI clears the gate. When interference has temporarily
+	// dragged every estimate under the gate (link estimators are noisy
+	// under load), fall back to the *highest-LQI* non-suspect neighbor
+	// that still makes progress — forwarding on the least-suspect link
+	// beats dropping the packet, and preferring quality in the fallback
+	// avoids lunging at marginal long links. Neighbors condemned by the
+	// delivery estimator (consecutive no-acks) rank last: they are used
+	// only when nothing else makes progress, which also gives a
+	// recovered link the occasional frame it needs to clear its flag.
 	best := phys.NodeID(0)
 	bestDist := selfDist
 	found := false
 	fallback := phys.NodeID(0)
 	fallbackLQI := -1.0
+	suspect := phys.NodeID(0)
+	suspectDel := -1.0
 	for _, e := range g.table.Usable() {
 		pos, ok := g.locator(e.ID)
 		if !ok {
@@ -80,6 +85,12 @@ func (g *geographic) nextHop(p *stack.Packet) (phys.NodeID, error) {
 		d := pos.Distance(dstPos)
 		if d >= selfDist {
 			continue // no progress
+		}
+		if e.Suspect {
+			if e.Delivery > suspectDel {
+				suspect, suspectDel = e.ID, e.Delivery
+			}
+			continue
 		}
 		if g.minLQI <= 0 || e.LQI >= g.minLQI {
 			if d < bestDist {
@@ -94,6 +105,9 @@ func (g *geographic) nextHop(p *stack.Packet) (phys.NodeID, error) {
 	}
 	if fallbackLQI >= 0 {
 		return fallback, nil
+	}
+	if suspectDel >= 0 {
+		return suspect, nil
 	}
 	return 0, fmt.Errorf("%w: no neighbor closer to %d than self", ErrNoRoute, p.Dst)
 }

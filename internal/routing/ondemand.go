@@ -3,6 +3,7 @@ package routing
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 	"time"
 
 	"liteview/internal/medium"
@@ -180,10 +181,11 @@ func (od *onDemand) rememberReq(origin phys.NodeID, reqID uint16) bool {
 }
 
 // usableNeighbor gates learning on link quality like the other
-// protocols: reverse routes over junk links black-hole replies.
+// protocols: reverse routes over junk links black-hole replies, and a
+// link the delivery estimator has condemned must not seed new routes.
 func (od *onDemand) usableNeighbor(id phys.NodeID) bool {
 	e, ok := od.table.Get(id)
-	if !ok || e.Blacklisted {
+	if !ok || e.Blacklisted || e.Suspect {
 		return false
 	}
 	return od.minLQI <= 0 || e.LQI >= od.minLQI
@@ -268,14 +270,29 @@ func (od *onDemand) onControl(p *stack.Packet, from phys.NodeID, info medium.RxI
 
 // onSendResult implements linkObserver: a frame the MAC could not
 // deliver (no ack after retries) invalidates every route using that
-// next hop, so the next packet triggers rediscovery.
+// next hop. Destinations that still have traffic parked do not wait for
+// the next packet — rediscovery starts immediately, so repair begins
+// the moment the failure is known.
 func (od *onDemand) onSendResult(next phys.NodeID, err error) {
 	if err == nil {
 		return
 	}
+	var invalidated []phys.NodeID
 	for dst, e := range od.routes {
 		if e.next == next {
-			delete(od.routes, dst)
+			invalidated = append(invalidated, dst)
+		}
+	}
+	// Deterministic order: rediscovery transmits, and map iteration
+	// order must never reach the air.
+	sort.Slice(invalidated, func(i, j int) bool { return invalidated[i] < invalidated[j] })
+	for _, dst := range invalidated {
+		delete(od.routes, dst)
+		if len(od.r.pending[dst]) == 0 {
+			continue
+		}
+		if _, running := od.disc[dst]; !running {
+			od.startDiscovery(dst, 0)
 		}
 	}
 }

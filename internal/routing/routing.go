@@ -98,6 +98,14 @@ type Config struct {
 	// below it are not used as next hops or parents (marginal links
 	// flap and black-hole traffic). Zero disables gating.
 	MinLQI float64
+	// SuspectAfter is how many consecutive no-acks to one next hop
+	// trigger link repair: the link is marked suspect in the neighbor
+	// table and queued traffic is rerouted. Zero selects the default.
+	SuspectAfter int
+	// ParkTTL bounds how long a packet may sit parked waiting for route
+	// discovery before it is dropped with a route-park-drop event. Zero
+	// selects the default (the discovery retry budget plus slack).
+	ParkTTL sim.Time
 }
 
 // DefaultConfig returns forwarding parameters sized for the paper's
@@ -110,6 +118,10 @@ func DefaultConfig() Config {
 		BusyJitterMax:   8 * 1000 * 1000,
 		DefaultTTL:      32,
 		MinLQI:          80,
+		SuspectAfter:    neighbor.SuspectAfter,
+		// Outlive a full on-demand discovery cycle (retries included)
+		// with slack, so repair gets a fair chance first.
+		ParkTTL: (MaxDiscoveryRetries+1)*DiscoveryTimeout + 2*1000*1000*1000,
 	}
 }
 
@@ -123,6 +135,9 @@ type Stats struct {
 	DroppedDup     uint64
 	DroppedQueue   uint64
 	PadExhausted   uint64
+	LinkRepairs    uint64 // next hops condemned after consecutive no-acks
+	Salvaged       uint64 // failed packets re-sent through an alternate hop
+	ParkDrops      uint64 // parked packets expired waiting for discovery
 }
 
 // Errors from the routing layer.
@@ -162,6 +177,13 @@ type queued struct {
 	ctl  bool
 }
 
+// parkedPkt is one packet held for route discovery, stamped so stale
+// entries can be expired when the destination stays unreachable.
+type parkedPkt struct {
+	pkt *stack.Packet
+	at  sim.Time
+}
+
 // Router is a routing protocol instance on one node.
 type Router struct {
 	eng   *sim.Engine
@@ -177,9 +199,14 @@ type Router struct {
 	nextID  uint16
 	seen    map[uint32]struct{}
 	seenQ   []uint32
-	// pending parks packets whose route is still being discovered.
-	pending map[phys.NodeID][]*stack.Packet
-	stats   Stats
+	// pending parks packets whose route is still being discovered;
+	// parkTimer holds the per-destination expiry event.
+	pending   map[phys.NodeID][]parkedPkt
+	parkTimer map[phys.NodeID]*sim.Event
+	// failStreak counts consecutive no-acks per next hop; reaching
+	// Config.SuspectAfter triggers link repair.
+	failStreak map[phys.NodeID]int
+	stats      Stats
 	// tel, when set, receives routing-layer telemetry events.
 	tel *telemetry.Recorder
 }
@@ -214,16 +241,24 @@ func newRouter(eng *sim.Engine, st *stack.Stack, table *neighbor.Table, port byt
 	if cfg.QueueCap <= 0 {
 		cfg = DefaultConfig()
 	}
+	if cfg.SuspectAfter <= 0 {
+		cfg.SuspectAfter = DefaultConfig().SuspectAfter
+	}
+	if cfg.ParkTTL <= 0 {
+		cfg.ParkTTL = DefaultConfig().ParkTTL
+	}
 	r := &Router{
-		eng:     eng,
-		st:      st,
-		table:   table,
-		rng:     eng.Rand().Fork(fmt.Sprintf("router-%d-%d", st.NodeID(), port)),
-		cfg:     cfg,
-		port:    port,
-		strat:   strat,
-		seen:    make(map[uint32]struct{}),
-		pending: make(map[phys.NodeID][]*stack.Packet),
+		eng:        eng,
+		st:         st,
+		table:      table,
+		rng:        eng.Rand().Fork(fmt.Sprintf("router-%d-%d", st.NodeID(), port)),
+		cfg:        cfg,
+		port:       port,
+		strat:      strat,
+		seen:       make(map[uint32]struct{}),
+		pending:    make(map[phys.NodeID][]parkedPkt),
+		parkTimer:  make(map[phys.NodeID]*sim.Event),
+		failStreak: make(map[phys.NodeID]int),
 	}
 	if err := st.Subscribe(port, r.onPacket); err != nil {
 		return nil, err
@@ -257,6 +292,14 @@ func (r *Router) NextHop(dst phys.NodeID) (phys.NodeID, error) {
 
 // Stats returns a snapshot of the routing counters.
 func (r *Router) Stats() Stats { return r.stats }
+
+// ResetStats zeroes the routing counters and the repair failure streaks
+// (the shell's `stats reset` includes routers so chaos experiments
+// start from a clean slate).
+func (r *Router) ResetStats() {
+	r.stats = Stats{}
+	r.failStreak = make(map[phys.NodeID]int)
+}
 
 // Close unsubscribes the protocol from its port.
 func (r *Router) Close() { r.st.Unsubscribe(r.port) }
@@ -314,14 +357,67 @@ func (r *Router) SendTo(dst phys.NodeID, innerPort byte, data []byte, pad, contr
 }
 
 // park holds a packet while its route is discovered; bounded like
-// everything else on the mote.
+// everything else on the mote, and stamped so it can expire: a parked
+// packet whose destination never resolves must not sit forever.
 func (r *Router) park(p *stack.Packet) {
 	q := r.pending[p.Dst]
 	if len(q) >= pendingPerDst || (q == nil && len(r.pending) >= pendingDsts) {
 		r.stats.DroppedQueue++
+		r.emitDrop(p, "queue")
 		return
 	}
-	r.pending[p.Dst] = append(q, p)
+	r.pending[p.Dst] = append(q, parkedPkt{pkt: p, at: r.eng.Now()})
+	if r.parkTimer[p.Dst] == nil {
+		r.armParkExpiry(p.Dst, r.cfg.ParkTTL)
+	}
+}
+
+// armParkExpiry schedules the next expiry sweep for dst's park queue.
+func (r *Router) armParkExpiry(dst phys.NodeID, delay sim.Time) {
+	r.parkTimer[dst] = r.eng.MustSchedule(delay, func() { r.expireParked(dst) })
+}
+
+// expireParked drops parked packets older than ParkTTL — the table
+// churned or discovery quietly resolved elsewhere and nothing will ever
+// claim them — and re-arms the timer while newer entries remain.
+func (r *Router) expireParked(dst phys.NodeID) {
+	delete(r.parkTimer, dst)
+	q := r.pending[dst]
+	if len(q) == 0 {
+		delete(r.pending, dst)
+		return
+	}
+	now := r.eng.Now()
+	cutoff := now - r.cfg.ParkTTL
+	kept := q[:0]
+	for _, pp := range q {
+		if pp.at > cutoff {
+			kept = append(kept, pp)
+			continue
+		}
+		r.stats.ParkDrops++
+		if r.tel.Recording() {
+			r.tel.Emit(r.st.NodeID(), telemetry.LayerRouting, "route-park-drop",
+				telemetry.Node("origin", pp.pkt.Origin),
+				telemetry.Node("dst", dst),
+				telemetry.Int("port", int(r.port)),
+				telemetry.Int("age_us", int((now-pp.at)/1000)))
+		}
+	}
+	if len(kept) == 0 {
+		delete(r.pending, dst)
+		return
+	}
+	r.pending[dst] = kept
+	r.armParkExpiry(dst, kept[0].at+r.cfg.ParkTTL-now)
+}
+
+// cancelParkExpiry stops the expiry timer for dst, if armed.
+func (r *Router) cancelParkExpiry(dst phys.NodeID) {
+	if ev := r.parkTimer[dst]; ev != nil {
+		r.eng.Cancel(ev)
+		delete(r.parkTimer, dst)
+	}
 }
 
 // resolvePending re-routes packets parked for dst; strategies call it
@@ -332,13 +428,14 @@ func (r *Router) resolvePending(dst phys.NodeID) {
 		return
 	}
 	delete(r.pending, dst)
-	for _, p := range q {
-		next, err := r.strat.nextHop(p)
+	r.cancelParkExpiry(dst)
+	for _, pp := range q {
+		next, err := r.strat.nextHop(pp.pkt)
 		if err != nil {
 			r.stats.DroppedNoRoute++
 			continue
 		}
-		r.enqueue(p, next, p.Flags&stack.FlagControl != 0)
+		r.enqueue(pp.pkt, next, pp.pkt.Flags&stack.FlagControl != 0)
 	}
 }
 
@@ -348,6 +445,7 @@ func (r *Router) dropPending(dst phys.NodeID) {
 		r.stats.DroppedNoRoute += uint64(len(q))
 		delete(r.pending, dst)
 	}
+	r.cancelParkExpiry(dst)
 }
 
 // onPacket is the stack handler: it pads, delivers, or forwards.
@@ -489,6 +587,7 @@ func (r *Router) kick() {
 			if lo, ok := r.strat.(linkObserver); ok {
 				lo.onSendResult(item.next, sendErr)
 			}
+			r.noteSendOutcome(item, sendErr)
 			r.sending = false
 			r.kick()
 		})
@@ -499,6 +598,114 @@ func (r *Router) kick() {
 			r.kick()
 		}
 	})
+}
+
+// noteSendOutcome drives link repair from per-frame delivery feedback.
+// An acked frame clears the next hop's failure streak; a no-ack extends
+// it. When the streak reaches Config.SuspectAfter the link is condemned
+// (marked suspect in the neighbor table, queued traffic rerouted) and
+// the failed packet is salvaged through an alternate next hop. Channel
+// access failures are local congestion, not link evidence, and leave
+// the streak untouched.
+func (r *Router) noteSendOutcome(item queued, sendErr error) {
+	if sendErr == nil {
+		delete(r.failStreak, item.next)
+		return
+	}
+	if !errors.Is(sendErr, mac.ErrNoAck) {
+		return
+	}
+	r.failStreak[item.next]++
+	streak := r.failStreak[item.next]
+	if streak < r.cfg.SuspectAfter {
+		return
+	}
+	if streak == r.cfg.SuspectAfter {
+		r.repairLink(item.next, streak)
+	}
+	r.salvage(item)
+}
+
+// repairLink marks next suspect and reroutes every queued packet that
+// was headed through it.
+func (r *Router) repairLink(next phys.NodeID, streak int) {
+	r.stats.LinkRepairs++
+	if r.table != nil {
+		_ = r.table.MarkSuspect(next, true) // absent entries cannot be marked
+	}
+	if r.tel.Recording() {
+		r.tel.Emit(r.st.NodeID(), telemetry.LayerRouting, "link-suspect",
+			telemetry.Node("next", next),
+			telemetry.Int("streak", streak),
+			telemetry.Int("port", int(r.port)))
+	}
+	r.rerouteQueued(next)
+}
+
+// rerouteQueued re-asks the strategy for every queued packet whose next
+// hop is bad; packets with a different answer are repointed, packets
+// whose route moved into discovery are parked, unroutable ones dropped.
+func (r *Router) rerouteQueued(bad phys.NodeID) {
+	kept := r.queue[:0]
+	for _, item := range r.queue {
+		if item.next != bad {
+			kept = append(kept, item)
+			continue
+		}
+		next, err := r.strat.nextHop(item.pkt)
+		if errors.Is(err, ErrRouteDiscovery) {
+			r.park(item.pkt)
+			continue
+		}
+		if err != nil {
+			r.stats.DroppedNoRoute++
+			r.emitDrop(item.pkt, "noroute")
+			continue
+		}
+		if next != bad && r.tel.Recording() {
+			r.tel.Emit(r.st.NodeID(), telemetry.LayerRouting, "route-repair",
+				telemetry.Node("dst", item.pkt.Dst),
+				telemetry.Node("old", bad),
+				telemetry.Node("next", next),
+				telemetry.Int("port", int(r.port)))
+		}
+		item.next = next
+		kept = append(kept, item)
+	}
+	r.queue = kept
+}
+
+// salvage gives a frame the MAC abandoned one more life through an
+// alternate next hop. TTL is spent so a pair of bad links cannot bounce
+// a packet forever; a salvage that would re-pick the same dead hop is a
+// genuine dead end and the packet drops as unroutable.
+func (r *Router) salvage(item queued) {
+	p := item.pkt
+	if p.TTL == 0 {
+		r.stats.DroppedTTL++
+		r.emitDrop(p, "ttl")
+		return
+	}
+	p.TTL--
+	next, err := r.strat.nextHop(p)
+	if errors.Is(err, ErrRouteDiscovery) {
+		r.park(p)
+		return
+	}
+	if err != nil || next == item.next {
+		r.stats.DroppedNoRoute++
+		r.emitDrop(p, "noroute")
+		return
+	}
+	r.stats.Salvaged++
+	if r.tel.Recording() {
+		r.tel.Emit(r.st.NodeID(), telemetry.LayerRouting, "route-repair",
+			telemetry.Node("dst", p.Dst),
+			telemetry.Node("old", item.next),
+			telemetry.Node("next", next),
+			telemetry.Int("port", int(r.port)))
+	}
+	r.enqueue(p, next, item.ctl)
 }
 
 // sendControl transmits a protocol-internal packet (tree adverts).

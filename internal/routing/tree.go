@@ -150,6 +150,13 @@ func linkCost(e neighbor.Entry) float64 {
 	return 1 + 2*(110-q)/60
 }
 
+// isSuspect reports whether the delivery estimator has condemned the
+// link to id.
+func (t *tree) isSuspect(id phys.NodeID) bool {
+	e, ok := t.table.Get(id)
+	return ok && e.Suspect
+}
+
 func (t *tree) onControl(p *stack.Packet, from phys.NodeID, info medium.RxInfo) {
 	if t.self == t.root {
 		return // the root never re-parents
@@ -179,12 +186,17 @@ func (t *tree) onControl(p *stack.Packet, from phys.NodeID, info medium.RxInfo) 
 	}
 	candidate := cost + linkCost(e)
 	// Adopt strictly better parents; refresh cost when the current
-	// parent re-advertises.
+	// parent re-advertises. A parent the delivery estimator has marked
+	// suspect is abandoned for *any* non-suspect advertiser, even a more
+	// expensive one — unlike blacklisting we keep forwarding through a
+	// suspect parent while nothing else advertises, so a recovered link
+	// can still ack a frame and clear its flag.
 	if from == t.parent && t.hasPath {
 		t.cost = candidate
 		return
 	}
-	if !t.hasPath || candidate < t.cost {
+	parentSuspect := t.hasPath && t.isSuspect(t.parent)
+	if !t.hasPath || candidate < t.cost || (parentSuspect && !e.Suspect) {
 		t.parent = from
 		t.cost = candidate
 		t.hasPath = true

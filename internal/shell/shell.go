@@ -167,6 +167,8 @@ func (s *Shell) Exec(line string) error {
 		return s.survey()
 	case "healthcheck":
 		return s.healthcheck()
+	case "health":
+		return s.health()
 	case "stats":
 		return s.stats(args)
 	case "energy":
@@ -198,6 +200,8 @@ func (s *Shell) help() {
   log on|off|show [count]     control / read the node's event log
   survey                      broadcast radio query to all nodes in range
   healthcheck                 walk every node and diagnose the deployment
+  health                      self-healing view: suspect links and command
+                              circuit-breaker states
   ping <name|id> [round=N] [length=B] [port=P]
   traceroute <name|id> [round=N] [length=B] [port=P]
   fault list                  show the scripted fault schedule
@@ -399,7 +403,18 @@ func (s *Shell) traceroute(args []string) error {
 		if round == 0 && out.Protocol != "" {
 			s.printf("Name of protocol: %s\n", out.Protocol)
 		}
-		for _, rep := range out.Reports {
+		// Print in hop order with explicit "*" lines for hops whose
+		// report was lost on its way back: the walk continued past them
+		// (a later hop reported), so the user sees partial knowledge
+		// with marked gaps instead of a silently shortened path.
+		reports := append([]core.TimedHopReport(nil), out.Reports...)
+		sort.Slice(reports, func(i, j int) bool { return reports[i].Hop < reports[j].Hop })
+		next := 1
+		for _, rep := range reports {
+			for ; next < rep.Hop; next++ {
+				s.printf("Hop %d: *\n", next)
+			}
+			next = rep.Hop + 1
 			if rep.Lost {
 				s.printf("Hop %d: no reply\n", rep.Hop)
 				continue
@@ -410,6 +425,9 @@ func (s *Shell) traceroute(args []string) error {
 		}
 		s.printf("\nTraceroute statistics:\nPackets = %d\nReceived = %d\nLost = %d\n",
 			out.Sent, out.Received, out.Lost)
+		if out.Verdict != "" {
+			s.printf("Verdict: %s\n", out.Verdict)
+		}
 	}
 	return nil
 }
@@ -550,6 +568,45 @@ func (s *Shell) healthcheck() error {
 	return nil
 }
 
+// health renders the self-healing layer's state: links the delivery
+// estimators have marked suspect (consecutive failed unicasts) and the
+// workstation's per-node command circuit breakers. Suspect links come
+// from the simulator-side kernel tables, so the command works even when
+// parts of the network are unreachable — that is exactly when the user
+// needs it.
+func (s *Shell) health() error {
+	s.printf("suspect links:\n")
+	if s.tb == nil {
+		s.printf("  (no testbed attached; link view unavailable)\n")
+	} else {
+		count := 0
+		for _, n := range s.tb.Nodes {
+			for _, e := range n.SysNeighborTable().Suspects() {
+				s.printf("  %s -> %s: delivery=%.0f%% etx=%.1f\n",
+					n.Name(), s.nameOf(e.ID), e.Delivery*100, e.ETX())
+				count++
+			}
+		}
+		if count == 0 {
+			s.printf("  none\n")
+		}
+	}
+	s.printf("command circuit breakers:\n")
+	brs := s.ws.Breakers()
+	if len(brs) == 0 {
+		s.printf("  all closed\n")
+		return nil
+	}
+	for _, b := range brs {
+		s.printf("  %s: %s, %d consecutive failure(s)", s.nameOf(b.Node), b.State, b.Fails)
+		if b.RetryIn > 0 {
+			s.printf(", probe in %v", time.Duration(b.RetryIn))
+		}
+		s.printf("\n")
+	}
+	return nil
+}
+
 // stats prints the node's counters and routing protocol state, plus the
 // simulator-side medium counters on testbed sessions. "stats medium"
 // prints only the medium block (no login needed); "stats reset" zeroes
@@ -611,7 +668,10 @@ func (s *Shell) statsMedium() error {
 	return nil
 }
 
-// statsReset zeroes the medium counters and every node's MAC counters.
+// statsReset zeroes the medium counters and, on every node, the MAC
+// counters, the attached routing protocols' counters, and the neighbor
+// table's link-estimator counters — one command returns the whole
+// observability surface to a clean baseline before an experiment.
 func (s *Shell) statsReset() error {
 	if s.tb == nil {
 		return errors.New("shell: this session has no testbed (stats reset unavailable)")
@@ -619,8 +679,12 @@ func (s *Shell) statsReset() error {
 	s.tb.Med.ResetStats()
 	for _, n := range s.tb.Nodes {
 		n.MAC().ResetStats()
+		n.SysNeighborTable().ResetEstimatorStats()
+		for _, r := range s.tb.Routers(n.ID()) {
+			r.ResetStats()
+		}
 	}
-	s.printf("medium and MAC counters reset\n")
+	s.printf("medium, MAC, routing, and link-estimator counters reset\n")
 	return nil
 }
 

@@ -130,6 +130,15 @@ func build(positions []phys.Position, opt Options) (*Testbed, error) {
 	return tb, nil
 }
 
+// Custom builds a deployment with explicit node positions: node i
+// (0-based in positions, 1-based as a NodeID) sits at positions[i].
+// Topologies the canned generators cannot express — e.g. the diamond
+// the recovery benchmark uses to guarantee an alternate path — are
+// built this way.
+func Custom(positions []phys.Position, opt Options) (*Testbed, error) {
+	return build(positions, opt)
+}
+
 // Line builds n nodes in a straight line with the given spacing in
 // meters: the paper's eight-hop-diameter topology is Line(9, spacing).
 func Line(n int, spacing float64, opt Options) (*Testbed, error) {
@@ -311,6 +320,18 @@ func (tb *Testbed) Telemetry() *telemetry.Recorder {
 func (tb *Testbed) Router(port byte, id phys.NodeID) (*routing.Router, bool) {
 	r, ok := tb.routers[port][id]
 	return r, ok
+}
+
+// Routers returns every attached protocol instance at node id, sorted
+// by port (a node may run several protocols side by side).
+func (tb *Testbed) Routers(id phys.NodeID) []*routing.Router {
+	var out []*routing.Router
+	for port := 0; port < 256; port++ {
+		if r, ok := tb.routers[byte(port)][id]; ok {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // FaultInjector returns the deployment's fault injector, creating it on

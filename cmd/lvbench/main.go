@@ -17,14 +17,16 @@ import (
 
 func main() {
 	var (
-		expID = flag.String("exp", "all", "experiment id (e1,f5,f6,f7,t1,t2,t3,d2..d7,chaos,recover) or all")
+		expID = flag.String("exp", "all", "experiment id (e1,f5,f6,f7,t1,t2,t3,d2..d7,chaos,recover,scale) or all")
 		seed  = flag.Uint64("seed", 42, "simulation seed")
 		csv   = flag.Bool("csv", false, "emit CSV tables instead of aligned text")
 		list  = flag.Bool("list", false, "list experiments and exit")
 		trace = flag.String("trace", "", "write per-scenario telemetry artifacts (JSONL + Chrome trace) into this directory")
+		short = flag.Bool("short", false, "run reduced-size experiment variants (smoke-test mode)")
 	)
 	flag.Parse()
 	bench.SetTraceDir(*trace)
+	bench.SetShort(*short)
 
 	if *list {
 		for _, e := range bench.All() {

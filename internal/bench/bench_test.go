@@ -9,6 +9,10 @@ import (
 // shape checks to pass — this is the repository's statement that the
 // paper's qualitative results hold on the simulated substrate.
 func TestAllExperiments(t *testing.T) {
+	if testing.Short() {
+		SetShort(true)
+		defer SetShort(false)
+	}
 	for _, exp := range All() {
 		exp := exp
 		t.Run(exp.ID, func(t *testing.T) {

@@ -1,0 +1,115 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"liteview/internal/core"
+	"liteview/internal/phys"
+	"liteview/internal/routing"
+	"liteview/internal/telemetry"
+	"liteview/internal/testbed"
+	"liteview/internal/trace"
+)
+
+// shortMode shrinks the scale experiment (fewer nodes, shorter warmup)
+// so it can run as a CI smoke test. Set from lvbench's -short flag and
+// from `go test -short`.
+var shortMode bool
+
+// SetShort enables or disables the reduced-size experiment variants.
+func SetShort(short bool) { shortMode = short }
+
+// Scale exercises the medium's large-deployment path: a dense square
+// grid (400 nodes, beyond the paper's 30-mote testbed by an order of
+// magnitude), with the same management commands the paper evaluates —
+// a ping to the workstation's neighbour and a traceroute into the grid
+// interior — plus wall-clock throughput figures (how many virtual
+// nanoseconds each real second buys). The reachability index and
+// link-gain cache are what make this tractable; BenchmarkMediumDeliver
+// in the repository root quantifies the speedup against the legacy
+// full fan-out.
+func Scale(seed uint64) (*Result, error) {
+	side := 20
+	warmup := 10 * time.Second
+	if shortMode {
+		side = 10
+		warmup = 6 * time.Second
+	}
+	r := &Result{ID: "SCALE", Title: fmt.Sprintf("medium scalability: commands on a %d×%d grid", side, side)}
+	r.Table = trace.NewTable("nodes", "tx_frames", "deliveries", "sim_s", "wall_ms", "wall_ns_per_sim_s", "tx_per_wall_s")
+
+	opt := testbed.DefaultOptions(seed)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Grid(side, side, 14, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := tb.AttachGeographic(routing.DefaultConfig()); err != nil {
+		return nil, err
+	}
+	if _, err := tb.InstallLiteView(); err != nil {
+		return nil, err
+	}
+	var rec *telemetry.Recorder
+	if tracing() {
+		rec = tb.Telemetry()
+		rec.Start()
+	}
+
+	start := time.Now()
+	tb.WarmUp(warmup)
+	ws, err := tb.NewWorkstation(phys.Position{X: -2, Y: -2})
+	if err != nil {
+		return nil, err
+	}
+	p, perr := ws.Ping(1, core.PingOptions{Dst: 2, Rounds: 2, Length: 32})
+	if p == nil {
+		return nil, fmt.Errorf("ping returned no output: %w", perr)
+	}
+	center := phys.NodeID(side*side/2 + side/2 + 1)
+	tr, terr := ws.Traceroute(1, core.TrOptions{Dst: center, Length: 32, RouterPort: routing.GeographicPort})
+	if tr == nil {
+		return nil, fmt.Errorf("traceroute returned no output: %w", terr)
+	}
+	wall := time.Since(start)
+
+	stats := tb.Med.Stats()
+	simS := float64(tb.Eng.Now()) / float64(time.Second)
+	wallS := wall.Seconds()
+	nsPerSimS := 0.0
+	if simS > 0 {
+		nsPerSimS = float64(wall.Nanoseconds()) / simS
+	}
+	txPerWallS := 0.0
+	if wallS > 0 {
+		txPerWallS = float64(stats.Transmitted) / wallS
+	}
+	r.Table.AddRow(side*side, stats.Transmitted, stats.Delivered, simS,
+		float64(wall.Milliseconds()), nsPerSimS, txPerWallS)
+
+	r.note("ping 1→2: %d/%d replies (%s); traceroute →%d: %d hop reports (%s)",
+		p.Received, p.Sent, p.Verdict, center, len(tr.Reports), tr.Verdict)
+	r.check("grid built at scale", tb.Med.Nodes() == side*side+1,
+		"%d nodes attached (grid + workstation)", tb.Med.Nodes())
+	r.check("commands terminated", true,
+		"ping and traceroute both returned inside their windows")
+	r.check("neighbour ping answered", p.Received > 0,
+		"%d/%d replies", p.Received, p.Sent)
+	r.check("traceroute progressed", len(tr.Reports) > 0,
+		"%d hop reports toward node %d", len(tr.Reports), center)
+	r.check("traffic flowed at scale", stats.Transmitted > 0 && stats.Delivered > 0,
+		"%d frames on the air, %d deliveries", stats.Transmitted, stats.Delivered)
+	r.check("throughput measured", simS > 0 && wallS > 0,
+		"%.1f sim seconds in %.0f ms wall (%.0f ns wall per sim second)",
+		simS, float64(wall.Milliseconds()), nsPerSimS)
+
+	if rec != nil {
+		rec.Stop()
+		if err := writeTelemetry("scale", rec); err != nil {
+			return nil, fmt.Errorf("telemetry artifacts: %w", err)
+		}
+	}
+	return r, nil
+}

@@ -195,8 +195,13 @@ func (m *MAC) NodeID() phys.NodeID { return m.id }
 func (m *MAC) Position() phys.Position { return m.pos }
 
 // SetPosition moves the node. Motes are fixed once deployed, but the
-// management workstation's base station travels with the operator.
-func (m *MAC) SetPosition(p phys.Position) { m.pos = p }
+// management workstation's base station travels with the operator — so
+// the medium's link-budget and reachability caches for this node are
+// invalidated.
+func (m *MAC) SetPosition(p phys.Position) {
+	m.pos = p
+	m.med.NodeMoved(m.id)
+}
 
 // RadioState returns the transceiver state.
 func (m *MAC) RadioState() radio.State { return m.rad.State() }

@@ -55,7 +55,11 @@ type Receiver interface {
 	// PowerLevel returns the programmed CC2420 PA_LEVEL (3..31).
 	PowerLevel() int
 	// OnFrame is invoked when a frame's airtime completes while this
-	// node is listening on the frame's channel.
+	// node is listening on the frame's channel. The frame slice is a
+	// read-only view shared by every receiver of the broadcast (and by
+	// the medium itself): implementations must copy it before mutating
+	// or retaining mutable references (the MAC copies before flipping
+	// bits on corrupted frames).
 	OnFrame(frame []byte, info RxInfo)
 }
 
@@ -71,7 +75,10 @@ type Stats struct {
 	// receiver was transmitting or off when the frame ended.
 	MissedNotListening uint64
 	// BelowSensitivity counts potential deliveries under the radio
-	// sensitivity floor (never detected at all).
+	// sensitivity floor (never detected at all). Nodes the reachability
+	// index excludes entirely — gain so low that even full transmit
+	// power stays under SensitivityDBm − FadeMarginDB — are counted
+	// here in bulk, without a per-receiver delivery outcome.
 	BelowSensitivity uint64
 	// InjectedDrops counts deliveries suppressed by the fault hook
 	// (blackouts and partitions swallow frames without a trace).
@@ -170,6 +177,52 @@ type transmission struct {
 	start   sim.Time
 	end     sim.Time
 	frame   []byte
+	// cand is the reachability-index candidate set captured at transmit
+	// time (shared with the index; read-only). nil when the index is
+	// disabled, in which case deliver falls back to the full-order scan.
+	cand []phys.NodeID
+	// far is how many attached nodes were excluded as unreachable when
+	// the candidate set was captured; they are bulk-counted as
+	// below-sensitivity at delivery.
+	far uint64
+	// indexed records which fan-out mode the transmission was put on the
+	// air under, so a mid-flight toggle cannot mix the two paths.
+	indexed bool
+}
+
+// FadeMarginDB is the headroom the reachability index keeps above the
+// radio sensitivity floor: a node is indexed as reachable when the link
+// gain at maximum transmit power clears SensitivityDBm − FadeMarginDB.
+// Fault-injected extra loss only ever weakens a signal, so nodes under
+// the floor can never demodulate a frame and are skipped without a
+// per-receiver outcome.
+const FadeMarginDB = 6.0
+
+// maxTxDBm is the strongest power any attached radio can transmit at;
+// it bounds the received power of every link through the static gain.
+var maxTxDBm = radio.PowerDBm(radio.MaxPowerLevel)
+
+// reachability is one transmitter's precomputed fan-out: the attached
+// nodes (in stable attach order) whose cached link gain at maximum
+// transmit power clears the sensitivity floor minus the fade margin,
+// plus the count of nodes excluded as unreachable.
+type reachability struct {
+	cand []phys.NodeID
+	far  uint64
+}
+
+// linkKeys holds the pre-interned metric names of one directed link, so
+// report does not rebuild three strings on every reception.
+type linkKeys struct {
+	delivered, lost, lqi string
+}
+
+// prrKey memoises the packet-reception-rate curve by exact SINR bits
+// and frame length; PRR is a pure function, so a hit is bit-identical
+// to recomputation.
+type prrKey struct {
+	sinrBits uint64
+	length   int
 }
 
 // Medium is the shared air. It is bound to one engine and one
@@ -201,6 +254,24 @@ type Medium struct {
 	txSeq uint64
 	// tel, when set, receives medium-layer telemetry events.
 	tel *telemetry.Recorder
+	// indexed enables the link-gain cache and reachability index (the
+	// default). Disabling it restores the legacy full-order fan-out with
+	// per-pair recomputation — a pure pessimisation kept as the
+	// benchmark baseline and for the index-purity regression.
+	indexed bool
+	// gains caches the static per-pair link budget (path loss, shadowing,
+	// asymmetry), keyed from<<16|to. Valid until a position changes.
+	gains map[uint32]phys.Budget
+	// reach caches each transmitter's candidate set; invalidated on
+	// attach/detach and topology changes.
+	reach map[phys.NodeID]*reachability
+	// links interns per-link metric names, keyed from<<16|to.
+	links map[uint32]*linkKeys
+	// prr memoises the PRR curve by (SINR bits, frame length).
+	prr map[prrKey]float64
+	// noiseFor/noiseMW cache the noise floor's mW conversion.
+	noiseFor float64
+	noiseMW  float64
 }
 
 // TapRecord describes one transmission for trace tooling.
@@ -242,11 +313,53 @@ func (m *Medium) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
 // New returns a medium running on eng with the given propagation model.
 func New(eng *sim.Engine, model *phys.Model) *Medium {
 	return &Medium{
-		eng:   eng,
-		model: model,
-		rng:   eng.Rand().Fork("medium"),
-		nodes: make(map[phys.NodeID]Receiver),
+		eng:     eng,
+		model:   model,
+		rng:     eng.Rand().Fork("medium"),
+		nodes:   make(map[phys.NodeID]Receiver),
+		indexed: true,
+		gains:   make(map[uint32]phys.Budget),
+		reach:   make(map[phys.NodeID]*reachability),
+		links:   make(map[uint32]*linkKeys),
+		prr:     make(map[prrKey]float64),
 	}
+}
+
+// SetReachabilityIndex enables or disables the link-gain cache and
+// reachability index (enabled by default). The index is a pure
+// optimization: with identical topology and seed, a run with the index
+// off produces byte-identical deliveries, telemetry, and stats — it is
+// just O(nodes) slower per transmission. Disabling it exists for the
+// purity regression and as the before-side of BenchmarkMediumDeliver.
+func (m *Medium) SetReachabilityIndex(enabled bool) {
+	m.indexed = enabled
+	clear(m.reach)
+}
+
+// InvalidateTopology drops the cached link budgets and reachability
+// sets. Call it after mutating the propagation model; channel and power
+// changes need no invalidation (budgets are frequency- and
+// power-independent), and a single node moving only needs NodeMoved.
+func (m *Medium) InvalidateTopology() {
+	clear(m.gains)
+	clear(m.reach)
+	clear(m.prr)
+}
+
+// NodeMoved tells the medium that one attached node changed position:
+// cached link budgets involving it and every candidate set are dropped.
+// Motes are fixed once deployed — this is the workstation walking with
+// the operator (MAC.SetPosition calls it). Frames already in flight
+// keep the fan-out captured at transmit time; their link budgets are
+// recomputed against the new position at delivery, as the unindexed
+// scan would.
+func (m *Medium) NodeMoved(id phys.NodeID) {
+	for k := range m.gains {
+		if phys.NodeID(k>>16) == id || phys.NodeID(k&0xFFFF) == id {
+			delete(m.gains, k)
+		}
+	}
+	clear(m.reach)
 }
 
 // Attach registers a node. Attaching a duplicate ID is an error.
@@ -257,10 +370,14 @@ func (m *Medium) Attach(r Receiver) error {
 	}
 	m.nodes[id] = r
 	m.order = append(m.order, id)
+	clear(m.reach) // candidate sets must include the newcomer
 	return nil
 }
 
 // Detach removes a node; pending deliveries to it are silently dropped.
+// A frame the node already put on the air stays there: it delivers to
+// (and interferes at) the remaining nodes, exactly as a frame from a
+// mote that lost power mid-transmission would.
 func (m *Medium) Detach(id phys.NodeID) {
 	if _, ok := m.nodes[id]; !ok {
 		return
@@ -272,6 +389,10 @@ func (m *Medium) Detach(id phys.NodeID) {
 			break
 		}
 	}
+	// In-flight transmissions keep their captured candidate sets (which
+	// may still name id — deliver drops it via the nodes lookup); only
+	// future transmissions need rebuilt sets.
+	clear(m.reach)
 }
 
 // Nodes returns the number of attached nodes.
@@ -284,11 +405,30 @@ func (m *Medium) Stats() Stats { return m.stats }
 func (m *Medium) ResetStats() { m.stats = Stats{} }
 
 // prune drops transmissions that can no longer overlap anything.
+// Deliveries (and their SINR scans) run at the *end* of the receiving
+// frame, so an ended transmission must be retained while any frame it
+// temporally overlapped is still in flight — however long ago it ended.
+// The old fixed 10-byte-time horizon silently dropped interferers that
+// clipped the start of a long frame, undercounting collisions; the keep
+// rule is therefore anchored at the earliest start among undelivered
+// transmissions, not at a fixed distance behind now.
 func (m *Medium) prune() {
 	now := m.eng.Now()
+	// minStart is the earliest start among transmissions whose delivery
+	// has not fired yet (delivery fires at t.end, so t.end >= now).
+	minStart := sim.Time(math.MaxInt64)
+	for _, t := range m.active {
+		if t.end >= now && t.start < minStart {
+			minStart = t.start
+		}
+	}
 	keep := m.active[:0]
 	for _, t := range m.active {
-		if t.end > now-10*radio.ByteTime {
+		// Keep frames still awaiting delivery, and any ended frame that
+		// overlapped an undelivered one (o overlaps t iff o.end > t.start,
+		// since o started before it ended). Future transmissions start at
+		// or after now, so nothing already ended can overlap them.
+		if t.end >= now || t.end > minStart {
 			keep = append(keep, t)
 		}
 	}
@@ -297,6 +437,94 @@ func (m *Medium) prune() {
 		m.active[i] = nil
 	}
 	m.active = keep
+}
+
+// budgetBetween returns the static link budget from → to, consulting
+// the per-pair cache when the index is enabled. The cached components
+// are the same deterministic function of the endpoints either way, and
+// Budget.Received combines them in the model's arithmetic order, so
+// both paths produce bit-identical received powers.
+func (m *Medium) budgetBetween(from, to phys.NodeID, fromPos, toPos phys.Position) phys.Budget {
+	if !m.indexed {
+		return m.model.LinkBudget(from, to, fromPos, toPos)
+	}
+	key := uint32(from)<<16 | uint32(to)
+	if b, ok := m.gains[key]; ok {
+		return b
+	}
+	b := m.model.LinkBudget(from, to, fromPos, toPos)
+	m.gains[key] = b
+	return b
+}
+
+// reachFor returns tx's candidate set, building it on first use after
+// an invalidation: every attached node (in stable attach order) whose
+// cached gain at maximum transmit power clears the sensitivity floor
+// minus the fade margin.
+func (m *Medium) reachFor(tx Receiver) *reachability {
+	id := tx.NodeID()
+	if r, ok := m.reach[id]; ok {
+		return r
+	}
+	r := &reachability{}
+	pos := tx.Position()
+	for _, other := range m.order {
+		if other == id {
+			continue
+		}
+		b := m.budgetBetween(id, other, pos, m.nodes[other].Position())
+		if b.Received(maxTxDBm) < radio.SensitivityDBm-FadeMarginDB {
+			r.far++
+			continue
+		}
+		r.cand = append(r.cand, other)
+	}
+	m.reach[id] = r
+	return r
+}
+
+// prrFor returns the packet reception rate for a frame of n bytes at
+// the given SINR, memoised when the index is enabled. PRR is a pure
+// function of its arguments, so the memo is bit-identical to
+// recomputation (the legacy path recomputes, as the pre-index engine
+// did).
+func (m *Medium) prrFor(sinr float64, n int) float64 {
+	if !m.indexed {
+		return phys.PRR(sinr, n)
+	}
+	k := prrKey{math.Float64bits(sinr), n}
+	if p, ok := m.prr[k]; ok {
+		return p
+	}
+	p := phys.PRR(sinr, n)
+	if len(m.prr) < 1<<16 { // bound the memo under interference churn
+		m.prr[k] = p
+	}
+	return p
+}
+
+// linkKeysFor returns the interned metric names of the directed link
+// from → to.
+func (m *Medium) linkKeysFor(from, to phys.NodeID) *linkKeys {
+	key := uint32(from)<<16 | uint32(to)
+	if lk, ok := m.links[key]; ok {
+		return lk
+	}
+	base := "link." + strconv.FormatUint(uint64(from), 10) + "-" +
+		strconv.FormatUint(uint64(to), 10)
+	lk := &linkKeys{delivered: base + ".delivered", lost: base + ".lost", lqi: base + ".lqi"}
+	m.links[key] = lk
+	return lk
+}
+
+// noiseFloorMW returns the model's noise floor converted to milliwatts,
+// cached until the floor changes.
+func (m *Medium) noiseFloorMW() float64 {
+	if m.noiseFor != m.model.NoiseFloor || m.noiseMW == 0 {
+		m.noiseFor = m.model.NoiseFloor
+		m.noiseMW = dbmToMW(m.noiseFor)
+	}
+	return m.noiseMW
 }
 
 // Transmit puts frame on the air from node tx. The caller (the MAC) is
@@ -321,6 +549,14 @@ func (m *Medium) Transmit(tx Receiver, frame []byte) (sim.Time, error) {
 		start:   m.eng.Now(),
 		end:     m.eng.Now() + airtime,
 		frame:   append([]byte(nil), frame...),
+		indexed: m.indexed,
+	}
+	if m.indexed {
+		// Capture the fan-out now: detaching a node mid-flight must not
+		// change the other receivers' outcomes (deliver re-checks
+		// attachment per candidate).
+		r := m.reachFor(tx)
+		t.cand, t.far = r.cand, r.far
 	}
 	m.active = append(m.active, t)
 	m.stats.Transmitted++
@@ -365,27 +601,46 @@ func (m *Medium) report(d TapDelivery) {
 			telemetry.Int("lqi", d.LQI))
 	}
 	m.tel.Emit(d.To, telemetry.LayerMedium, "rx", attrs...)
-	link := "link." + strconv.FormatUint(uint64(d.From), 10) + "-" +
-		strconv.FormatUint(uint64(d.To), 10)
+	lk := m.linkKeysFor(d.From, d.To)
 	switch d.Outcome {
 	case OutcomeDelivered:
-		m.tel.Metrics().Counter(link + ".delivered").Inc()
-		m.tel.Metrics().Gauge(link + ".lqi").Set(float64(d.LQI))
-	case OutcomeCorrupted, OutcomeRadioOff, OutcomeInjectedDrop:
-		// Out-of-range and off-channel outcomes are not link losses —
-		// counting them would flatten every long link's PRR to zero.
-		m.tel.Metrics().Counter(link + ".lost").Inc()
+		m.tel.Metrics().Counter(lk.delivered).Inc()
+		m.tel.Metrics().Gauge(lk.lqi).Set(float64(d.LQI))
+	case OutcomeCorrupted, OutcomeInjectedDrop:
+		// Only real link losses count: out-of-range, off-channel, and
+		// radio-off outcomes would flatten the link's PRR — under LPL
+		// duty-cycling a sleeping radio misses most frames by design,
+		// and that is a schedule property, not link quality.
+		m.tel.Metrics().Counter(lk.lost).Inc()
 	}
 }
 
-// deliver fans t out to every eligible listener at t.end.
+// deliver fans t out to every eligible listener at t.end. With the
+// reachability index on, eligible listeners are the candidate set
+// captured at transmit time; with it off, the full attach-order scan is
+// filtered by the same reachability floor, so both modes produce the
+// same outcome sequence, the same randomness draws, and byte-identical
+// telemetry.
 func (m *Medium) deliver(t *transmission, seq uint64) {
-	for _, id := range m.order {
+	// Nodes excluded by the reachability floor can never demodulate the
+	// frame; they are counted in bulk, with no per-receiver outcome.
+	m.stats.BelowSensitivity += t.far
+	ids := t.cand
+	if !t.indexed {
+		ids = m.order
+	}
+	for _, id := range ids {
 		if id == t.from {
 			continue
 		}
 		rx, ok := m.nodes[id]
 		if !ok {
+			continue // detached while the frame was in flight
+		}
+		b := m.budgetBetween(t.from, id, t.pos, rx.Position())
+		if !t.indexed && b.Received(maxTxDBm) < radio.SensitivityDBm-FadeMarginDB {
+			// The same floor the index precomputes, applied inline.
+			m.stats.BelowSensitivity++
 			continue
 		}
 		outcome := TapDelivery{TxSeq: seq, From: t.from, To: id,
@@ -406,7 +661,7 @@ func (m *Medium) deliver(t *transmission, seq uint64) {
 			m.report(outcome)
 			continue
 		}
-		rxDBm := m.model.ReceivedPower(t.txDBm, t.from, id, t.pos, rx.Position()) - eff.ExtraLossDB
+		rxDBm := b.Received(t.txDBm) - eff.ExtraLossDB
 		if rxDBm < radio.SensitivityDBm {
 			m.stats.BelowSensitivity++
 			outcome.Outcome = OutcomeBelowSensitivity
@@ -433,7 +688,7 @@ func (m *Medium) deliver(t *transmission, seq uint64) {
 			ok2 = false
 			cause = "capture"
 		} else {
-			ok2 = m.rng.Bool(phys.PRR(sinr, len(t.frame)))
+			ok2 = m.rng.Bool(m.prrFor(sinr, len(t.frame)))
 			if !ok2 {
 				cause = "per"
 			}
@@ -468,7 +723,11 @@ func (m *Medium) deliver(t *transmission, seq uint64) {
 		outcome.RSSI = info.RSSI
 		outcome.LQI = info.LQI
 		m.report(outcome)
-		rx.OnFrame(append([]byte(nil), t.frame...), info)
+		frame := t.frame
+		if !t.indexed {
+			frame = append([]byte(nil), t.frame...) // legacy per-receiver copy
+		}
+		rx.OnFrame(frame, info)
 	}
 }
 
@@ -481,7 +740,7 @@ const CaptureThresholdDB = 4.0
 // transmission t at receiver id, given its received power. The second
 // result reports whether any co-channel transmission overlapped t.
 func (m *Medium) sinrAt(t *transmission, id phys.NodeID, pos phys.Position, rxDBm float64) (float64, bool) {
-	noiseMW := dbmToMW(m.model.NoiseFloor)
+	noiseMW := m.noiseFloorMW()
 	interfMW := 0.0
 	interfered := false
 	for _, o := range m.active {
@@ -491,7 +750,7 @@ func (m *Medium) sinrAt(t *transmission, id phys.NodeID, pos phys.Position, rxDB
 		if o.start >= t.end || o.end <= t.start {
 			continue // no temporal overlap
 		}
-		p := m.model.ReceivedPower(o.txDBm, o.from, id, o.pos, pos)
+		p := m.budgetBetween(o.from, id, o.pos, pos).Received(o.txDBm)
 		interfMW += dbmToMW(p)
 		interfered = true
 	}
@@ -500,20 +759,28 @@ func (m *Medium) sinrAt(t *transmission, id phys.NodeID, pos phys.Position, rxDB
 
 // EnergyDBmAt reports the strongest in-band signal currently on the air
 // as heard by node r, or negative infinity when the channel is silent.
-// This is what the MAC's CCA samples.
+// This is what the MAC's CCA samples. Signals under the reachability
+// floor (SensitivityDBm − FadeMarginDB even at full transmit power) are
+// treated as silence: the radio cannot detect them, and skipping them
+// keeps the indexed and legacy fan-outs bit-identical.
 func (m *Medium) EnergyDBmAt(r Receiver) float64 {
 	m.prune()
 	now := m.eng.Now()
 	best := math.Inf(-1)
+	rid := r.NodeID()
+	rpos := r.Position()
 	for _, t := range m.active {
-		if t.channel != r.Channel() || t.from == r.NodeID() {
+		if t.channel != r.Channel() || t.from == rid {
 			continue
 		}
 		if t.start > now || t.end <= now {
 			continue
 		}
-		p := m.model.ReceivedPower(t.txDBm, t.from, r.NodeID(), t.pos, r.Position())
-		if p > best {
+		b := m.budgetBetween(t.from, rid, t.pos, rpos)
+		if b.Received(maxTxDBm) < radio.SensitivityDBm-FadeMarginDB {
+			continue // undetectable at any power level
+		}
+		if p := b.Received(t.txDBm); p > best {
 			best = p
 		}
 	}

@@ -283,5 +283,6 @@ func TestFrameCopyIsolation(t *testing.T) {
 	if b.raw[0][0] != 9 {
 		t.Fatal("medium did not copy the frame on transmit")
 	}
-	b.raw[0][1] = 7 // mutating the received copy must not affect others
+	// Receivers share one read-only slice (see Receiver.OnFrame); the
+	// transmit-time copy is the only one the medium makes.
 }

@@ -123,11 +123,37 @@ func (m *Model) PathLoss(d float64) float64 {
 	return m.PL0 + 10*m.Exponent*math.Log10(d)
 }
 
+// Budget holds the static dB components of a directed link's budget:
+// path loss, shadowing, and per-direction asymmetry. All three depend
+// only on the endpoints' identities and positions and the model seed,
+// so callers may cache a Budget for as long as neither node moves (the
+// medium's link-gain cache does exactly that).
+type Budget struct {
+	PathLossDB, ShadowDB, AsymDB float64
+}
+
+// Received returns the power in dBm arriving over this link when the
+// transmitter emits txDBm. The terms are combined in exactly the
+// arithmetic order Model.ReceivedPower uses, so a cached Budget
+// reproduces bit-identical received powers.
+func (b Budget) Received(txDBm float64) float64 {
+	return txDBm - b.PathLossDB + b.ShadowDB + b.AsymDB
+}
+
+// LinkBudget returns the static link budget of the directed link
+// from → to.
+func (m *Model) LinkBudget(from, to NodeID, fromPos, toPos Position) Budget {
+	return Budget{
+		PathLossDB: m.PathLoss(fromPos.Distance(toPos)),
+		ShadowDB:   m.Shadowing(from, to),
+		AsymDB:     m.Asymmetry(from, to),
+	}
+}
+
 // ReceivedPower returns the power in dBm that node 'to' at position
 // 'toPos' receives from node 'from' at 'fromPos' transmitting at txDBm.
 func (m *Model) ReceivedPower(txDBm float64, from, to NodeID, fromPos, toPos Position) float64 {
-	d := fromPos.Distance(toPos)
-	return txDBm - m.PathLoss(d) + m.Shadowing(from, to) + m.Asymmetry(from, to)
+	return m.LinkBudget(from, to, fromPos, toPos).Received(txDBm)
 }
 
 // SNR returns the signal-to-noise ratio in dB for a received power.

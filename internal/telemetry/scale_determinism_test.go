@@ -1,0 +1,82 @@
+package telemetry_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"liteview/internal/core"
+	"liteview/internal/phys"
+	"liteview/internal/routing"
+	"liteview/internal/telemetry"
+	"liteview/internal/testbed"
+)
+
+// gridRun executes a fixed command script on a 20×20 grid with the
+// medium's reachability index either enabled (the default) or disabled
+// (the legacy full fan-out), and returns every observable byte: the
+// packet trace CSV, the exported JSONL event stream, the metrics
+// snapshot, and the medium stats.
+func gridRun(t *testing.T, seed uint64, indexed bool) (traceCSV, jsonl, metrics, stats string) {
+	t.Helper()
+	opt := testbed.DefaultOptions(seed)
+	opt.ShadowSigma = 0
+	opt.AsymSigma = 0
+	tb, err := testbed.Grid(20, 20, 14, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb.Med.SetReachabilityIndex(indexed)
+	if err := tb.AttachGeographic(routing.DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.InstallLiteView(); err != nil {
+		t.Fatal(err)
+	}
+	rec := tb.Telemetry()
+	rec.Start()
+	var buf strings.Builder
+	stop := tb.RecordTrace(&buf)
+	defer stop()
+	tb.WarmUp(4 * time.Second)
+	ws, err := tb.NewWorkstation(phys.Position{X: -2, Y: -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws.Ping(1, core.PingOptions{Dst: 22, Rounds: 2, Length: 32, RouterPort: routing.GeographicPort})
+	tb.Run(time.Second)
+	var jb strings.Builder
+	if err := telemetry.WriteJSONL(&jb, rec.Events(), telemetry.Filter{}); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String(), jb.String(), rec.Metrics().String(), fmt.Sprintf("%+v", tb.Med.Stats())
+}
+
+// TestScaleDeterminismWithIndex is the index-purity regression at
+// scale: on a 400-node grid, the same seed must produce byte-identical
+// telemetry (packet trace, event stream, metrics, medium stats) with
+// the reachability index on and off. The index may only make the run
+// faster, never different.
+func TestScaleDeterminismWithIndex(t *testing.T) {
+	trOn, jsOn, mOn, sOn := gridRun(t, 9, true)
+	trOff, jsOff, mOff, sOff := gridRun(t, 9, false)
+	if trOn != trOff {
+		t.Fatal("reachability index changed the packet trace")
+	}
+	if jsOn != jsOff {
+		t.Fatal("reachability index changed the telemetry event stream")
+	}
+	if mOn != mOff {
+		t.Fatalf("reachability index changed the metrics snapshot:\n--- indexed ---\n%s--- fan-out ---\n%s", mOn, mOff)
+	}
+	if sOn != sOff {
+		t.Fatalf("reachability index changed the medium stats:\nindexed %s\nfan-out %s", sOn, sOff)
+	}
+	if len(strings.Split(trOn, "\n")) < 10 {
+		t.Fatalf("suspiciously empty trace:\n%s", trOn)
+	}
+	if !strings.Contains(mOn, "link.") {
+		t.Fatal("no per-link metrics recorded at scale")
+	}
+}

@@ -73,13 +73,29 @@ type Testbed struct {
 }
 
 // build creates nodes at the given positions with paper-style names:
-// node i (1-based) is "192.168.0.i" mounted at "/sn0i".
+// node i (1-based) is "192.168.0.i" mounted at "/sn0i". Deployments
+// beyond the paper's scale roll into further /24s: node 251 is
+// "192.168.1.1", node 502 is "192.168.2.2", and so on (see nodeName).
+// maxNodes bounds deployment size: 250 hosts in each of 250 /24
+// subnets, comfortably inside the 16-bit 802.15.4 address space.
+const maxNodes = 250 * 250
+
+// nodeName returns the management name of 1-based node x. The paper's
+// 30-mote testbed lives in 192.168.0.0/24; larger deployments continue
+// into 192.168.1.0/24 and beyond, 250 hosts per subnet.
+func nodeName(x int) string {
+	if x <= 250 {
+		return fmt.Sprintf("192.168.0.%d", x)
+	}
+	return fmt.Sprintf("192.168.%d.%d", x/250, x%250)
+}
+
 func build(positions []phys.Position, opt Options) (*Testbed, error) {
 	if len(positions) == 0 {
 		return nil, errors.New("testbed: no nodes")
 	}
-	if len(positions) > 250 {
-		return nil, errors.New("testbed: more than 250 nodes breaks the naming scheme")
+	if len(positions) > maxNodes {
+		return nil, fmt.Errorf("testbed: more than %d nodes exceeds the 16-bit address space", maxNodes)
 	}
 	eng := sim.NewEngine(opt.Seed)
 	model := phys.DefaultModel(opt.Seed)
@@ -103,7 +119,7 @@ func build(positions []phys.Position, opt Options) (*Testbed, error) {
 		id := phys.NodeID(i + 1)
 		cfg := liteos.Config{
 			ID:               id,
-			Name:             fmt.Sprintf("192.168.0.%d", i+1),
+			Name:             nodeName(i + 1),
 			Dir:              fmt.Sprintf("/sn%02d", i+1),
 			Pos:              pos,
 			Channel:          opt.Channel,

@@ -88,7 +88,7 @@ func TestValidation(t *testing.T) {
 	if _, err := Random(0, 10, 10, DefaultOptions(1)); err == nil {
 		t.Fatal("empty random accepted")
 	}
-	if _, err := Line(251, 1, DefaultOptions(1)); err == nil {
+	if _, err := Line(maxNodes+1, 1, DefaultOptions(1)); err == nil {
 		t.Fatal("oversized testbed accepted")
 	}
 }
@@ -175,5 +175,33 @@ func TestChannelOption(t *testing.T) {
 	}
 	if tb.Node(0).Radio().Channel() != 20 {
 		t.Fatalf("channel = %d", tb.Node(0).Radio().Channel())
+	}
+}
+
+func TestLargeDeploymentNaming(t *testing.T) {
+	// 17×16 = 272 nodes rolls past the first /24.
+	tb, err := Grid(17, 16, 15, DefaultOptions(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tb.Node(249).Name(); got != "192.168.0.250" {
+		t.Fatalf("node 250 named %q", got)
+	}
+	if got := tb.Node(250).Name(); got != "192.168.1.1" {
+		t.Fatalf("node 251 named %q", got)
+	}
+	if n, ok := tb.ByName("192.168.1.22"); !ok || n.ID() != 272 {
+		t.Fatal("ByName lookup failed past the first subnet")
+	}
+	// Every name must stay unique.
+	seen := make(map[string]bool, len(tb.Nodes))
+	for _, n := range tb.Nodes {
+		if seen[n.Name()] {
+			t.Fatalf("duplicate name %q", n.Name())
+		}
+		seen[n.Name()] = true
+	}
+	if _, err := Grid(251, 250, 5, DefaultOptions(3)); err == nil {
+		t.Fatal("oversized deployment accepted")
 	}
 }

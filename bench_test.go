@@ -21,10 +21,10 @@ import (
 
 // runExperiment drives one regenerated experiment per iteration with a
 // rotating seed so the benchmark also doubles as a robustness sweep.
-func runExperiment(b *testing.B, run func(seed uint64) (*bench.Result, error)) {
+func runExperiment(b *testing.B, run func(seed uint64, opt bench.Options) (*bench.Result, error)) {
 	b.Helper()
 	for i := 0; i < b.N; i++ {
-		res, err := run(uint64(i) + 1)
+		res, err := run(uint64(i)+1, bench.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -205,6 +205,47 @@ func BenchmarkEngineEvents(b *testing.B) {
 	eng.MustSchedule(1000, tick)
 	b.ResetTimer()
 	eng.Run()
+}
+
+// BenchmarkEngineSchedule isolates the kernel's scheduling hot loop —
+// the self-rescheduling ticker pattern that dominates every simulation
+// (MAC backoffs, LPL wakeups, app traffic, medium deliveries). The
+// handle variant is the legacy path: MustSchedule allocates a fresh
+// Event per tick and returns a cancellation handle that is immediately
+// discarded. The pooled variant is the fast path: After recycles fired
+// events through the engine-local free list, so the steady state runs
+// allocation-free.
+func BenchmarkEngineSchedule(b *testing.B) {
+	b.Run("handle", func(b *testing.B) {
+		eng := sim.NewEngine(1)
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < b.N {
+				eng.MustSchedule(1000, tick)
+			}
+		}
+		eng.MustSchedule(1000, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run()
+	})
+	b.Run("pooled", func(b *testing.B) {
+		eng := sim.NewEngine(1)
+		var tick func()
+		n := 0
+		tick = func() {
+			n++
+			if n < b.N {
+				eng.After(1000, tick)
+			}
+		}
+		eng.After(1000, tick)
+		b.ReportAllocs()
+		b.ResetTimer()
+		eng.Run()
+	})
 }
 
 // BenchmarkPRR measures the SNR→packet-reception-rate computation.

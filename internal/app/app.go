@@ -128,7 +128,7 @@ func (s *Sampler) Start() error {
 	s.proc = proc
 	s.gen++
 	gen := s.gen
-	s.eng.MustSchedule(s.rng.Jitter(s.period), func() { s.tick(gen) })
+	s.eng.After(s.rng.Jitter(s.period), func() { s.tick(gen) })
 	return nil
 }
 
@@ -169,7 +169,7 @@ func (s *Sampler) tick(gen uint64) {
 	} else if err := s.router.SendTo(s.sink, DataPort, encodeReading(r), false, false); err != nil {
 		s.stats.SendFail++
 	}
-	s.eng.MustSchedule(s.period+s.rng.Jitter(s.period/8), func() { s.tick(gen) })
+	s.eng.After(s.period+s.rng.Jitter(s.period/8), func() { s.tick(gen) })
 }
 
 // SinkStats summarises what a sink absorbed.

@@ -22,7 +22,7 @@ import (
 // ships each hop's quality in its own report instead of consuming
 // in-packet padding. We measure both mechanisms on the same 8-hop path
 // and compare packet cost against diagnosable path length.
-func PingVsTraceroute(seed uint64) (*Result, error) {
+func PingVsTraceroute(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "D2", Title: "multi-hop ping vs traceroute on the same 8-hop path"}
 	dep, err := lineDeployment(9, 20, seed, 0, 0, routing.DefaultConfig())
 	if err != nil {
@@ -76,7 +76,7 @@ func PingVsTraceroute(seed uint64) (*Result, error) {
 // ablation runs over a raw, ack-less MAC: end-to-end recovery is
 // entirely the exchange protocol's job, which is the regime the batch
 // adaptation was designed for.
-func AdaptiveBatch(seed uint64) (*Result, error) {
+func AdaptiveBatch(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "D3", Title: "reliable exchange: adaptive vs fixed batch on a lossy link"}
 
 	type outcome struct {
@@ -87,71 +87,101 @@ func AdaptiveBatch(seed uint64) (*Result, error) {
 	}
 	const trials = 10
 	const messages = 30
-	run := func(fixed bool) (outcome, error) {
-		var o outcome
-		for trial := 0; trial < trials; trial++ {
-			eng := sim.NewEngine(seed + uint64(trial)*1000)
-			model := phys.DefaultModel(seed + uint64(trial)*1000)
-			model.ShadowSigma = 0
-			model.AsymSigma = 0
-			med := medium.New(eng, model)
-			mkEp := func(id phys.NodeID, x float64) (*core.Endpoint, error) {
-				rad, err := radio.New(17)
-				if err != nil {
-					return nil, err
-				}
-				macCfg := mac.DefaultConfig()
-				macCfg.LinkAcks = false // isolate the exchange protocol
-				var st *stack.Stack
-				m, err := mac.New(eng, med, rad, id, phys.Position{X: x}, macCfg,
-					func(f mac.Frame, info medium.RxInfo) { st.OnFrame(f, info) })
-				if err != nil {
-					return nil, err
-				}
-				st = stack.New(eng, m)
-				cfg := core.DefaultReliableConfig()
-				cfg.MaxRetries = 20
-				cfg.FixedBatch = fixed
-				if fixed {
-					cfg.InitBatch = cfg.MaxBatch
-				}
-				return core.NewEndpoint(eng, st, cfg, func(phys.NodeID, []byte, medium.RxInfo, bool) {})
-			}
-			sender, err := mkEp(1, 0)
+	// Each trial is a fully independent simulation (its own engine,
+	// medium, and endpoints seeded by trialSeed), so trials fan out over
+	// the worker pool; the reduction below walks them in trial order.
+	runTrial := func(fixed bool, trial int) (completed bool, elapsed sim.Time, retx, frames uint64, err error) {
+		eng := sim.NewEngine(trialSeed(seed, trial))
+		model := phys.DefaultModel(trialSeed(seed, trial))
+		model.ShadowSigma = 0
+		model.AsymSigma = 0
+		med := medium.New(eng, model)
+		mkEp := func(id phys.NodeID, x float64) (*core.Endpoint, error) {
+			rad, err := radio.New(17)
 			if err != nil {
-				return o, err
+				return nil, err
 			}
-			// ~50 m puts the link on the PRR cliff: real loss, still
-			// workable.
-			if _, err := mkEp(2, 50); err != nil {
-				return o, err
+			macCfg := mac.DefaultConfig()
+			macCfg.LinkAcks = false // isolate the exchange protocol
+			var st *stack.Stack
+			m, err := mac.New(eng, med, rad, id, phys.Position{X: x}, macCfg,
+				func(f mac.Frame, info medium.RxInfo) { st.OnFrame(f, info) })
+			if err != nil {
+				return nil, err
 			}
-			msgs := make([][]byte, messages)
-			for i := range msgs {
-				msgs[i] = []byte{byte(i)}
+			st = stack.New(eng, m)
+			cfg := core.DefaultReliableConfig()
+			cfg.MaxRetries = 20
+			cfg.FixedBatch = fixed
+			if fixed {
+				cfg.InitBatch = cfg.MaxBatch
 			}
-			start := eng.Now()
-			var done bool
-			var failed error
-			sender.Send(2, msgs, 0, func(err error) { done = true; failed = err })
-			eng.Run()
-			if done && failed == nil {
+			return core.NewEndpoint(eng, st, cfg, func(phys.NodeID, []byte, medium.RxInfo, bool) {})
+		}
+		sender, err := mkEp(1, 0)
+		if err != nil {
+			return false, 0, 0, 0, err
+		}
+		// ~50 m puts the link on the PRR cliff: real loss, still
+		// workable.
+		if _, err := mkEp(2, 50); err != nil {
+			return false, 0, 0, 0, err
+		}
+		msgs := make([][]byte, messages)
+		for i := range msgs {
+			msgs[i] = []byte{byte(i)}
+		}
+		start := eng.Now()
+		var done bool
+		var failed error
+		sender.Send(2, msgs, 0, func(err error) { done = true; failed = err })
+		eng.Run()
+		return done && failed == nil, eng.Now() - start,
+			sender.Stats().Retransmissions, sender.Stats().DataSent, nil
+	}
+	run := func(fixed bool) (outcome, error) {
+		type trialOut struct {
+			completed bool
+			elapsed   sim.Time
+			retx      uint64
+			frames    uint64
+		}
+		outs := make([]trialOut, trials)
+		err := opt.forEach(trials, func(trial int) error {
+			completed, elapsed, retx, frames, err := runTrial(fixed, trial)
+			if err != nil {
+				return err
+			}
+			outs[trial] = trialOut{completed, elapsed, retx, frames}
+			return nil
+		})
+		if err != nil {
+			return outcome{}, err
+		}
+		var o outcome
+		for _, t := range outs {
+			if t.completed {
 				o.completed++
-				o.elapsedSum += eng.Now() - start
+				o.elapsedSum += t.elapsed
 			}
-			o.retx += sender.Stats().Retransmissions
-			o.frames += sender.Stats().DataSent
+			o.retx += t.retx
+			o.frames += t.frames
 		}
 		return o, nil
 	}
-	adaptive, err := run(false)
-	if err != nil {
+	var adaptive, fixed outcome
+	if err := opt.forEach(2, func(i int) error {
+		var err error
+		if i == 0 {
+			adaptive, err = run(false)
+		} else {
+			fixed, err = run(true)
+		}
+		return err
+	}); err != nil {
 		return nil, err
 	}
-	fixed, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	r.Trials = 2 * trials
 	meanMs := func(o outcome) float64 {
 		if o.completed == 0 {
 			return 0
@@ -175,7 +205,7 @@ func AdaptiveBatch(seed uint64) (*Result, error) {
 // NeighborSharing regenerates ablation D4: the paper's argument for a
 // single kernel-owned neighbor table — per-protocol copies multiply the
 // RAM cost on a 4 KB mote.
-func NeighborSharing(seed uint64) (*Result, error) {
+func NeighborSharing(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "D4", Title: "kernel-shared neighbor table vs per-protocol copies"}
 	_ = seed
 	// A mote-resident entry: id(2) + flags(1) + lqi(1) + rssi(1) +
@@ -202,12 +232,12 @@ func NeighborSharing(seed uint64) (*Result, error) {
 // side and ping across eight hops over each: the proactive protocol
 // answers immediately, the on-demand one pays a route-discovery cost on
 // the first round and then matches.
-func ProtocolComparison(seed uint64) (*Result, error) {
+func ProtocolComparison(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "D5", Title: "same ping command over two routing protocols"}
-	opt := testbed.DefaultOptions(seed)
-	opt.ShadowSigma = 0
-	opt.AsymSigma = 0
-	tb, err := testbed.Line(9, 20, opt)
+	tbOpt := testbed.DefaultOptions(seed)
+	tbOpt.ShadowSigma = 0
+	tbOpt.AsymSigma = 0
+	tb, err := testbed.Line(9, 20, tbOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -288,7 +318,7 @@ func ProtocolComparison(seed uint64) (*Result, error) {
 // quality bar; transmit energy falls with the PA current, while the
 // totals show why duty cycling (not power tuning) is the real lever —
 // idle listening dominates an always-on mote.
-func EnergyTuning(seed uint64) (*Result, error) {
+func EnergyTuning(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "D6", Title: "energy: full power vs tuned power for the same workload"}
 	run := func(level int) (txJ, rxJ float64, received int, err error) {
 		dep, err := lineDeployment(5, 15, seed, 0, 0, routing.DefaultConfig())
@@ -315,14 +345,28 @@ func EnergyTuning(seed uint64) (*Result, error) {
 		}
 		return txJ, rxJ, received, nil
 	}
-	txHi, rxHi, recvHi, err := run(31)
-	if err != nil {
-		return nil, fmt.Errorf("PA 31: %w", err)
+	// The two power levels are independent deployments; fan them out.
+	var txHi, rxHi, txLo, rxLo float64
+	var recvHi, recvLo int
+	if err := opt.forEach(2, func(i int) error {
+		if i == 0 {
+			var err error
+			txHi, rxHi, recvHi, err = run(31)
+			if err != nil {
+				return fmt.Errorf("PA 31: %w", err)
+			}
+			return nil
+		}
+		var err error
+		txLo, rxLo, recvLo, err = run(15)
+		if err != nil {
+			return fmt.Errorf("PA 15: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	txLo, rxLo, recvLo, err := run(15)
-	if err != nil {
-		return nil, fmt.Errorf("PA 15: %w", err)
-	}
+	r.Trials = 2
 	r.Table = trace.NewTable("power_level", "tx_J", "rx_idle_J", "pings_received")
 	r.Table.AddRow(31, txHi, rxHi, recvHi)
 	r.Table.AddRow(15, txLo, rxLo, recvLo)
@@ -343,7 +387,7 @@ func EnergyTuning(seed uint64) (*Result, error) {
 // duty cycle divides the energy bill by an order of magnitude and
 // multiplies the projected lifetime accordingly; the price is wake-up
 // latency on every hop, which LiteView's own RTT readings expose.
-func DutyCycling(seed uint64) (*Result, error) {
+func DutyCycling(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "D7", Title: "always-on vs low-power listening (LPL)"}
 	type outcome struct {
 		energyJ   float64
@@ -354,12 +398,12 @@ func DutyCycling(seed uint64) (*Result, error) {
 	}
 	run := func(lpl bool) (outcome, error) {
 		var o outcome
-		opt := testbed.DefaultOptions(seed)
-		opt.ShadowSigma = 0
-		opt.AsymSigma = 0
-		opt.LPL = lpl
-		opt.BeaconPeriod = 10 * time.Second
-		tb, err := testbed.Line(2, 5, opt)
+		tbOpt := testbed.DefaultOptions(seed)
+		tbOpt.ShadowSigma = 0
+		tbOpt.AsymSigma = 0
+		tbOpt.LPL = lpl
+		tbOpt.BeaconPeriod = 10 * time.Second
+		tb, err := testbed.Line(2, 5, tbOpt)
 		if err != nil {
 			return o, err
 		}
@@ -406,14 +450,27 @@ func DutyCycling(seed uint64) (*Result, error) {
 		o.lifetimeH = es.EstimatedLifetimeHours
 		return o, nil
 	}
-	on, err := run(false)
-	if err != nil {
-		return nil, fmt.Errorf("always-on: %w", err)
+	// Always-on and LPL are independent deployments; fan them out.
+	var on, lpl outcome
+	if err := opt.forEach(2, func(i int) error {
+		if i == 0 {
+			var err error
+			on, err = run(false)
+			if err != nil {
+				return fmt.Errorf("always-on: %w", err)
+			}
+			return nil
+		}
+		var err error
+		lpl, err = run(true)
+		if err != nil {
+			return fmt.Errorf("LPL: %w", err)
+		}
+		return nil
+	}); err != nil {
+		return nil, err
 	}
-	lpl, err := run(true)
-	if err != nil {
-		return nil, fmt.Errorf("LPL: %w", err)
-	}
+	r.Trials = 2
 	r.Table = trace.NewTable("mac_mode", "deployment_J_2min", "lifetime_h", "rtt_mean_ms", "rtt_max_ms", "pings_recv")
 	r.Table.AddRow("always-on", on.energyJ, on.lifetimeH, on.rttMs, on.rttMaxMs, on.received)
 	r.Table.AddRow("LPL (100 ms interval)", lpl.energyJ, lpl.lifetimeH, lpl.rttMs, lpl.rttMaxMs, lpl.received)

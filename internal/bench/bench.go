@@ -33,6 +33,10 @@ type Result struct {
 	Notes []string
 	// Checks holds the shape assertions.
 	Checks []Check
+	// Trials counts the independent simulation runs the experiment
+	// aggregated (deployments, per-trial engines, scenario replays).
+	// Zero means the experiment did not set it; treat as 1.
+	Trials int
 }
 
 // check records one assertion.
@@ -75,11 +79,25 @@ func (r *Result) String() string {
 	return b.String()
 }
 
-// Experiment is a regenerable experiment.
+// Experiment is a regenerable experiment. Run must be self-contained:
+// it builds its own engines, media, and telemetry buses from (seed,
+// opt) and shares no mutable state with other runs, so the parallel
+// runner may execute any set of experiments concurrently.
 type Experiment struct {
 	ID   string
 	Name string
-	Run  func(seed uint64) (*Result, error)
+	Run  func(seed uint64, opt Options) (*Result, error)
+}
+
+// trialSeed derives the engine/model seed of one trial of an
+// experiment from its base seed. It is the single definition of the
+// trial-seed schedule: every per-trial loop uses it, so the parallel
+// runner and the legacy sequential path can never diverge on seeding.
+// The stride of 1000 keeps neighbouring trial streams far apart even
+// under the small base-seed perturbations the seed-robustness suite
+// applies.
+func trialSeed(base uint64, trial int) uint64 {
+	return base + uint64(trial)*1000
 }
 
 // All returns every experiment in DESIGN.md order.

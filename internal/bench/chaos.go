@@ -21,7 +21,7 @@ import (
 // every command terminates, failures produce explicit verdicts instead
 // of silence, a rebooted node answers again, and the whole experiment
 // is deterministic in the seed.
-func Chaos(seed uint64) (*Result, error) {
+func Chaos(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "CHAOS", Title: "command behaviour under injected faults (6-node line)"}
 	r.Table = trace.NewTable("scenario", "command", "ok", "delay_ms", "verdict")
 
@@ -39,7 +39,7 @@ func Chaos(seed uint64) (*Result, error) {
 			return outcome{}, outcome{}, err
 		}
 		var rec *telemetry.Recorder
-		if tracing() {
+		if opt.tracing() {
 			rec = dep.tb.Telemetry()
 			rec.Start()
 		}
@@ -62,118 +62,120 @@ func Chaos(seed uint64) (*Result, error) {
 			delayMs: ms(t.ResponseDelay), verdict: t.Verdict}
 		if rec != nil {
 			rec.Stop()
-			if err := writeTelemetry("chaos-"+slug, rec); err != nil {
+			if err := writeTelemetry(opt, "chaos-"+slug, rec); err != nil {
 				return outcome{}, outcome{}, fmt.Errorf("telemetry artifacts: %w", err)
 			}
 		}
 		return pingOut, trOut, nil
 	}
-	record := func(scenario string, p, t outcome) {
-		r.Table.AddRow(scenario, "ping 1→2", p.ok, p.delayMs, p.verdict)
-		r.Table.AddRow(scenario, "traceroute 1→6", t.ok, t.delayMs, t.verdict)
+
+	// Every scenario deploys its own line testbed, so the whole set
+	// fans out over the worker pool; rows and checks are recorded in
+	// declaration order below, keeping output identical to a
+	// sequential run.
+	crashScript := func(dep *deployment, inj *fault.Injector) error {
+		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 3})
+		return err
+	}
+	scenarios := []struct {
+		label  string
+		slug   string
+		script func(*deployment, *fault.Injector) error
+	}{
+		// Baseline: no faults; both commands succeed.
+		{"baseline", "baseline", nil},
+		// Crash: relay node 3 power-fails; the traceroute must name
+		// the hop.
+		{"crash relay 3", "crash-relay-3", crashScript},
+		// Blackout: the 1↔2 link drops every frame; ping loses all
+		// rounds with an explicit verdict rather than hanging.
+		{"blackout 1-2", "blackout-1-2", func(dep *deployment, inj *fault.Injector) error {
+			_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.LinkBlackout, A: 1, B: 2})
+			return err
+		}},
+		// Corrupt burst: node 2 corrupts 80% of received frames;
+		// commands still terminate, loss is visible.
+		{"corrupt-burst 2", "corrupt-burst-2", func(dep *deployment, inj *fault.Injector) error {
+			_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.CorruptBurst, Node: 2})
+			return err
+		}},
+		// Partition: nodes 4..6 are cut off; the traceroute breaks at
+		// the boundary.
+		{"partition {4,5,6}", "partition-4-5-6", func(dep *deployment, inj *fault.Injector) error {
+			_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.Partition,
+				Group: []phys.NodeID{4, 5, 6}})
+			return err
+		}},
+		// Jam: every channel is jammed — even command delivery fails,
+		// with an explicit verdict.
+		{"jam all channels", "jam", func(dep *deployment, inj *fault.Injector) error {
+			_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.Jam})
+			return err
+		}},
+		// Recovery: node 2 crashes for two seconds, reboots,
+		// re-registers, and answers commands again.
+		{"crash 2 + reboot", "crash-2-reboot", func(dep *deployment, inj *fault.Injector) error {
+			if _, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 2,
+				Duration: 2 * time.Second}); err != nil {
+				return err
+			}
+			dep.tb.Run(4 * time.Second) // crash window plus re-registration time
+			return nil
+		}},
+		// Determinism: the crash scenario replayed with the same seed
+		// must reproduce the exact delays and verdicts.
+		{"crash replay", "crash-replay", crashScript},
+	}
+	outs := make([]struct{ p, t outcome }, len(scenarios))
+	if err := opt.forEach(len(scenarios), func(i int) error {
+		p, t, err := run(scenarios[i].slug, scenarios[i].script)
+		if err != nil {
+			return fmt.Errorf("%s: %w", scenarios[i].slug, err)
+		}
+		outs[i] = struct{ p, t outcome }{p, t}
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	r.Trials = len(scenarios)
+	for i, sc := range scenarios {
+		if sc.slug == "crash-replay" {
+			continue // determinism replay: checked below, not tabulated
+		}
+		r.Table.AddRow(sc.label, "ping 1→2", outs[i].p.ok, outs[i].p.delayMs, outs[i].p.verdict)
+		r.Table.AddRow(sc.label, "traceroute 1→6", outs[i].t.ok, outs[i].t.delayMs, outs[i].t.verdict)
 	}
 
-	// Baseline: no faults; both commands succeed.
-	pBase, tBase, err := run("baseline", nil)
-	if err != nil {
-		return nil, fmt.Errorf("baseline: %w", err)
-	}
-	record("baseline", pBase, tBase)
+	pBase, tBase := outs[0].p, outs[0].t
 	r.check("baseline ping ok", pBase.ok, "verdict %q", pBase.verdict)
 	r.check("baseline traceroute ok", tBase.ok, "verdict %q", tBase.verdict)
 
-	// Crash: relay node 3 power-fails; the traceroute must name the hop.
-	pCrash, tCrash, err := run("crash-relay-3", func(dep *deployment, inj *fault.Injector) error {
-		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 3})
-		return err
-	})
-	if err != nil {
-		return nil, fmt.Errorf("crash: %w", err)
-	}
-	record("crash relay 3", pCrash, tCrash)
+	pCrash, tCrash := outs[1].p, outs[1].t
 	r.check("crash: ping past the crash still ok", pCrash.ok, "verdict %q", pCrash.verdict)
 	r.check("crash: traceroute reports a broken path", !tCrash.ok && tCrash.verdict != "",
 		"verdict %q", tCrash.verdict)
 
-	// Blackout: the 1↔2 link drops every frame; ping loses all rounds
-	// with an explicit verdict rather than hanging.
-	pBlack, tBlack, err := run("blackout-1-2", func(dep *deployment, inj *fault.Injector) error {
-		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.LinkBlackout, A: 1, B: 2})
-		return err
-	})
-	if err != nil {
-		return nil, fmt.Errorf("blackout: %w", err)
-	}
-	record("blackout 1-2", pBlack, tBlack)
+	pBlack := outs[2].p
 	r.check("blackout: ping fails explicitly", !pBlack.ok && pBlack.verdict != "",
 		"verdict %q", pBlack.verdict)
 
-	// Corrupt burst: node 2 corrupts 80% of received frames; commands
-	// still terminate, loss is visible.
-	pCor, tCor, err := run("corrupt-burst-2", func(dep *deployment, inj *fault.Injector) error {
-		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.CorruptBurst, Node: 2})
-		return err
-	})
-	if err != nil {
-		return nil, fmt.Errorf("corrupt: %w", err)
-	}
-	record("corrupt-burst 2", pCor, tCor)
+	pCor := outs[3].p
 	r.check("corrupt: ping terminates with a verdict", pCor.verdict != "", "verdict %q", pCor.verdict)
 
-	// Partition: nodes 4..6 are cut off; the traceroute breaks at the
-	// boundary.
-	pPart, tPart, err := run("partition-4-5-6", func(dep *deployment, inj *fault.Injector) error {
-		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.Partition,
-			Group: []phys.NodeID{4, 5, 6}})
-		return err
-	})
-	if err != nil {
-		return nil, fmt.Errorf("partition: %w", err)
-	}
-	record("partition {4,5,6}", pPart, tPart)
+	pPart, tPart := outs[4].p, outs[4].t
 	r.check("partition: ping inside the main segment ok", pPart.ok, "verdict %q", pPart.verdict)
 	r.check("partition: traceroute reports a broken path", !tPart.ok && tPart.verdict != "",
 		"verdict %q", tPart.verdict)
 
-	// Jam: every channel is jammed — even command delivery fails, with
-	// an explicit verdict.
-	pJam, tJam, err := run("jam", func(dep *deployment, inj *fault.Injector) error {
-		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.Jam})
-		return err
-	})
-	if err != nil {
-		return nil, fmt.Errorf("jam: %w", err)
-	}
-	record("jam all channels", pJam, tJam)
+	pJam, tJam := outs[5].p, outs[5].t
 	r.check("jam: ping fails explicitly", !pJam.ok && pJam.verdict != "", "verdict %q", pJam.verdict)
 	r.check("jam: traceroute fails explicitly", !tJam.ok && tJam.verdict != "", "verdict %q", tJam.verdict)
 
-	// Recovery: node 2 crashes for two seconds, reboots, re-registers,
-	// and answers commands again.
-	pRec, tRec, err := run("crash-2-reboot", func(dep *deployment, inj *fault.Injector) error {
-		if _, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 2,
-			Duration: 2 * time.Second}); err != nil {
-			return err
-		}
-		dep.tb.Run(4 * time.Second) // crash window plus re-registration time
-		return nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("recovery: %w", err)
-	}
-	record("crash 2 + reboot", pRec, tRec)
+	pRec, tRec := outs[6].p, outs[6].t
 	r.check("recovery: rebooted node answers ping", pRec.ok, "verdict %q", pRec.verdict)
 	r.check("recovery: traceroute crosses the rebooted node", tRec.ok, "verdict %q", tRec.verdict)
 
-	// Determinism: the crash scenario replayed with the same seed must
-	// reproduce the exact delays and verdicts.
-	pCrash2, tCrash2, err := run("crash-replay", func(dep *deployment, inj *fault.Injector) error {
-		_, err := inj.Schedule(fault.Fault{At: inj.Now(), Kind: fault.NodeCrash, Node: 3})
-		return err
-	})
-	if err != nil {
-		return nil, fmt.Errorf("determinism: %w", err)
-	}
+	pCrash2, tCrash2 := outs[7].p, outs[7].t
 	r.check("determinism: same seed, same fault, same outcome",
 		pCrash == pCrash2 && tCrash == tCrash2,
 		"crash replay: ping %.3f/%.3f ms, traceroute %.3f/%.3f ms",

@@ -71,12 +71,12 @@ func sentControl(tb *testbed.Testbed, ws *core.Workstation) uint64 {
 // neighborhood management and single-hop ping have a response delay of
 // 500 milliseconds (a full command window, intentionally longer than
 // the network needs).
-func ResponseDelays(seed uint64) (*Result, error) {
+func ResponseDelays(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "E1", Title: "response delays of one-hop commands (paper: 500 ms)"}
-	opt := testbed.DefaultOptions(seed)
-	opt.ShadowSigma = 0
-	opt.AsymSigma = 0
-	tb, err := testbed.Grid(5, 6, 8, opt) // the paper's thirty-node testbed
+	tbOpt := testbed.DefaultOptions(seed)
+	tbOpt.ShadowSigma = 0
+	tbOpt.AsymSigma = 0
+	tb, err := testbed.Grid(5, 6, 8, tbOpt) // the paper's thirty-node testbed
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +123,7 @@ func ResponseDelays(seed uint64) (*Result, error) {
 // eight-hop-diameter testbed: delays generally increase with the hop
 // index, but routing-layer queueing plus channel-busy jitter can
 // deliver some reports back-to-back.
-func Figure5(seed uint64) (*Result, error) {
+func Figure5(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "F5", Title: "traceroute response delay vs hop (8-hop line)"}
 	dep, err := lineDeployment(9, 22, seed, 1.0, 1.0, routing.DefaultConfig())
 	if err != nil {
@@ -162,16 +162,16 @@ func Figure5(seed uint64) (*Result, error) {
 // command at power levels 10 and 25, forward and backward. Higher
 // power raises every reading by a near-constant amount, and forward
 // and backward readings differ because links are asymmetric.
-func Figure6(seed uint64) (*Result, error) {
+func Figure6(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "F6", Title: "traceroute RSSI per hop, PA 10 vs PA 25, forward vs backward"}
 	cfg := routing.DefaultConfig()
 	// PA-10 adjacent links sit near the default LQI gate while two-span
 	// links must stay excluded: 70 splits them cleanly at 10 m spacing.
 	cfg.MinLQI = 70
-	opt := testbed.DefaultOptions(seed)
-	opt.ShadowSigma = 1.0
-	opt.AsymSigma = 1.5
-	tb, err := testbed.Line(9, 10, opt)
+	tbOpt := testbed.DefaultOptions(seed)
+	tbOpt.ShadowSigma = 1.0
+	tbOpt.AsymSigma = 1.5
+	tb, err := testbed.Line(9, 10, tbOpt)
 	if err != nil {
 		return nil, err
 	}
@@ -295,7 +295,7 @@ func Figure6(seed uint64) (*Result, error) {
 // Overhead counts in-network frames (probes, replies, report
 // forwarding), the quantity the command itself injects — the user's
 // local workstation↔shell exchange is not network overhead.
-func Figure7(seed uint64) (*Result, error) {
+func Figure7(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "F7", Title: "traceroute control packets vs hops"}
 	dep, err := lineDeployment(9, 20, seed, 0, 0, routing.DefaultConfig())
 	if err != nil {
@@ -358,7 +358,7 @@ func Figure7(seed uint64) (*Result, error) {
 
 // FootprintTable regenerates T1: the reported binary footprints and the
 // zero-overhead-when-inactive property.
-func FootprintTable(seed uint64) (*Result, error) {
+func FootprintTable(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "T1", Title: "LiteView command footprints on a 4 KB-RAM / 128 KB-flash mote"}
 	eng := sim.NewEngine(seed)
 	med := medium.New(eng, phys.DefaultModel(seed))
@@ -396,7 +396,7 @@ func FootprintTable(seed uint64) (*Result, error) {
 // PingSample regenerates T2: the paper's sample single-hop ping output
 // shape (RTT ≈ 4.7 ms for a 32-byte probe, LQI ≈ 108/106, near-zero
 // RSSI registers, zero queues, power 31, channel 17).
-func PingSample(seed uint64) (*Result, error) {
+func PingSample(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "T2", Title: "single-hop ping sample between nodes 5 m apart"}
 	dep, err := lineDeployment(2, 5, seed, 0, 0, routing.DefaultConfig())
 	if err != nil {
@@ -431,7 +431,7 @@ func PingSample(seed uint64) (*Result, error) {
 // PaddingCapacity regenerates T3: the padding arithmetic — a 64-byte
 // payload ceiling, two bytes per hop, so a 16-byte probe can record at
 // most 24 hops.
-func PaddingCapacity(seed uint64) (*Result, error) {
+func PaddingCapacity(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "T3", Title: "link-quality padding capacity vs probe size"}
 	_ = seed
 	r.Table = trace.NewTable("probe_bytes", "max_pad_hops")

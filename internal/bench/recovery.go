@@ -87,8 +87,10 @@ type recOutcome struct {
 // measureReroute deploys the diamond, offers periodic traffic 1→4,
 // injects f two seconds in, and measures how long delivery takes to
 // resume through the alternate relay. The full telemetry stream is
-// returned serialized for byte-level determinism comparison.
-func measureReroute(seed uint64, f fault.Fault) (recOutcome, []byte, error) {
+// returned serialized for byte-level determinism comparison. stem names
+// the telemetry artifact (recover-<stem>); it must be unique per call
+// so concurrent scenarios never write the same file.
+func measureReroute(seed uint64, opt Options, stem string, f fault.Fault) (recOutcome, []byte, error) {
 	dep, err := diamondDeployment(seed)
 	if err != nil {
 		return recOutcome{}, nil, err
@@ -113,9 +115,9 @@ func measureReroute(seed uint64, f fault.Fault) (recOutcome, []byte, error) {
 			return
 		}
 		_ = r1.SendTo(4, recAppPort, []byte("self-heal"), false, false)
-		dep.tb.Eng.MustSchedule(recTrafficPeriod, tick)
+		dep.tb.Eng.After(recTrafficPeriod, tick)
 	}
-	dep.tb.Eng.MustSchedule(recTrafficPeriod, tick)
+	dep.tb.Eng.After(recTrafficPeriod, tick)
 
 	dep.tb.Run(2 * time.Second)
 	out := recOutcome{deliveredBefore: len(deliveries)}
@@ -151,8 +153,8 @@ func measureReroute(seed uint64, f fault.Fault) (recOutcome, []byte, error) {
 	if err := telemetry.WriteJSONL(&buf, rec.Events(), telemetry.Filter{}); err != nil {
 		return recOutcome{}, nil, err
 	}
-	if tracing() {
-		if err := writeTelemetry(fmt.Sprintf("recover-%s", f.Kind), rec); err != nil {
+	if opt.tracing() {
+		if err := writeTelemetry(opt, "recover-"+stem, rec); err != nil {
 			return recOutcome{}, nil, err
 		}
 	}
@@ -165,15 +167,37 @@ func measureReroute(seed uint64, f fault.Fault) (recOutcome, []byte, error) {
 // milliseconds, a faulted traceroute must return the per-hop reports it
 // did collect instead of failing whole, and the workstation's circuit
 // breaker must fail fast on a node that has stopped answering.
-func Recovery(seed uint64) (*Result, error) {
+func Recovery(seed uint64, opt Options) (*Result, error) {
 	r := &Result{ID: "RECOVER", Title: "self-healing: reroute after relay failure (4-node diamond)"}
 	r.Table = trace.NewTable("scenario", "delivered_before", "delivered_after", "reroute_ms", "repairs", "alt_forwards")
 
-	// Scenario 1: the primary relay crashes mid-stream.
-	crash, crashTrace, err := measureReroute(seed, fault.Fault{Kind: fault.NodeCrash, Node: 2})
-	if err != nil {
-		return nil, fmt.Errorf("crash: %w", err)
+	// The three reroute measurements (crash, blackout, and the crash
+	// determinism replay) are independent deployments; fan them out and
+	// tabulate in order.
+	reroutes := []struct {
+		stem string
+		f    fault.Fault
+	}{
+		{"crash", fault.Fault{Kind: fault.NodeCrash, Node: 2}},
+		{"blackout", fault.Fault{Kind: fault.LinkBlackout, A: 1, B: 2}},
+		{"crash-replay", fault.Fault{Kind: fault.NodeCrash, Node: 2}},
 	}
+	recOuts := make([]recOutcome, len(reroutes))
+	recTraces := make([][]byte, len(reroutes))
+	if err := opt.forEach(len(reroutes), func(i int) error {
+		out, tr, err := measureReroute(seed, opt, reroutes[i].stem, reroutes[i].f)
+		if err != nil {
+			return fmt.Errorf("%s: %w", reroutes[i].stem, err)
+		}
+		recOuts[i], recTraces[i] = out, tr
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	r.Trials = len(reroutes) + 1 // plus the degradation deployment below
+
+	// Scenario 1: the primary relay crashes mid-stream.
+	crash, crashTrace := recOuts[0], recTraces[0]
 	r.Table.AddRow("crash relay 2", crash.deliveredBefore, crash.deliveredAfter,
 		fmt.Sprintf("%.1f", crash.rerouteMs), crash.linkRepairs, crash.altForwards)
 	r.check("crash: traffic flowed before the fault", crash.deliveredBefore > 0,
@@ -190,10 +214,7 @@ func Recovery(seed uint64) (*Result, error) {
 
 	// Scenario 2: the primary link blacks out but the relay stays up —
 	// same repair loop, different fault class.
-	black, _, err := measureReroute(seed, fault.Fault{Kind: fault.LinkBlackout, A: 1, B: 2})
-	if err != nil {
-		return nil, fmt.Errorf("blackout: %w", err)
-	}
+	black := recOuts[1]
 	r.Table.AddRow("blackout 1-2", black.deliveredBefore, black.deliveredAfter,
 		fmt.Sprintf("%.1f", black.rerouteMs), black.linkRepairs, black.altForwards)
 	r.check("blackout: traffic rerouted", black.rerouteMs >= 0 && black.deliveredAfter > 0,
@@ -201,10 +222,7 @@ func Recovery(seed uint64) (*Result, error) {
 
 	// Determinism: the crash scenario replayed on the same seed must
 	// reproduce the outcome and the telemetry stream byte for byte.
-	crash2, crashTrace2, err := measureReroute(seed, fault.Fault{Kind: fault.NodeCrash, Node: 2})
-	if err != nil {
-		return nil, fmt.Errorf("crash replay: %w", err)
-	}
+	crash2, crashTrace2 := recOuts[2], recTraces[2]
 	r.check("determinism: same seed, same outcome", crash == crash2,
 		"reroute %.1f/%.1f ms, %d/%d deliveries",
 		crash.rerouteMs, crash2.rerouteMs, crash.deliveredAfter, crash2.deliveredAfter)

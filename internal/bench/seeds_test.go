@@ -3,9 +3,14 @@ package bench
 import "testing"
 
 func TestSeedRobustness(t *testing.T) {
-	for _, seed := range []uint64{1, 7, 99, 1234} {
+	seeds := []uint64{1, 7, 99, 1234}
+	opt := Options{Short: testing.Short()}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
 		for _, exp := range All() {
-			res, err := exp.Run(seed)
+			res, err := exp.Run(seed, opt)
 			if err != nil {
 				t.Errorf("seed %d %s: %v", seed, exp.ID, err)
 				continue

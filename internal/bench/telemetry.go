@@ -7,23 +7,12 @@ import (
 	"liteview/internal/telemetry"
 )
 
-// traceDir, when non-empty, makes experiments that support it record
-// cross-layer telemetry and write per-scenario artifacts
-// (<dir>/<stem>.jsonl and <dir>/<stem>.trace.json). Set from lvbench's
-// -trace flag. Recording is non-perturbing, so results are identical
-// with or without it — the chaos determinism check still holds.
-var traceDir string
-
-// SetTraceDir enables per-scenario telemetry artifacts under dir
-// (empty disables them again).
-func SetTraceDir(dir string) { traceDir = dir }
-
-// tracing reports whether artifact recording is enabled.
-func tracing() bool { return traceDir != "" }
-
 // writeTelemetry exports rec's captured events under the given artifact
-// stem, as both JSONL and a Chrome trace-event file.
-func writeTelemetry(stem string, rec *telemetry.Recorder) error {
+// stem, as both JSONL and a Chrome trace-event file. Artifact stems are
+// unique per scenario, so concurrent experiments never write the same
+// file; MkdirAll is safe to race.
+func writeTelemetry(opt Options, stem string, rec *telemetry.Recorder) error {
+	traceDir := opt.TraceDir
 	if traceDir == "" || rec == nil {
 		return nil
 	}

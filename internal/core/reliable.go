@@ -221,7 +221,7 @@ func (e *Endpoint) Send(to phys.NodeID, msgs [][]byte, delay sim.Time, done func
 		// Broadcast commands are fire-and-forget: per-receiver acks
 		// would collide (that is exactly why responders use a group
 		// backoff for their replies instead).
-		e.eng.MustSchedule(delay, func() {
+		e.eng.After(delay, func() {
 			x.batch = len(x.msgs)
 			e.sendWindow(x)
 			e.stats.Completed++
@@ -238,7 +238,7 @@ func (e *Endpoint) Send(to phys.NodeID, msgs [][]byte, delay sim.Time, done func
 			telemetry.Int("id", int(x.id)),
 			telemetry.Int("msgs", len(msgs)))
 	}
-	e.eng.MustSchedule(delay, func() { e.sendWindow(x) })
+	e.eng.After(delay, func() { e.sendWindow(x) })
 	return nil
 }
 

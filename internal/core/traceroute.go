@@ -400,7 +400,7 @@ func (te *TracerouteEngine) onProbe(p *stack.Packet, from phys.NodeID, info medi
 		// collision the CSMA cannot sense. A short random delay breaks
 		// the phase lock.
 		delay := 8*time.Millisecond + te.rng.Jitter(16*time.Millisecond)
-		te.eng.MustSchedule(delay, func() {
+		te.eng.After(delay, func() {
 			te.initiate(taskID, source, dst, port, hop+1, maxHops, retries, len(p.Data), te.defaultHopTimeout())
 		})
 	}

@@ -324,9 +324,9 @@ func (in *Injector) Schedule(f Fault) (int, error) {
 		}
 	}
 	in.faults = append(in.faults, s)
-	in.eng.MustSchedule(delay, func() { in.activate(s) })
+	in.eng.After(delay, func() { in.activate(s) })
 	if f.Duration > 0 {
-		in.eng.MustSchedule(delay+f.Duration, func() { in.deactivate(s) })
+		in.eng.After(delay+f.Duration, func() { in.deactivate(s) })
 	}
 	return s.id, nil
 }

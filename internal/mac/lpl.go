@@ -44,7 +44,7 @@ func (m *MAC) lplInit() {
 	if m.cfg.Linger <= 0 {
 		m.cfg.Linger = DefaultLinger
 	}
-	m.eng.MustSchedule(m.rng.Jitter(m.cfg.SleepInterval), m.lplMaybeSleep)
+	m.eng.After(m.rng.Jitter(m.cfg.SleepInterval), m.lplMaybeSleep)
 }
 
 // lplBusy reports whether the MAC has reasons to keep the radio awake.
@@ -60,7 +60,7 @@ func (m *MAC) lplMaybeSleep() {
 		return
 	}
 	if m.lplBusy() {
-		m.eng.MustSchedule(m.cfg.WakeWindow, m.lplMaybeSleep)
+		m.eng.After(m.cfg.WakeWindow, m.lplMaybeSleep)
 		return
 	}
 	m.rad.SetState(radio.Off)
@@ -69,7 +69,7 @@ func (m *MAC) lplMaybeSleep() {
 	if sleep < m.cfg.WakeWindow {
 		sleep = m.cfg.WakeWindow
 	}
-	m.eng.MustSchedule(sleep, m.lplWake)
+	m.eng.After(sleep, m.lplWake)
 }
 
 // lplWake opens the listen window.
@@ -80,7 +80,7 @@ func (m *MAC) lplWake() {
 	m.lplSleeping = false
 	m.rad.SetState(radio.RX)
 	m.kick() // traffic may have queued while asleep
-	m.eng.MustSchedule(m.cfg.WakeWindow, m.lplMaybeSleep)
+	m.eng.After(m.cfg.WakeWindow, m.lplMaybeSleep)
 }
 
 // lplTouch extends the awake period after activity.
@@ -99,7 +99,7 @@ func (m *MAC) lplWakeForSend() {
 	if m.cfg.LPL && m.rad.State() == radio.Off {
 		m.lplSleeping = false
 		m.rad.SetState(radio.RX)
-		m.eng.MustSchedule(m.cfg.WakeWindow, m.lplMaybeSleep)
+		m.eng.After(m.cfg.WakeWindow, m.lplMaybeSleep)
 	}
 }
 

@@ -321,7 +321,7 @@ func (m *MAC) kick() {
 func (m *MAC) attempt(be, retries int) {
 	backoff := sim.Time(m.rng.Intn(1<<be)) * UnitBackoff
 	ep := m.epoch
-	m.eng.MustSchedule(backoff, func() {
+	m.eng.After(backoff, func() {
 		if m.epoch != ep {
 			return // link layer was reset meanwhile
 		}
@@ -338,7 +338,7 @@ func (m *MAC) attempt(be, retries int) {
 		}
 		if m.rad.State() == radio.TX {
 			// Our own auto-ack is on the air; defer one backoff unit.
-			m.eng.MustSchedule(UnitBackoff, func() { m.attempt(be, retries) })
+			m.eng.After(UnitBackoff, func() { m.attempt(be, retries) })
 			return
 		}
 		if m.med.ChannelBusy(m, m.cfg.CCAThresholdDBm) {
@@ -383,7 +383,7 @@ func (m *MAC) transmit() {
 		head.firstTx = m.eng.Now()
 	}
 	ep := m.epoch
-	m.eng.MustSchedule(airtime+radio.TurnaroundTime, func() {
+	m.eng.After(airtime+radio.TurnaroundTime, func() {
 		if m.epoch != ep {
 			return // link layer was reset mid-flight
 		}
@@ -481,7 +481,7 @@ func (m *MAC) onAckTimeout() {
 // the CC2420's auto-ack does.
 func (m *MAC) autoAck(f Frame) {
 	ep := m.epoch
-	m.eng.MustSchedule(radio.TurnaroundTime, func() {
+	m.eng.After(radio.TurnaroundTime, func() {
 		if m.epoch != ep {
 			return // link layer was reset meanwhile
 		}
@@ -499,7 +499,7 @@ func (m *MAC) autoAck(f Frame) {
 			m.rad.SetState(radio.RX)
 			return
 		}
-		m.eng.MustSchedule(airtime+radio.TurnaroundTime, func() {
+		m.eng.After(airtime+radio.TurnaroundTime, func() {
 			if m.epoch != ep {
 				return
 			}

@@ -573,7 +573,7 @@ func (m *Medium) Transmit(tx Receiver, frame []byte) (sim.Time, error) {
 			telemetry.Float("dbm", t.txDBm),
 			telemetry.Int("bytes", len(t.frame)))
 	}
-	m.eng.MustSchedule(airtime, func() { m.deliver(t, seq) })
+	m.eng.After(airtime, func() { m.deliver(t, seq) })
 	return airtime, nil
 }
 

@@ -572,7 +572,7 @@ func (r *Router) kick() {
 	if r.st.MAC().QueueLen() > 0 {
 		delay += r.rng.Jitter(r.cfg.BusyJitterMax)
 	}
-	r.eng.MustSchedule(delay, func() {
+	r.eng.After(delay, func() {
 		if len(r.queue) == 0 {
 			r.sending = false
 			return

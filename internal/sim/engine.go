@@ -8,10 +8,14 @@
 // (t = 0). Events scheduled for the same instant fire in scheduling order
 // (a monotonically increasing sequence number breaks ties), which keeps
 // runs reproducible across machines.
+//
+// Engines are single-threaded by design, but fully self-contained: two
+// engines share no mutable state, so independent simulations may run on
+// concurrent goroutines (one engine per goroutine) — the parallel
+// experiment runner in internal/bench relies on this.
 package sim
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -22,13 +26,21 @@ import (
 type Time = time.Duration
 
 // Event is a scheduled callback. Fields are private to the engine; events
-// are created via Engine.Schedule / Engine.At.
+// are created via Engine.Schedule / Engine.At (which return a cancellable
+// handle) or Engine.After (handle-free, recycled through the engine's
+// free list).
 type Event struct {
 	when    Time
 	seq     uint64
 	fn      func()
 	index   int // heap index; -1 once removed
 	stopped bool
+	// pooled marks events scheduled through the handle-free After path.
+	// No caller holds a reference to a pooled event, so the engine may
+	// recycle its struct the moment it leaves the queue. Events with
+	// handles are never recycled: a caller may Cancel one long after it
+	// fired, and reuse would redirect that Cancel at an unrelated event.
+	pooled bool
 }
 
 // When reports the virtual time the event is scheduled for.
@@ -37,45 +49,25 @@ func (e *Event) When() Time { return e.when }
 // Stopped reports whether the event has been cancelled.
 func (e *Event) Stopped() bool { return e.stopped }
 
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].when != q[j].when {
-		return q[i].when < q[j].when
-	}
-	return q[i].seq < q[j].seq
-}
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	ev := x.(*Event)
-	ev.index = len(*q)
-	*q = append(*q, ev)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	ev.index = -1
-	*q = old[:n-1]
-	return ev
-}
+// freeListCap bounds the engine's event free list so a burst of traffic
+// does not pin memory forever.
+const freeListCap = 1024
 
 // Engine is a single-threaded discrete-event simulator. It is not safe
 // for concurrent use; all model code runs inside event callbacks on the
-// engine's own (virtual) timeline.
+// engine's own (virtual) timeline. Distinct engines are fully isolated
+// and may run concurrently with one another.
 type Engine struct {
 	now     Time
-	queue   eventQueue
+	queue   []*Event
 	seq     uint64
 	fired   uint64
 	stopped bool
 	rng     *Rand
+	// free recycles the structs of fired pooled events. Recycling is
+	// invisible to the timeline: a reused struct gets a fresh seq, so
+	// ordering is exactly what freshly allocated events would produce.
+	free []*Event
 }
 
 // ErrPastEvent is returned when an event is scheduled before the current
@@ -102,6 +94,117 @@ func (e *Engine) Pending() int { return len(e.queue) }
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
+// less orders the queue by (when, seq): virtual time first, scheduling
+// order as the tiebreak. seq is unique, so the order is total and every
+// valid heap pops the same sequence.
+func (e *Engine) less(i, j int) bool {
+	a, b := e.queue[i], e.queue[j]
+	if a.when != b.when {
+		return a.when < b.when
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) swap(i, j int) {
+	q := e.queue
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+// siftUp restores the heap property from leaf i toward the root. The
+// dominant scheduling pattern — a ticker or delivery event placed after
+// everything currently queued — exits after a single comparison, which
+// is the schedule-at-tail fast path.
+func (e *Engine) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.swap(i, parent)
+		i = parent
+	}
+}
+
+// siftDown restores the heap property from node i toward the leaves.
+func (e *Engine) siftDown(i int) {
+	n := len(e.queue)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			break
+		}
+		least := left
+		if right := left + 1; right < n && e.less(right, left) {
+			least = right
+		}
+		if !e.less(least, i) {
+			break
+		}
+		e.swap(i, least)
+		i = least
+	}
+}
+
+// push enqueues ev.
+func (e *Engine) push(ev *Event) {
+	ev.index = len(e.queue)
+	e.queue = append(e.queue, ev)
+	e.siftUp(ev.index)
+}
+
+// popHead removes and returns the earliest event.
+func (e *Engine) popHead() *Event {
+	ev := e.queue[0]
+	n := len(e.queue) - 1
+	e.swap(0, n)
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if n > 0 {
+		e.siftDown(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// removeAt removes the event at heap index i.
+func (e *Engine) removeAt(i int) {
+	n := len(e.queue) - 1
+	if i != n {
+		e.swap(i, n)
+	}
+	e.queue[n].index = -1
+	e.queue[n] = nil
+	e.queue = e.queue[:n]
+	if i != n {
+		e.siftDown(i)
+		e.siftUp(i)
+	}
+}
+
+// takeEvent returns a zeroed event struct, reusing a recycled one when
+// available.
+func (e *Engine) takeEvent(t Time, fn func(), pooled bool) *Event {
+	e.seq++
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.when, ev.seq, ev.fn, ev.stopped, ev.pooled = t, e.seq, fn, false, pooled
+		return ev
+	}
+	return &Event{when: t, seq: e.seq, fn: fn, pooled: pooled}
+}
+
+// recycle returns a pooled event's struct to the free list.
+func (e *Engine) recycle(ev *Event) {
+	if len(e.free) < freeListCap {
+		ev.fn = nil
+		e.free = append(e.free, ev)
+	}
+}
+
 // Schedule queues fn to run after delay. A negative delay is an error;
 // a zero delay runs fn at the current time, after events already queued
 // for this instant.
@@ -120,9 +223,8 @@ func (e *Engine) At(t Time, fn func()) (*Event, error) {
 	if fn == nil {
 		return nil, errors.New("sim: nil event callback")
 	}
-	e.seq++
-	ev := &Event{when: t, seq: e.seq, fn: fn}
-	heap.Push(&e.queue, ev)
+	ev := e.takeEvent(t, fn, false)
+	e.push(ev)
 	return ev, nil
 }
 
@@ -137,6 +239,22 @@ func (e *Engine) MustSchedule(delay Time, fn func()) *Event {
 	return ev
 }
 
+// After queues fn to run after delay without returning a handle: the
+// event cannot be cancelled, and its struct is recycled through the
+// engine's free list once it fires. This is the allocation-free fast
+// path for the dominant fire-and-forget pattern (frame deliveries, MAC
+// backoffs, self-rescheduling tickers). Like MustSchedule it panics on
+// a negative delay; fn must be non-nil.
+func (e *Engine) After(delay Time, fn func()) {
+	if delay < 0 {
+		panic(fmt.Errorf("%w: delay %v", ErrPastEvent, delay))
+	}
+	if fn == nil {
+		panic(errors.New("sim: nil event callback"))
+	}
+	e.push(e.takeEvent(e.now+delay, fn, true))
+}
+
 // Cancel removes a pending event. Cancelling an already-fired or
 // already-cancelled event is a no-op.
 func (e *Engine) Cancel(ev *Event) {
@@ -147,7 +265,7 @@ func (e *Engine) Cancel(ev *Event) {
 		return
 	}
 	ev.stopped = true
-	heap.Remove(&e.queue, ev.index)
+	e.removeAt(ev.index)
 }
 
 // Stop makes the current Run/RunUntil call return once the executing
@@ -167,19 +285,23 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	e.stopped = false
 	var fired uint64
 	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if next.when > deadline {
+		if e.queue[0].when > deadline {
 			if deadline > e.now && deadline != Time(math.MaxInt64) {
 				e.now = deadline
 			}
 			return fired
 		}
-		heap.Pop(&e.queue)
+		next := e.popHead()
 		e.now = next.when
-		next.index = -1
 		e.fired++
 		fired++
-		next.fn()
+		fn := next.fn
+		// Recycle before firing: a callback that reschedules itself (the
+		// ticker pattern) reuses the struct it just vacated.
+		if next.pooled {
+			e.recycle(next)
+		}
+		fn()
 	}
 	if deadline > e.now && deadline != Time(math.MaxInt64) && !e.stopped {
 		e.now = deadline
@@ -201,10 +323,13 @@ func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false
 	}
-	next := heap.Pop(&e.queue).(*Event)
+	next := e.popHead()
 	e.now = next.when
-	next.index = -1
 	e.fired++
-	next.fn()
+	fn := next.fn
+	if next.pooled {
+		e.recycle(next)
+	}
+	fn()
 	return true
 }

@@ -48,7 +48,7 @@ func (t *Ticker) Start(phase Time) {
 	if phase <= 0 {
 		phase = t.period
 	}
-	t.eng.MustSchedule(phase, func() { t.tick(gen) })
+	t.eng.After(phase, func() { t.tick(gen) })
 }
 
 // Stop halts the ticker; a later Start resumes it.
@@ -67,7 +67,7 @@ func (t *Ticker) SetPeriod(d Time) error {
 	if t.running {
 		t.gen++
 		gen := t.gen
-		t.eng.MustSchedule(t.period, func() { t.tick(gen) })
+		t.eng.After(t.period, func() { t.tick(gen) })
 	}
 	return nil
 }
@@ -80,5 +80,5 @@ func (t *Ticker) tick(gen uint64) {
 	if !t.running || gen != t.gen {
 		return // fn stopped or rescheduled us
 	}
-	t.eng.MustSchedule(t.period, func() { t.tick(gen) })
+	t.eng.After(t.period, func() { t.tick(gen) })
 }

@@ -164,7 +164,7 @@ func (s *Stack) SendLocal(p *Packet) error {
 		return fmt.Errorf("stack: no local subscriber on port %d", p.Port)
 	}
 	q := p.Clone()
-	s.eng.MustSchedule(0, func() {
+	s.eng.After(0, func() {
 		s.stats.LocalDelivered++
 		if s.tel.Recording() {
 			s.tel.Emit(s.mac.NodeID(), telemetry.LayerStack, "local",

@@ -1,0 +1,152 @@
+// Command lvctl is the operator client for lvserved: it attaches to a
+// tenant's simulated testbed over the newline-delimited JSON protocol
+// and drives the LiteView shell command set remotely.
+//
+//	lvctl -tenant lab-a                                   # interactive
+//	lvctl -tenant lab-a -c "cd 192.168.0.1; ping 192.168.0.3"
+//	lvctl -healthz                                        # probe only
+//
+// Exit status: 0 when every command succeeded, 1 on a command or
+// transport error (the first failing command ends a -c script).
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"liteview/internal/serve"
+	"liteview/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", "127.0.0.1:7117", "lvserved wire-protocol address")
+		tenant  = flag.String("tenant", "default", "tenant (testbed) to attach to")
+		script  = flag.String("c", "", "run these semicolon-separated commands and exit")
+		healthz = flag.Bool("healthz", false, "print the daemon's health report and exit")
+		metrics = flag.Bool("metrics", false, "print the daemon's service metrics and exit")
+	)
+	flag.Parse()
+
+	if *healthz || *metrics {
+		probe(*addr, *healthz, *metrics)
+		return
+	}
+
+	c, err := serve.Dial(*addr, *tenant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvctl:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			fmt.Printf("%s$ %s\n", *tenant, line)
+			if !runOne(c, line) {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+
+	fmt.Printf("lvctl: attached to tenant %q on %s. Type 'help' for commands, 'exit' to quit.\n", *tenant, *addr)
+	in := bufio.NewScanner(os.Stdin)
+	cwd := "/"
+	for {
+		fmt.Printf("%s:%s$ ", *tenant, cwd)
+		if !in.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(in.Text())
+		if line == "" {
+			continue
+		}
+		if line == "exit" || line == "quit" {
+			return
+		}
+		resp, err := c.Run(line)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvctl:", err)
+			os.Exit(1)
+		}
+		fmt.Print(resp.Output)
+		if resp.Error != "" {
+			hint := ""
+			if resp.Transient {
+				hint = " (transient: retry may help)"
+			}
+			fmt.Fprintf(os.Stderr, "error [%s]%s: %s\n", resp.Code, hint, resp.Error)
+		}
+		if resp.Cwd != "" {
+			cwd = resp.Cwd
+		}
+	}
+}
+
+// runOne executes one scripted command, reporting success.
+func runOne(c *serve.Client, line string) bool {
+	resp, err := c.Run(line)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvctl:", err)
+		return false
+	}
+	fmt.Print(resp.Output)
+	if resp.Error != "" {
+		fmt.Fprintf(os.Stderr, "error [%s]: %s\n", resp.Code, resp.Error)
+		return false
+	}
+	return true
+}
+
+// probe prints health and/or metrics without attaching to any tenant.
+func probe(addr string, health, metrics bool) {
+	c, err := serve.Dial(addr, "")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvctl:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
+	if health {
+		h, err := c.Healthz()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvctl:", err)
+			os.Exit(1)
+		}
+		state := "ready"
+		if h.Draining {
+			state = "draining"
+		} else if !h.Ready {
+			state = "not ready"
+		}
+		fmt.Printf("live=%v %s, %d session(s), %d tenant(s), up %dms\n",
+			h.Live, state, h.Sessions, len(h.Tenants), h.UptimeMs)
+		for _, t := range h.Tenants {
+			dead := ""
+			if t.Dead != "" {
+				dead = " DEAD: " + t.Dead
+			}
+			fmt.Printf("  tenant %-16s sessions=%d queued=%d breaker=%s%s\n",
+				t.Name, t.Sessions, t.Queued, t.Breaker, dead)
+		}
+		if !h.Ready {
+			os.Exit(1)
+		}
+	}
+	if metrics {
+		m, err := c.Metrics()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvctl:", err)
+			os.Exit(1)
+		}
+		fmt.Print(telemetry.FormatSnapshot(m))
+	}
+}

@@ -1,0 +1,172 @@
+// Command lvserved is the LiteView control-plane daemon: a long-lived
+// multi-tenant service that owns a pool of simulated testbeds (one
+// goroutine-confined simulation per tenant) and exposes the workstation
+// command set over a newline-delimited JSON protocol to many concurrent
+// operator sessions (see cmd/lvctl).
+//
+//	lvserved -listen 127.0.0.1:7117 -topo line -nodes 9 -spacing 20
+//
+// Each tenant named in a client hello gets its own deployment built
+// from the topology flags, with a seed derived deterministically from
+// the base seed and the tenant name — the same tenant name always
+// replays the same testbed, so service output is reproducible
+// per tenant. SIGTERM (or SIGINT) drains gracefully: stop accepting,
+// finish or cancel in-flight commands, stop every simulation, flush the
+// service metrics, exit 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"liteview/internal/cli"
+	"liteview/internal/phys"
+	"liteview/internal/routing"
+	"liteview/internal/serve"
+	"liteview/internal/shell"
+	"liteview/internal/telemetry"
+)
+
+func main() {
+	var dep cli.DeploymentFlags
+	dep.Register(flag.CommandLine)
+	var (
+		listen     = flag.String("listen", "127.0.0.1:7117", "wire-protocol listen address")
+		admin      = flag.String("admin", "", "HTTP admin address for /healthz, /readyz, /metricz (empty disables)")
+		root       = flag.Int("root", 1, "collection tree root node id (per tenant)")
+		maxTenants = flag.Int("max-tenants", 64, "live tenant cap")
+		queue      = flag.Int("queue", 16, "per-tenant command queue depth")
+		cmdTimeout = flag.Duration("cmd-timeout", 30*time.Second, "per-command wall-clock deadline")
+		idle       = flag.Duration("idle", 5*time.Minute, "session idle timeout")
+		tenantIdle = flag.Duration("tenant-idle", 15*time.Minute, "reap tenants unused for this long")
+		drain      = flag.Duration("drain", 30*time.Second, "graceful drain deadline on SIGTERM")
+		rate       = flag.Float64("rate", 50, "per-tenant commands per second (negative disables)")
+		burst      = flag.Float64("burst", 0, "per-tenant admission burst (0 = 2x rate)")
+		brkN       = flag.Int("breaker-threshold", 0, "consecutive service failures that open a tenant's breaker (0 = default)")
+		brkCool    = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown (0 = default)")
+		quiet      = flag.Bool("quiet", false, "suppress service event log lines")
+	)
+	flag.Parse()
+
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+	}
+	if *quiet {
+		logf = func(string, ...any) {}
+	}
+
+	srv, err := serve.New(serve.Config{
+		NewRunner:        newRunner(dep, *root),
+		MaxTenants:       *maxTenants,
+		QueueDepth:       *queue,
+		CmdTimeout:       *cmdTimeout,
+		IdleTimeout:      *idle,
+		TenantIdle:       *tenantIdle,
+		RatePerSec:       *rate,
+		Burst:            *burst,
+		BreakerThreshold: *brkN,
+		BreakerCooldown:  *brkCool,
+		Logf:             logf,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvserved:", err)
+		os.Exit(1)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvserved:", err)
+		os.Exit(1)
+	}
+	if *admin != "" {
+		adminLn, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvserved:", err)
+			os.Exit(1)
+		}
+		go http.Serve(adminLn, srv.AdminHandler())
+		logf("lvserved: admin on http://%s (/healthz /readyz /metricz)", adminLn.Addr())
+	}
+	logf("lvserved: listening on %s (topo=%s)", ln.Addr(), dep.Topo)
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case got := <-sig:
+		logf("lvserved: %v received, draining (deadline %v)", got, *drain)
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "lvserved: accept:", err)
+		os.Exit(1)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	err = srv.Shutdown(ctx)
+	// Flush telemetry: the final service metrics snapshot is the drain's
+	// last act, so a scraped daemon never exits with unreported counts.
+	fmt.Fprint(os.Stderr, telemetry.FormatSnapshot(srv.MetricsSnapshot()))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvserved: drain:", err)
+		os.Exit(1)
+	}
+	logf("lvserved: clean drain, goodbye")
+}
+
+// newRunner builds the per-tenant simulation factory: each tenant gets
+// a full deployment (all four routing protocols, LiteView installed,
+// warmed up) with a seed derived from the base seed and the tenant
+// name. The factory runs on the tenant's own goroutine — the testbed is
+// born and dies there.
+func newRunner(dep cli.DeploymentFlags, root int) func(string) (serve.Runner, error) {
+	return func(tenant string) (serve.Runner, error) {
+		d := dep
+		d.Seed = tenantSeed(dep.Seed, tenant)
+		tb, err := d.Build()
+		if err != nil {
+			return nil, err
+		}
+		for _, attach := range []func() error{
+			func() error { return tb.AttachGeographic(routing.DefaultConfig()) },
+			func() error { return tb.AttachFlooding(routing.DefaultConfig()) },
+			func() error { return tb.AttachTree(phys.NodeID(root), routing.DefaultConfig()) },
+			func() error { return tb.AttachOnDemand(routing.DefaultConfig()) },
+		} {
+			if err := attach(); err != nil {
+				return nil, err
+			}
+		}
+		if _, err := tb.InstallLiteView(); err != nil {
+			return nil, err
+		}
+		tb.WarmUp(d.Warmup)
+		ws, err := tb.NewWorkstation(tb.Node(0).Position())
+		if err != nil {
+			return nil, err
+		}
+		sh, err := shell.NewForTestbed(tb, ws, io.Discard)
+		if err != nil {
+			return nil, err
+		}
+		return serve.NewShellRunner(sh)
+	}
+}
+
+// tenantSeed derives a tenant's deployment seed: deterministic in the
+// (base seed, tenant name) pair so reconnecting to a tenant name
+// rebuilds the identical testbed.
+func tenantSeed(base uint64, tenant string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(tenant))
+	return base ^ h.Sum64()
+}

@@ -20,6 +20,11 @@ import (
 // virtual time has passed, the next command is admitted as a half-open
 // probe — success closes the breaker, another failure re-opens it for a
 // fresh cooldown.
+//
+// The state machine itself is the reusable Breaker type: clock-agnostic
+// (the caller supplies Now, virtual or wall), so the same three-state
+// lifecycle guards both the workstation's per-node command path and the
+// service layer's per-tenant admission control (internal/serve).
 
 // BreakerState is the classic three-state circuit-breaker lifecycle.
 type BreakerState int
@@ -58,14 +63,95 @@ const (
 )
 
 // ErrBreakerOpen reports a command rejected without transmission
-// because the node's circuit breaker is open.
+// because the circuit breaker guarding its target is open.
 var ErrBreakerOpen = errors.New("core: circuit breaker open (node repeatedly unreachable)")
 
-// breaker is the per-node state.
-type breaker struct {
+// Breaker is one three-state circuit breaker. Threshold consecutive
+// recorded failures open it; after Cooldown (measured on the caller's
+// clock) the next Allow admits a half-open probe whose Record outcome
+// decides between closed and a fresh open period. Threshold <= 0
+// disables the breaker entirely. The zero value (with a Now clock) is a
+// closed breaker. Not safe for concurrent use; callers that share one
+// across goroutines must lock around Allow/Record.
+type Breaker struct {
+	// Threshold is the consecutive-failure count that opens the breaker.
+	Threshold int
+	// Cooldown is how long an open breaker rejects before probing.
+	Cooldown sim.Time
+	// Now supplies the clock (virtual or wall) the cooldown is measured
+	// on. A nil Now pins the clock at zero, which still opens and closes
+	// correctly but never times out an open period — always set it.
+	Now func() sim.Time
+
 	state    BreakerState
 	fails    int // consecutive failures
 	openedAt sim.Time
+}
+
+func (b *Breaker) now() sim.Time {
+	if b.Now == nil {
+		return 0
+	}
+	return b.Now()
+}
+
+// State returns the current lifecycle state.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Fails returns the current consecutive-failure count.
+func (b *Breaker) Fails() int { return b.fails }
+
+// RetryIn returns how much time remains before an open breaker admits
+// its half-open probe (0 unless the state is BreakerOpen).
+func (b *Breaker) RetryIn() sim.Time {
+	if b.state != BreakerOpen {
+		return 0
+	}
+	if wait := b.openedAt + b.Cooldown - b.now(); wait > 0 {
+		return wait
+	}
+	return 0
+}
+
+// Allow gates one command. It returns an ErrBreakerOpen-wrapping error
+// while the breaker is open and inside its cooldown; once the cooldown
+// has passed the breaker moves to half-open and the command proceeds as
+// the probe.
+func (b *Breaker) Allow() error {
+	if b.Threshold <= 0 || b.state != BreakerOpen {
+		return nil
+	}
+	if wait := b.openedAt + b.Cooldown - b.now(); wait > 0 {
+		return fmt.Errorf("%w: retry in %v", ErrBreakerOpen, time.Duration(wait))
+	}
+	b.state = BreakerHalfOpen
+	return nil
+}
+
+// Record folds one command outcome into the breaker: success closes it
+// and clears the failure streak; failure extends the streak and opens
+// the breaker at the threshold (immediately when half-open — a failed
+// probe buys a fresh cooldown).
+func (b *Breaker) Record(ok bool) {
+	if b.Threshold <= 0 {
+		return
+	}
+	if ok {
+		b.state = BreakerClosed
+		b.fails = 0
+		return
+	}
+	b.fails++
+	if b.state == BreakerHalfOpen || b.fails >= b.Threshold {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+	}
+}
+
+// Reset returns the breaker to closed with no failure history.
+func (b *Breaker) Reset() {
+	b.state = BreakerClosed
+	b.fails = 0
 }
 
 // BreakerInfo is one node's breaker state for display (shell `health`).
@@ -87,7 +173,7 @@ func (w *Workstation) ConfigureBreaker(threshold int, cooldown sim.Time) {
 		w.breakerCooldown = cooldown
 	}
 	if threshold <= 0 {
-		w.breakers = make(map[phys.NodeID]*breaker)
+		w.breakers = make(map[phys.NodeID]*Breaker)
 	}
 }
 
@@ -96,10 +182,10 @@ func (w *Workstation) ConfigureBreaker(threshold int, cooldown sim.Time) {
 func (w *Workstation) Breakers() []BreakerInfo {
 	out := make([]BreakerInfo, 0, len(w.breakers))
 	for id, b := range w.breakers {
-		if b.state == BreakerClosed && b.fails == 0 {
+		if b.State() == BreakerClosed && b.Fails() == 0 {
 			continue
 		}
-		out = append(out, w.breakerInfo(id, b))
+		out = append(out, breakerInfo(id, b))
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Node < out[j].Node })
 	return out
@@ -111,56 +197,50 @@ func (w *Workstation) BreakerFor(node phys.NodeID) BreakerInfo {
 	if !ok {
 		return BreakerInfo{Node: node, State: BreakerClosed}
 	}
-	return w.breakerInfo(node, b)
+	return breakerInfo(node, b)
 }
 
-func (w *Workstation) breakerInfo(node phys.NodeID, b *breaker) BreakerInfo {
-	info := BreakerInfo{Node: node, State: b.state, Fails: b.fails}
-	if b.state == BreakerOpen {
-		if wait := b.openedAt + w.breakerCooldown - w.eng.Now(); wait > 0 {
-			info.RetryIn = wait
-		}
+func breakerInfo(node phys.NodeID, b *Breaker) BreakerInfo {
+	return BreakerInfo{Node: node, State: b.State(), Fails: b.Fails(), RetryIn: b.RetryIn()}
+}
+
+// nodeBreaker returns node's breaker, creating it on first use with the
+// workstation's current tuning and virtual clock.
+func (w *Workstation) nodeBreaker(node phys.NodeID) *Breaker {
+	b, ok := w.breakers[node]
+	if !ok {
+		b = &Breaker{Threshold: w.breakerThreshold, Cooldown: w.breakerCooldown, Now: w.eng.Now}
+		w.breakers[node] = b
 	}
-	return info
+	return b
 }
 
-// breakerAllow gates one command. It returns ErrBreakerOpen while the
-// breaker is open and inside its cooldown; once the cooldown has passed
-// the breaker moves to half-open and the command proceeds as the probe.
+// breakerAllow gates one command (see Breaker.Allow), tagging the
+// rejection with the node it protects.
 func (w *Workstation) breakerAllow(node phys.NodeID) error {
 	if w.breakerThreshold <= 0 {
 		return nil
 	}
 	b, ok := w.breakers[node]
-	if !ok || b.state != BreakerOpen {
+	if !ok {
 		return nil
 	}
-	if wait := b.openedAt + w.breakerCooldown - w.eng.Now(); wait > 0 {
-		return fmt.Errorf("%w: node %d, retry in %v", ErrBreakerOpen, node, time.Duration(wait))
+	if err := b.Allow(); err != nil {
+		return fmt.Errorf("node %d: %w", node, err)
 	}
-	b.state = BreakerHalfOpen
 	return nil
 }
 
 // breakerRecord folds one command outcome into the node's breaker.
+// Healthy nodes carry no entry at all — success drops the breaker from
+// the map so the table only ever holds trouble.
 func (w *Workstation) breakerRecord(node phys.NodeID, ok bool) {
 	if w.breakerThreshold <= 0 {
 		return
 	}
-	b := w.breakers[node]
 	if ok {
-		if b != nil {
-			delete(w.breakers, node)
-		}
+		delete(w.breakers, node)
 		return
 	}
-	if b == nil {
-		b = &breaker{}
-		w.breakers[node] = b
-	}
-	b.fails++
-	if b.state == BreakerHalfOpen || b.fails >= w.breakerThreshold {
-		b.state = BreakerOpen
-		b.openedAt = w.eng.Now()
-	}
+	w.nodeBreaker(node).Record(false)
 }

@@ -17,7 +17,7 @@ import (
 func breakerBench(threshold int, cooldown sim.Time) *Workstation {
 	return &Workstation{
 		eng:              sim.NewEngine(1),
-		breakers:         make(map[phys.NodeID]*breaker),
+		breakers:         make(map[phys.NodeID]*Breaker),
 		breakerThreshold: threshold,
 		breakerCooldown:  cooldown,
 	}

@@ -87,6 +87,15 @@ var ErrXferFailed = errors.New("core: reliable transfer failed")
 // failures (and from ErrBreakerOpen / ErrNoRoute) with errors.Is.
 var ErrAckTimeout = fmt.Errorf("%w: no acknowledgement", ErrXferFailed)
 
+// Transient reports whether err is a transient delivery failure — a
+// reliable-transfer loss that a later retry may well succeed at — as
+// opposed to a structural refusal (no route toward the destination, an
+// open circuit breaker) that retrying cannot fix. The service edge uses
+// this to decide what to surface to operators as retryable.
+func Transient(err error) bool {
+	return errors.Is(err, ErrXferFailed)
+}
+
 // MessageFunc receives one in-order message of a transfer. broadcast
 // reports that the message arrived in a frame addressed to everyone
 // (the receiver should apply a group backoff before replying).

@@ -49,7 +49,7 @@ type Workstation struct {
 
 	// Per-node circuit breakers (see breaker.go). Group/broadcast
 	// commands bypass them: one dead node must not gag an inventory.
-	breakers         map[phys.NodeID]*breaker
+	breakers         map[phys.NodeID]*Breaker
 	breakerThreshold int
 	breakerCooldown  sim.Time
 }
@@ -97,7 +97,7 @@ func NewWorkstationMAC(eng *sim.Engine, med *medium.Medium, pos phys.Position, m
 		rad:              rad,
 		window:           ResponseWindow,
 		collecting:       make(map[phys.NodeID]*collector),
-		breakers:         make(map[phys.NodeID]*breaker),
+		breakers:         make(map[phys.NodeID]*Breaker),
 		breakerThreshold: DefaultBreakerThreshold,
 		breakerCooldown:  sim.Time(DefaultBreakerCooldown),
 	}

@@ -1,0 +1,42 @@
+package serve
+
+import (
+	"encoding/json"
+	"net/http"
+
+	"liteview/internal/telemetry"
+)
+
+// AdminHandler serves the HTTP admin surface next to the wire protocol:
+//
+//	GET /healthz  liveness  — 200 while the process answers
+//	GET /readyz   readiness — 200 while accepting work, 503 draining
+//	GET /metricz  service metrics as "name value" text lines
+//
+// cmd/lvserved mounts it on a separate loopback port so orchestrators
+// probe the daemon without speaking the tenant protocol.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, s.Healthz())
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		h := s.Healthz()
+		code := http.StatusOK
+		if !h.Ready {
+			code = http.StatusServiceUnavailable
+		}
+		writeJSON(w, code, h)
+	})
+	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(telemetry.FormatSnapshot(s.MetricsSnapshot())))
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,206 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosRunner wraps the real testbed runner with a fault injector: the
+// command "boom" panics mid-command, everything else passes through.
+func chaosRunner(tenant string) (Runner, error) {
+	r, err := testbedRunner(tenant)
+	if err != nil {
+		return nil, err
+	}
+	return &faultyRunner{inner: r}, nil
+}
+
+type faultyRunner struct{ inner Runner }
+
+func (f *faultyRunner) Run(line string) (string, error) {
+	if line == "boom" {
+		panic("chaos: injected mid-command fault")
+	}
+	return f.inner.Run(line)
+}
+
+func (f *faultyRunner) Cwd() string { return f.inner.Cwd() }
+
+// TestChaosRegression is the ISSUE's acceptance scenario, end to end:
+// while a bystander tenant replays a scripted diagnosis, a victim
+// tenant panics mid-command and another client disconnects mid-
+// traceroute without reading its response. The daemon must reap both,
+// keep serving the bystander, drain cleanly within the deadline, and
+// the bystander's transcript must stay byte-identical to a sequential
+// service-free run.
+func TestChaosRegression(t *testing.T) {
+	wantQuiet := runDirect(t, "quiet")
+
+	cfg := Config{NewRunner: chaosRunner, Logf: func(string, ...any) {}}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve(ln) }()
+	addr := ln.Addr().String()
+
+	// Chaos actor 1: a victim tenant whose simulation panics mid-command.
+	victimDone := make(chan error, 1)
+	go func() {
+		victimDone <- func() error {
+			c, err := Dial(addr, "victim")
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			for _, line := range []string{"cd 192.168.0.1", "ping 192.168.0.2"} {
+				if resp, err := c.Run(line); err != nil || resp.Error != "" {
+					return fmt.Errorf("victim warmup %q: %v %q", line, err, resp.Error)
+				}
+			}
+			resp, err := c.Run("boom")
+			if err != nil {
+				return fmt.Errorf("victim crash transport: %w", err)
+			}
+			if resp.Code != CodeTenantCrashed {
+				return fmt.Errorf("crash code = %q, want %q", resp.Code, CodeTenantCrashed)
+			}
+			if !strings.Contains(resp.Error, ErrTenantCrashed.Error()) {
+				return fmt.Errorf("crash error = %q", resp.Error)
+			}
+			// The daemon survives and a fresh hello for the same name gets
+			// a freshly built simulation.
+			c2, err := Dial(addr, "victim")
+			if err != nil {
+				return fmt.Errorf("re-hello after crash: %w", err)
+			}
+			defer c2.Close()
+			for _, line := range []string{"cd 192.168.0.1", "ping 192.168.0.2"} {
+				if resp, err := c2.Run(line); err != nil || resp.Error != "" {
+					return fmt.Errorf("resurrected victim %q: %v %q", line, err, resp.Error)
+				}
+			}
+			return nil
+		}()
+	}()
+
+	// Chaos actor 2: a client that fires a traceroute and slams the
+	// connection shut without ever reading the response.
+	rudeDone := make(chan error, 1)
+	go func() {
+		rudeDone <- func() error {
+			conn, err := net.Dial("tcp", addr)
+			if err != nil {
+				return err
+			}
+			enc := json.NewEncoder(conn)
+			if err := enc.Encode(Request{Type: TypeHello, Tenant: "rude"}); err != nil {
+				return err
+			}
+			// Swallow hello-ok, then vanish mid-traceroute.
+			if !newLineScanner(conn).Scan() {
+				return errors.New("rude client: no hello-ok")
+			}
+			if err := enc.Encode(Request{Type: TypeCmd, ID: 1, Line: "traceroute 192.168.0.3"}); err != nil {
+				return err
+			}
+			return conn.Close()
+		}()
+	}()
+
+	// The bystander: a quiet tenant replaying the reference script while
+	// the chaos actors do their worst.
+	c, err := Dial(addr, "quiet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	var quiet strings.Builder
+	for _, line := range diagScript {
+		resp, err := c.Run(line)
+		if err != nil {
+			t.Fatalf("bystander %q: %v", line, err)
+		}
+		if resp.Error != "" {
+			t.Fatalf("bystander %q: [%s] %s", line, resp.Code, resp.Error)
+		}
+		quiet.WriteString(resp.Output)
+	}
+	if err := <-victimDone; err != nil {
+		t.Fatal(err)
+	}
+	if err := <-rudeDone; err != nil {
+		t.Fatal(err)
+	}
+	if quiet.String() != wantQuiet {
+		t.Errorf("bystander transcript diverged under chaos\nwant:\n%s\ngot:\n%s", wantQuiet, quiet.String())
+	}
+
+	// Concurrent pings on the stable tenant keep succeeding while the
+	// rude session is being reaped in the background.
+	var wg sync.WaitGroup
+	pingErrs := make([]error, 3)
+	for i := range pingErrs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc, err := Dial(addr, "quiet")
+			if err != nil {
+				pingErrs[i] = err
+				return
+			}
+			defer cc.Close()
+			for _, line := range []string{"cd 192.168.0.1", "ping 192.168.0.2"} {
+				resp, err := cc.Run(line)
+				if err != nil {
+					pingErrs[i] = err
+					return
+				}
+				if resp.Error != "" {
+					pingErrs[i] = fmt.Errorf("%q: [%s] %s", line, resp.Code, resp.Error)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range pingErrs {
+		if err != nil {
+			t.Fatalf("concurrent ping during chaos: %v", err)
+		}
+	}
+
+	// The crash was counted and the daemon still reports ready.
+	if srv.MetricsSnapshot()["serve.tenants.crashed"] != 1 {
+		t.Errorf("tenants.crashed = %v, want 1", srv.MetricsSnapshot()["serve.tenants.crashed"])
+	}
+	if h := srv.Healthz(); !h.Ready {
+		t.Errorf("daemon not ready after chaos: %+v", h)
+	}
+
+	// Finally: SIGTERM-equivalent drain completes within the deadline.
+	ctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+	defer cancel()
+	start := time.Now()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("drain after chaos: %v (after %v)", err, time.Since(start))
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("Serve after drain = %v", err)
+	}
+	if srv.MetricsSnapshot()["serve.drain.clean"] != 1 {
+		t.Errorf("drain not clean: %v", srv.MetricsSnapshot())
+	}
+}

@@ -1,0 +1,36 @@
+package serve
+
+import "time"
+
+// bucket is a token-bucket rate limiter: capacity `burst` tokens,
+// refilled continuously at `rate` tokens per second. One command costs
+// one token. Callers must serialize access (the tenant mutex does).
+type bucket struct {
+	rate   float64 // tokens per second; <= 0 disables the limiter
+	burst  float64
+	tokens float64
+	last   time.Time
+}
+
+func newBucket(rate, burst float64, now time.Time) *bucket {
+	return &bucket{rate: rate, burst: burst, tokens: burst, last: now}
+}
+
+// allow consumes one token if available.
+func (b *bucket) allow(now time.Time) bool {
+	if b == nil || b.rate <= 0 {
+		return true
+	}
+	if elapsed := now.Sub(b.last).Seconds(); elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.burst {
+			b.tokens = b.burst
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBucketRefillAndBurst(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := newBucket(10, 2, t0) // 10 tokens/s, burst 2
+	if !b.allow(t0) || !b.allow(t0) {
+		t.Fatal("full bucket rejected its burst")
+	}
+	if b.allow(t0) {
+		t.Fatal("empty bucket admitted a command")
+	}
+	// 100 ms refills exactly one token at 10/s.
+	t1 := t0.Add(100 * time.Millisecond)
+	if !b.allow(t1) {
+		t.Fatal("refilled token rejected")
+	}
+	if b.allow(t1) {
+		t.Fatal("bucket over-refilled")
+	}
+	// A long quiet period caps at the burst, never beyond.
+	t2 := t1.Add(time.Hour)
+	for i := 0; i < 2; i++ {
+		if !b.allow(t2) {
+			t.Fatalf("token %d after refill rejected", i)
+		}
+	}
+	if b.allow(t2) {
+		t.Fatal("bucket exceeded its burst after idling")
+	}
+}
+
+func TestBucketDisabled(t *testing.T) {
+	t0 := time.Unix(0, 0)
+	b := newBucket(-1, 0, t0)
+	for i := 0; i < 100; i++ {
+		if !b.allow(t0) {
+			t.Fatal("disabled limiter rejected a command")
+		}
+	}
+	var nilBucket *bucket
+	if !nilBucket.allow(t0) {
+		t.Fatal("nil limiter rejected a command")
+	}
+}

@@ -1,0 +1,50 @@
+package serve
+
+import (
+	"bytes"
+
+	"liteview/internal/shell"
+)
+
+// Runner is one tenant's command interpreter: Run executes a command
+// line and returns its output. Implementations need not be safe for
+// concurrent use — the tenant goroutine is the only caller, which is
+// exactly how the simulation's single-threaded determinism survives a
+// concurrent service around it.
+type Runner interface {
+	// Run executes one command line and returns its output. A non-nil
+	// error may still carry partial output (graceful degradation: a
+	// partial traceroute beats a failed command).
+	Run(line string) (output string, err error)
+	// Cwd reports the session's current directory for client prompts.
+	Cwd() string
+}
+
+// ShellRunner adapts a workstation shell to the Runner interface by
+// capturing each command's output in a private buffer (the shell's
+// programmatic session API). Write failures cannot occur against the
+// buffer, so any error out of Run is the command's own.
+type ShellRunner struct {
+	sh  *shell.Shell
+	buf bytes.Buffer
+}
+
+// NewShellRunner wraps sh, redirecting its output into the runner's
+// per-command buffer.
+func NewShellRunner(sh *shell.Shell) (*ShellRunner, error) {
+	r := &ShellRunner{sh: sh}
+	if err := sh.SetOutput(&r.buf); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Run executes one shell command and returns everything it printed.
+func (r *ShellRunner) Run(line string) (string, error) {
+	r.buf.Reset()
+	err := r.sh.Exec(line)
+	return r.buf.String(), err
+}
+
+// Cwd reports the shell's current directory.
+func (r *ShellRunner) Cwd() string { return r.sh.Cwd() }

@@ -1,0 +1,144 @@
+// Package serve turns the one-shot LiteView workstation shell into a
+// long-lived multi-tenant control-plane service. A daemon (cmd/lvserved)
+// owns a pool of concurrent simulated testbeds — one goroutine-confined
+// simulation per tenant, so every tenant keeps the repository's
+// byte-identical determinism contract (DESIGN §10) — and exposes the
+// existing shell command set (ping, traceroute, health, stats, fault,
+// nbr, cd/ls, ...) over a newline-delimited JSON wire protocol to many
+// concurrent operator sessions (cmd/lvctl).
+//
+// The robustness layer is the point of the package:
+//
+//   - per-session lifecycle with idle timeouts and bounded per-tenant
+//     command queues (ErrQueueFull instead of unbounded memory);
+//   - per-tenant admission control: internal/core's three-state circuit
+//     breaker (wall-clocked) plus a token-bucket rate limiter;
+//   - per-command wall-clock deadlines with typed errors, and bounded
+//     retry/backoff at the service edge for transient admission
+//     rejections;
+//   - panic isolation: a crashing tenant simulation is reaped and
+//     reported (ErrTenantCrashed) without taking down the daemon;
+//   - graceful drain on SIGTERM: stop accepting, finish or cancel
+//     in-flight commands, say goodbye to every session, stop every
+//     tenant, flush service metrics;
+//   - /healthz-style liveness/readiness and service metrics published
+//     through internal/telemetry.
+package serve
+
+import (
+	"errors"
+	"time"
+)
+
+// Typed service errors. Every admission or lifecycle failure the
+// service edge can produce is one of these, so clients (and the wire
+// layer's error codes) can distinguish retryable congestion from
+// structural failure with errors.Is.
+var (
+	// ErrQueueFull reports a command rejected because the tenant's
+	// bounded command queue is at capacity. Transient: back off and retry.
+	ErrQueueFull = errors.New("serve: tenant command queue full")
+	// ErrRateLimited reports a command rejected by the tenant's token
+	// bucket. Transient: back off and retry.
+	ErrRateLimited = errors.New("serve: tenant rate limit exceeded")
+	// ErrDeadline reports a command that did not complete within the
+	// per-command wall-clock deadline. The command may still finish on
+	// the tenant simulation; its output is discarded.
+	ErrDeadline = errors.New("serve: command deadline exceeded")
+	// ErrTenantCrashed reports a tenant simulation that panicked while
+	// executing a command. The tenant is reaped; the daemon keeps serving.
+	ErrTenantCrashed = errors.New("serve: tenant simulation crashed")
+	// ErrTenantDead reports a command for a tenant that has been reaped
+	// (crash, idle reap, or drain). A fresh hello re-creates it.
+	ErrTenantDead = errors.New("serve: tenant is dead")
+	// ErrDraining reports work refused because the daemon is shutting
+	// down gracefully.
+	ErrDraining = errors.New("serve: server is draining")
+	// ErrTooManyTenants reports a hello refused by the tenant cap.
+	ErrTooManyTenants = errors.New("serve: tenant limit reached")
+)
+
+// Config tunes the service. The zero value is completed by
+// (*Config).withDefaults; only NewRunner is mandatory.
+type Config struct {
+	// NewRunner builds the command interpreter for a named tenant. It is
+	// invoked on the tenant's own goroutine, which stays the simulation's
+	// only goroutine for the tenant's whole life — determinism per tenant
+	// is preserved by confinement, not by locking.
+	NewRunner func(tenant string) (Runner, error)
+
+	// MaxTenants caps the number of live tenants (0 = 64).
+	MaxTenants int
+	// QueueDepth bounds each tenant's command queue (0 = 16).
+	QueueDepth int
+	// CmdTimeout is the per-command wall-clock deadline (0 = 30s).
+	CmdTimeout time.Duration
+	// IdleTimeout closes operator sessions with no traffic (0 = 5m).
+	IdleTimeout time.Duration
+	// TenantIdle reaps tenants with no attached session and no command
+	// for this long (0 = 15m; negative disables reaping).
+	TenantIdle time.Duration
+
+	// RatePerSec refills each tenant's admission token bucket
+	// (0 = 50/s; negative disables rate limiting).
+	RatePerSec float64
+	// Burst is the bucket capacity (0 = 2*RatePerSec, min 8).
+	Burst float64
+
+	// BreakerThreshold consecutive service failures (deadlines, crashes)
+	// open a tenant's admission breaker (0 = core.DefaultBreakerThreshold;
+	// negative disables it).
+	BreakerThreshold int
+	// BreakerCooldown is the open period before a half-open probe
+	// (0 = core.DefaultBreakerCooldown).
+	BreakerCooldown time.Duration
+
+	// EdgeRetries bounds the service edge's retry loop for transient
+	// admission rejections — rate-limit and queue-full — before the
+	// rejection is surfaced to the client (0 = 3; negative disables).
+	EdgeRetries int
+	// EdgeBackoff is the initial backoff between edge retries, doubling
+	// each attempt (0 = 25ms).
+	EdgeBackoff time.Duration
+
+	// Logf receives one line per service-level event (session opened,
+	// tenant crashed, drain progress). Nil discards.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxTenants == 0 {
+		c.MaxTenants = 64
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.CmdTimeout == 0 {
+		c.CmdTimeout = 30 * time.Second
+	}
+	if c.IdleTimeout == 0 {
+		c.IdleTimeout = 5 * time.Minute
+	}
+	if c.TenantIdle == 0 {
+		c.TenantIdle = 15 * time.Minute
+	}
+	if c.RatePerSec == 0 {
+		c.RatePerSec = 50
+	}
+	if c.Burst == 0 {
+		c.Burst = 2 * c.RatePerSec
+		if c.Burst < 8 {
+			c.Burst = 8
+		}
+	}
+	if c.EdgeRetries == 0 {
+		c.EdgeRetries = 3
+	}
+	if c.EdgeBackoff == 0 {
+		c.EdgeBackoff = 25 * time.Millisecond
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}

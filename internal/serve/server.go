@@ -1,0 +1,450 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"liteview/internal/telemetry"
+)
+
+// Server is the control-plane daemon: it accepts operator connections,
+// multiplexes them onto the tenant pool, and survives misbehaving
+// sessions and crashing tenants. One Server per process; drive it with
+// Serve and stop it with Shutdown.
+type Server struct {
+	cfg   Config
+	clock func() time.Time
+	start time.Time
+	met   *metrics
+
+	mu       sync.Mutex
+	ln       net.Listener
+	serving  bool
+	draining bool
+	tenants  map[string]*Tenant
+	sessions map[*session]struct{}
+	janitor  chan struct{} // closed to stop the idle-tenant reaper
+
+	wg sync.WaitGroup // session goroutines
+}
+
+// session is one operator connection's state.
+type session struct {
+	conn     net.Conn
+	enc      *json.Encoder
+	tenant   *Tenant
+	draining atomic.Bool
+}
+
+// New builds a server. cfg.NewRunner is mandatory.
+func New(cfg Config) (*Server, error) {
+	if cfg.NewRunner == nil {
+		return nil, errors.New("serve: Config.NewRunner is required")
+	}
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:      cfg,
+		clock:    time.Now,
+		start:    time.Now(),
+		met:      newMetrics(),
+		tenants:  make(map[string]*Tenant),
+		sessions: make(map[*session]struct{}),
+		janitor:  make(chan struct{}),
+	}, nil
+}
+
+// Serve accepts connections on ln until Shutdown closes it. It returns
+// nil on a graceful drain and the accept error otherwise.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	s.ln = ln
+	s.serving = true
+	s.mu.Unlock()
+	if s.cfg.TenantIdle > 0 {
+		go s.runJanitor()
+	}
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.isDraining() {
+				return nil
+			}
+			return err
+		}
+		sess := &session{conn: conn, enc: json.NewEncoder(conn)}
+		s.mu.Lock()
+		if s.draining {
+			s.mu.Unlock()
+			s.send(sess, Response{Type: TypeBye, Reason: "draining"})
+			conn.Close()
+			continue
+		}
+		s.sessions[sess] = struct{}{}
+		s.mu.Unlock()
+		s.met.inc("serve.sessions.opened")
+		s.met.gaugeAdd("serve.sessions.active", 1)
+		s.wg.Add(1)
+		go s.handle(sess)
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// send writes one response, reporting whether the peer is still there.
+func (s *Server) send(sess *session, resp Response) bool {
+	if err := sess.enc.Encode(resp); err != nil {
+		s.met.inc("serve.sessions.write_errors")
+		return false
+	}
+	return true
+}
+
+// handle runs one session to completion: read a line, run it, write the
+// result. Any exit path reaps the session — the deferred block is the
+// single place session resources are released, so a panicking peer
+// handler can never leak a connection or a tenant attachment.
+func (s *Server) handle(sess *session) {
+	defer func() {
+		sess.conn.Close()
+		if sess.tenant != nil {
+			sess.tenant.detach()
+		}
+		s.mu.Lock()
+		delete(s.sessions, sess)
+		s.mu.Unlock()
+		s.met.inc("serve.sessions.closed")
+		s.met.gaugeAdd("serve.sessions.active", -1)
+		s.wg.Done()
+	}()
+	sc := newLineScanner(sess.conn)
+	for {
+		if s.isDraining() || sess.draining.Load() {
+			s.send(sess, Response{Type: TypeBye, Reason: "draining"})
+			return
+		}
+		if s.cfg.IdleTimeout > 0 {
+			sess.conn.SetReadDeadline(s.clock().Add(s.cfg.IdleTimeout))
+		}
+		if !sc.Scan() {
+			if s.isDraining() || sess.draining.Load() {
+				s.send(sess, Response{Type: TypeBye, Reason: "draining"})
+				return
+			}
+			var ne net.Error
+			if errors.As(sc.Err(), &ne) && ne.Timeout() {
+				s.met.inc("serve.sessions.idle_timeouts")
+				s.send(sess, Response{Type: TypeBye, Reason: "idle timeout"})
+			}
+			return // peer hung up (or flooded the line buffer): reap
+		}
+		var req Request
+		if err := json.Unmarshal(sc.Bytes(), &req); err != nil {
+			if !s.send(sess, Response{Type: TypeError, Code: CodeBadRequest,
+				Error: fmt.Sprintf("serve: bad request: %v", err)}) {
+				return
+			}
+			continue
+		}
+		if !s.handleRequest(sess, req) {
+			return
+		}
+	}
+}
+
+// handleRequest dispatches one request; false ends the session.
+func (s *Server) handleRequest(sess *session, req Request) bool {
+	switch req.Type {
+	case TypeHello:
+		if sess.tenant != nil {
+			return s.send(sess, Response{Type: TypeError, Code: CodeBadRequest,
+				Error: "serve: session already attached to tenant " + sess.tenant.Name()})
+		}
+		t, err := s.tenantFor(req.Tenant)
+		if err != nil {
+			code, transient := errCode(err)
+			return s.send(sess, Response{Type: TypeError, Code: code, Transient: transient, Error: err.Error()})
+		}
+		sess.tenant = t
+		t.attach()
+		return s.send(sess, Response{Type: TypeHelloOK, Tenant: t.Name()})
+	case TypeCmd:
+		if sess.tenant == nil {
+			return s.send(sess, Response{Type: TypeError, ID: req.ID, Code: CodeBadRequest,
+				Error: "serve: say hello (attach to a tenant) before sending commands"})
+		}
+		if s.isDraining() {
+			return s.send(sess, Response{Type: TypeError, ID: req.ID, Code: CodeDraining,
+				Error: ErrDraining.Error()})
+		}
+		started := s.clock()
+		out, cwd, err := s.submit(sess.tenant, req.Line)
+		s.met.observe("serve.cmd_ms", telemetry.DefaultRTTBucketsMs(),
+			float64(s.clock().Sub(started).Microseconds())/1000)
+		s.met.inc("serve.commands.total")
+		resp := Response{Type: TypeResult, ID: req.ID, Output: out, Cwd: cwd}
+		if err != nil {
+			resp.Error = err.Error()
+			resp.Code, resp.Transient = errCode(err)
+			s.met.inc("serve.commands.errors")
+			s.met.inc("serve.errors." + resp.Code)
+		}
+		return s.send(sess, resp)
+	case TypeHealthz:
+		h := s.Healthz()
+		return s.send(sess, Response{Type: TypeHealthz, Health: &h})
+	case TypeMetrics:
+		return s.send(sess, Response{Type: TypeMetrics, Metrics: s.MetricsSnapshot()})
+	case TypeBye:
+		s.send(sess, Response{Type: TypeBye, Reason: "goodbye"})
+		return false
+	default:
+		return s.send(sess, Response{Type: TypeError, Code: CodeBadRequest,
+			Error: fmt.Sprintf("serve: unknown request type %q", req.Type)})
+	}
+}
+
+// submit runs one command with the service edge's bounded retry loop:
+// transient admission rejections (rate limit, full queue) back off and
+// try again a few times before the rejection reaches the operator.
+// Everything else — including the command's own errors — passes through
+// untouched; retrying a command that ran would re-run it on the
+// simulation.
+func (s *Server) submit(t *Tenant, line string) (string, string, error) {
+	backoff := s.cfg.EdgeBackoff
+	for attempt := 0; ; attempt++ {
+		out, cwd, err := t.Submit(line, s.cfg.CmdTimeout)
+		if err == nil ||
+			(!errors.Is(err, ErrRateLimited) && !errors.Is(err, ErrQueueFull)) ||
+			attempt >= s.cfg.EdgeRetries || s.isDraining() {
+			return out, cwd, err
+		}
+		s.met.inc("serve.edge.retries")
+		time.Sleep(backoff)
+		backoff *= 2
+	}
+}
+
+// tenantFor returns the named live tenant, creating it (and its
+// simulation goroutine) on first use. Dead tenants still in the table
+// are replaced — a fresh hello after a crash gets a fresh testbed.
+func (s *Server) tenantFor(name string) (*Tenant, error) {
+	if name == "" {
+		return nil, errors.New("serve: hello needs a tenant name")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	if t, ok := s.tenants[name]; ok && t.Dead() == nil {
+		return t, nil
+	}
+	if len(s.tenants) >= s.cfg.MaxTenants {
+		if t, ok := s.tenants[name]; !ok || t.Dead() == nil {
+			return nil, fmt.Errorf("%w (%d)", ErrTooManyTenants, s.cfg.MaxTenants)
+		}
+	}
+	t := newTenant(name, s.cfg, s.clock, s.reapCrashed)
+	s.tenants[name] = t
+	s.met.inc("serve.tenants.created")
+	s.met.gaugeAdd("serve.tenants.active", 1)
+	s.cfg.Logf("serve: tenant %q created", name)
+	return t, nil
+}
+
+// reapCrashed is the tenant loop's crash hook: drop the corpse from the
+// pool so the next hello builds a fresh simulation.
+func (s *Server) reapCrashed(name string, reason error) {
+	s.met.inc("serve.tenants.crashed")
+	s.mu.Lock()
+	if t, ok := s.tenants[name]; ok && t.Dead() != nil {
+		delete(s.tenants, name)
+		s.met.gaugeAdd("serve.tenants.active", -1)
+	}
+	s.mu.Unlock()
+	s.cfg.Logf("serve: tenant %q reaped: %v", name, reason)
+}
+
+// runJanitor reaps tenants that have had no session and no command for
+// cfg.TenantIdle.
+func (s *Server) runJanitor() {
+	interval := s.cfg.TenantIdle / 4
+	if interval < time.Second {
+		interval = time.Second
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.janitor:
+			return
+		case <-tick.C:
+			now := s.clock()
+			s.mu.Lock()
+			var idle []*Tenant
+			for name, t := range s.tenants {
+				if t.idleFor(now, s.cfg.TenantIdle) {
+					delete(s.tenants, name)
+					idle = append(idle, t)
+				}
+			}
+			s.mu.Unlock()
+			for _, t := range idle {
+				t.stop()
+				<-t.Done()
+				s.met.inc("serve.tenants.reaped_idle")
+				s.met.gaugeAdd("serve.tenants.active", -1)
+				s.cfg.Logf("serve: tenant %q reaped (idle)", t.Name())
+			}
+		}
+	}
+}
+
+// Shutdown drains the server: stop accepting, wake blocked readers so
+// every session finishes (or abandons) its in-flight command and gets a
+// goodbye, then stop every tenant simulation. It returns nil on a clean
+// drain within ctx and ctx's error if the deadline forced it — in that
+// case remaining connections are closed hard.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	alreadyDraining := s.draining
+	s.draining = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	s.mu.Unlock()
+	if alreadyDraining {
+		return errors.New("serve: shutdown already in progress")
+	}
+	s.met.inc("serve.drain.started")
+	s.cfg.Logf("serve: draining (%d session(s))", len(sessions))
+	if ln != nil {
+		ln.Close()
+	}
+	close(s.janitor)
+	// Wake sessions parked in a read so they notice the drain; sessions
+	// inside a command finish it first — the response still goes out.
+	for _, sess := range sessions {
+		sess.draining.Store(true)
+		sess.conn.SetReadDeadline(time.Now())
+	}
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	clean := true
+	select {
+	case <-done:
+	case <-ctx.Done():
+		clean = false
+		s.mu.Lock()
+		for sess := range s.sessions {
+			sess.conn.Close()
+		}
+		s.mu.Unlock()
+	}
+	// Stop the tenant pool. Each loop exits after its in-flight command.
+	s.mu.Lock()
+	tenants := make([]*Tenant, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		tenants = append(tenants, t)
+	}
+	s.tenants = make(map[string]*Tenant)
+	s.mu.Unlock()
+	for _, t := range tenants {
+		t.stop()
+	}
+	for _, t := range tenants {
+		select {
+		case <-t.Done():
+			s.met.gaugeAdd("serve.tenants.active", -1)
+		case <-ctx.Done():
+			clean = false
+		}
+	}
+	if !clean {
+		s.met.inc("serve.drain.forced")
+		s.cfg.Logf("serve: drain deadline exceeded, connections closed hard")
+		return ctx.Err()
+	}
+	s.met.inc("serve.drain.clean")
+	s.cfg.Logf("serve: drain complete")
+	return nil
+}
+
+// Healthz reports liveness and readiness: Live while the process
+// answers, Ready only while accepting new work.
+func (s *Server) Healthz() Health {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	h := Health{
+		Live:     true,
+		Ready:    s.serving && !s.draining,
+		Draining: s.draining,
+		Sessions: len(s.sessions),
+		UptimeMs: s.clock().Sub(s.start).Milliseconds(),
+	}
+	for _, t := range s.tenants {
+		h.Tenants = append(h.Tenants, t.Info())
+	}
+	sort.Slice(h.Tenants, func(i, j int) bool { return h.Tenants[i].Name < h.Tenants[j].Name })
+	return h
+}
+
+// MetricsSnapshot flattens the service metrics registry (see
+// internal/telemetry) to named scalars.
+func (s *Server) MetricsSnapshot() map[string]float64 {
+	return s.met.snapshot()
+}
+
+// metrics wraps a telemetry.Registry with the lock the concurrent
+// service needs (the registry itself is single-writer by design — the
+// simulators own theirs; the service shares one across sessions).
+type metrics struct {
+	mu  sync.Mutex
+	reg *telemetry.Registry
+}
+
+func newMetrics() *metrics { return &metrics{reg: telemetry.NewRegistry()} }
+
+func (m *metrics) inc(name string) {
+	m.mu.Lock()
+	m.reg.Counter(name).Inc()
+	m.mu.Unlock()
+}
+
+func (m *metrics) gaugeAdd(name string, d float64) {
+	m.mu.Lock()
+	m.reg.Gauge(name).Add(d)
+	m.mu.Unlock()
+}
+
+func (m *metrics) observe(name string, bounds []float64, v float64) {
+	m.mu.Lock()
+	m.reg.Histogram(name, bounds).Observe(v)
+	m.mu.Unlock()
+}
+
+func (m *metrics) snapshot() map[string]float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.Snapshot()
+}

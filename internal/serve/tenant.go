@@ -1,0 +1,281 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"liteview/internal/core"
+	"liteview/internal/sim"
+)
+
+// Tenant is one simulated testbed behind the service: a single
+// goroutine owns its Runner (and therefore its whole simulation) for
+// the tenant's entire life, draining a bounded command queue. Sessions
+// submit commands through Submit, which applies the admission layer —
+// token bucket, circuit breaker, bounded queue — and waits under a
+// wall-clock deadline. A panic inside the simulation kills only this
+// tenant: the goroutine reports the crash, fails queued commands, and
+// exits; the daemon keeps serving every other tenant.
+type Tenant struct {
+	name  string
+	queue chan *job
+	quit  chan struct{} // closed by stop(); tells the loop to exit
+	done  chan struct{} // closed when the loop has exited
+	stop1 sync.Once
+	clock func() time.Time
+	epoch time.Time // breaker clock origin
+	logf  func(format string, args ...any)
+	// onCrash is the server's reap hook, called off the tenant loop
+	// exactly once if the simulation panics.
+	onCrash func(name string, reason error)
+
+	mu       sync.Mutex
+	dead     error // non-nil once the tenant is unusable; the reason
+	sessions int
+	lastUsed time.Time
+	limiter  *bucket
+	brk      *core.Breaker
+}
+
+// job is one queued command and its reply path. resp has capacity 1 so
+// the tenant loop never blocks on a waiter that already gave up.
+type job struct {
+	line      string
+	resp      chan jobResult
+	abandoned atomic.Bool // waiter hit its deadline while the job was queued
+}
+
+type jobResult struct {
+	out string
+	cwd string
+	err error
+}
+
+// newTenant builds the tenant and starts its simulation goroutine. The
+// Runner is constructed on that goroutine — from first event to last,
+// the simulation never migrates.
+func newTenant(name string, cfg Config, clock func() time.Time, onCrash func(string, error)) *Tenant {
+	now := clock()
+	t := &Tenant{
+		name:     name,
+		queue:    make(chan *job, cfg.QueueDepth),
+		quit:     make(chan struct{}),
+		done:     make(chan struct{}),
+		clock:    clock,
+		epoch:    now,
+		logf:     cfg.Logf,
+		onCrash:  onCrash,
+		lastUsed: now,
+		limiter:  newBucket(cfg.RatePerSec, cfg.Burst, now),
+	}
+	threshold := cfg.BreakerThreshold
+	if threshold == 0 {
+		threshold = core.DefaultBreakerThreshold
+	}
+	cooldown := cfg.BreakerCooldown
+	if cooldown == 0 {
+		cooldown = core.DefaultBreakerCooldown
+	}
+	// The admission breaker is the same three-state machine that guards
+	// the workstation's per-node command path (internal/core), driven by
+	// wall time instead of virtual.
+	t.brk = &core.Breaker{
+		Threshold: threshold,
+		Cooldown:  sim.Time(cooldown),
+		Now:       func() sim.Time { return sim.Time(t.clock().Sub(t.epoch)) },
+	}
+	go t.loop(cfg.NewRunner)
+	return t
+}
+
+// Name returns the tenant's name.
+func (t *Tenant) Name() string { return t.name }
+
+// loop is the tenant goroutine: build the simulation, then serve the
+// queue until stop or crash.
+func (t *Tenant) loop(build func(string) (Runner, error)) {
+	defer close(t.done)
+	r, err := build(t.name)
+	if err != nil {
+		t.kill(fmt.Errorf("%w: building tenant %q: %v", ErrTenantDead, t.name, err))
+		return
+	}
+	for {
+		select {
+		case <-t.quit:
+			t.kill(fmt.Errorf("%w: tenant %q stopped", ErrTenantDead, t.name))
+			return
+		case j := <-t.queue:
+			if j.abandoned.Load() {
+				continue // its session gave up while it sat in the queue
+			}
+			res, crashed := t.runOne(r, j.line)
+			j.resp <- res
+			if crashed {
+				t.kill(fmt.Errorf("%w: tenant %q: %v", ErrTenantDead, t.name, res.err))
+				if t.onCrash != nil {
+					t.onCrash(t.name, res.err)
+				}
+				return
+			}
+		}
+	}
+}
+
+// runOne executes one command with panic isolation: a crash inside the
+// simulation becomes an ErrTenantCrashed result instead of a dead daemon.
+func (t *Tenant) runOne(r Runner, line string) (res jobResult, crashed bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			t.logf("serve: tenant %q panicked running %q: %v\n%s", t.name, line, p, debug.Stack())
+			res = jobResult{err: fmt.Errorf("%w: panic: %v", ErrTenantCrashed, p)}
+			crashed = true
+		}
+	}()
+	out, err := r.Run(line)
+	return jobResult{out: out, cwd: r.Cwd(), err: err}, false
+}
+
+// kill marks the tenant dead and fails every queued command. Holding
+// the mutex across the drain closes the race with Submit: a job is
+// either enqueued before the death (drained here) or rejected after.
+func (t *Tenant) kill(reason error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.dead == nil {
+		t.dead = reason
+	}
+	for {
+		select {
+		case j := <-t.queue:
+			j.resp <- jobResult{err: t.dead}
+		default:
+			return
+		}
+	}
+}
+
+// stop asks the tenant loop to exit after the in-flight command. Wait
+// on Done() for completion.
+func (t *Tenant) stop() { t.stop1.Do(func() { close(t.quit) }) }
+
+// Done is closed once the tenant goroutine has exited.
+func (t *Tenant) Done() <-chan struct{} { return t.done }
+
+// Dead returns the reap reason, or nil while the tenant serves.
+func (t *Tenant) Dead() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dead
+}
+
+// Submit runs one command line on the tenant, waiting at most timeout
+// of wall-clock time. It returns the command's output, the session
+// cwd after the command, and the command's error. Admission failures
+// (rate limit, open breaker, full queue) and deadline expiry surface as
+// the package's typed errors without ever touching the simulation.
+func (t *Tenant) Submit(line string, timeout time.Duration) (output, cwd string, err error) {
+	now := t.clock()
+	t.mu.Lock()
+	if t.dead != nil {
+		err := t.dead
+		t.mu.Unlock()
+		return "", "", err
+	}
+	t.lastUsed = now
+	if !t.limiter.allow(now) {
+		t.mu.Unlock()
+		return "", "", fmt.Errorf("%w: tenant %q", ErrRateLimited, t.name)
+	}
+	if err := t.brk.Allow(); err != nil {
+		t.mu.Unlock()
+		return "", "", fmt.Errorf("tenant %q admission: %w", t.name, err)
+	}
+	j := &job{line: line, resp: make(chan jobResult, 1)}
+	select {
+	case t.queue <- j:
+	default:
+		t.mu.Unlock()
+		return "", "", fmt.Errorf("%w: tenant %q (depth %d)", ErrQueueFull, t.name, cap(t.queue))
+	}
+	t.mu.Unlock()
+
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-j.resp:
+		t.record(serviceOK(res.err))
+		return res.out, res.cwd, res.err
+	case <-timer.C:
+		j.abandoned.Store(true)
+		t.record(false)
+		return "", "", fmt.Errorf("%w: tenant %q after %v", ErrDeadline, t.name, timeout)
+	}
+}
+
+// serviceOK classifies a command outcome for the admission breaker: the
+// breaker guards the tenant's ability to service commands, so only
+// service-level failures (crashes; deadlines are recorded by the
+// caller) count against it. A command's own error — a typo, an
+// unreachable destination — is the network's problem, not the tenant's.
+func serviceOK(err error) bool {
+	return !errors.Is(err, ErrTenantCrashed) && !errors.Is(err, ErrTenantDead)
+}
+
+func (t *Tenant) record(ok bool) {
+	t.mu.Lock()
+	t.brk.Record(ok)
+	t.mu.Unlock()
+}
+
+// attach registers one more operator session on the tenant.
+func (t *Tenant) attach() {
+	t.mu.Lock()
+	t.sessions++
+	t.lastUsed = t.clock()
+	t.mu.Unlock()
+}
+
+// detach unregisters a session.
+func (t *Tenant) detach() {
+	t.mu.Lock()
+	t.sessions--
+	t.mu.Unlock()
+}
+
+// idleFor reports whether the tenant has had no session and no command
+// for at least d.
+func (t *Tenant) idleFor(now time.Time, d time.Duration) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.sessions == 0 && t.dead == nil && now.Sub(t.lastUsed) >= d
+}
+
+// TenantInfo is one tenant's service-level state for health reporting.
+type TenantInfo struct {
+	Name     string `json:"name"`
+	Sessions int    `json:"sessions"`
+	Queued   int    `json:"queued"`
+	Breaker  string `json:"breaker"`
+	Dead     string `json:"dead,omitempty"`
+}
+
+// Info snapshots the tenant's service-level state.
+func (t *Tenant) Info() TenantInfo {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	info := TenantInfo{
+		Name:     t.name,
+		Sessions: t.sessions,
+		Queued:   len(t.queue),
+		Breaker:  t.brk.State().String(),
+	}
+	if t.dead != nil {
+		info.Dead = t.dead.Error()
+	}
+	return info
+}

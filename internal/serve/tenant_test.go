@@ -1,0 +1,184 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"liteview/internal/core"
+)
+
+// fakeRunner is a scriptable Runner for service-layer tests: fn decides
+// each command's fate, delay (atomic) simulates a slow simulation.
+type fakeRunner struct {
+	delay atomic.Int64 // nanoseconds per command
+	fn    func(line string) (string, error)
+}
+
+func (r *fakeRunner) Run(line string) (string, error) {
+	if d := time.Duration(r.delay.Load()); d > 0 {
+		time.Sleep(d)
+	}
+	if r.fn != nil {
+		return r.fn(line)
+	}
+	return "ran:" + line + "\n", nil
+}
+
+func (r *fakeRunner) Cwd() string { return "/" }
+
+// testTenant builds a tenant around a fakeRunner with tight timings.
+func testTenant(t *testing.T, cfg Config, r Runner) *Tenant {
+	t.Helper()
+	cfg.NewRunner = func(string) (Runner, error) { return r, nil }
+	cfg = cfg.withDefaults()
+	tn := newTenant("t", cfg, time.Now, nil)
+	t.Cleanup(func() {
+		tn.stop()
+		<-tn.Done()
+	})
+	return tn
+}
+
+func TestTenantRunsCommands(t *testing.T) {
+	tn := testTenant(t, Config{}, &fakeRunner{})
+	out, cwd, err := tn.Submit("ping", time.Second)
+	if err != nil || out != "ran:ping\n" || cwd != "/" {
+		t.Fatalf("Submit = (%q, %q, %v)", out, cwd, err)
+	}
+}
+
+func TestTenantDeadlineAndAbandonedJobs(t *testing.T) {
+	r := &fakeRunner{}
+	r.delay.Store(int64(200 * time.Millisecond))
+	tn := testTenant(t, Config{BreakerThreshold: -1}, r)
+	// The first command blocks the loop past the deadline.
+	if _, _, err := tn.Submit("slow", 30*time.Millisecond); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("slow command: err = %v, want ErrDeadline", err)
+	}
+	// A command abandoned while queued must be skipped, not run: fire one
+	// more doomed command, then verify a later fast command still works.
+	if _, _, err := tn.Submit("slow2", 10*time.Millisecond); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("queued command: err = %v, want ErrDeadline", err)
+	}
+	r.delay.Store(0)
+	out, _, err := tn.Submit("fast", 2*time.Second)
+	if err != nil || out != "ran:fast\n" {
+		t.Fatalf("fast command after deadlines = (%q, %v)", out, err)
+	}
+}
+
+func TestTenantQueueBounded(t *testing.T) {
+	r := &fakeRunner{}
+	r.delay.Store(int64(time.Second))
+	tn := testTenant(t, Config{QueueDepth: 1, BreakerThreshold: -1, RatePerSec: -1}, r)
+	// Occupy the loop, fill the single queue slot, then overflow.
+	var wg sync.WaitGroup
+	errs := make([]error, 2)
+	for i := range errs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, errs[i] = tn.Submit(fmt.Sprintf("c%d", i), 50*time.Millisecond)
+		}(i)
+	}
+	wg.Wait()
+	// Both of those either ran into the deadline or the queue; now the
+	// loop is still busy and the queue holds an abandoned job, so one
+	// more submit must hit ErrQueueFull deterministically only when the
+	// slot is taken — assert at least that overflow is typed correctly.
+	sawFull := false
+	for i := 0; i < 3 && !sawFull; i++ {
+		_, _, err := tn.Submit("overflow", time.Millisecond)
+		if errors.Is(err, ErrQueueFull) {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("bounded queue never reported ErrQueueFull under a blocked loop")
+	}
+}
+
+func TestTenantPanicIsolationReapsQueuedWork(t *testing.T) {
+	r := &fakeRunner{fn: func(line string) (string, error) {
+		if line == "boom" {
+			panic("injected chaos")
+		}
+		return "ok\n", nil
+	}}
+	var quiet Config
+	quiet.Logf = func(string, ...any) {} // keep the stack trace out of test output
+	tn := testTenant(t, quiet, r)
+	if _, _, err := tn.Submit("fine", time.Second); err != nil {
+		t.Fatalf("healthy command: %v", err)
+	}
+	_, _, err := tn.Submit("boom", time.Second)
+	if !errors.Is(err, ErrTenantCrashed) {
+		t.Fatalf("crash: err = %v, want ErrTenantCrashed", err)
+	}
+	if tn.Dead() == nil {
+		t.Fatal("crashed tenant not marked dead")
+	}
+	// Everything after the crash fails fast with the death certificate.
+	if _, _, err := tn.Submit("after", time.Second); !errors.Is(err, ErrTenantDead) {
+		t.Fatalf("post-crash command: err = %v, want ErrTenantDead", err)
+	}
+}
+
+func TestTenantBreakerTripThenRecover(t *testing.T) {
+	r := &fakeRunner{}
+	r.delay.Store(int64(time.Second))
+	tn := testTenant(t, Config{
+		BreakerThreshold: 2,
+		BreakerCooldown:  300 * time.Millisecond,
+		RatePerSec:       -1,
+	}, r)
+	// Two deadline failures open the admission breaker.
+	for i := 0; i < 2; i++ {
+		if _, _, err := tn.Submit("slow", 20*time.Millisecond); !errors.Is(err, ErrDeadline) {
+			t.Fatalf("failure %d: err = %v, want ErrDeadline", i, err)
+		}
+	}
+	if _, _, err := tn.Submit("x", time.Second); !errors.Is(err, core.ErrBreakerOpen) {
+		t.Fatalf("open breaker admitted a command: %v", err)
+	}
+	if info := tn.Info(); info.Breaker != "open" {
+		t.Fatalf("Info.Breaker = %q, want open", info.Breaker)
+	}
+	// After the cooldown the half-open probe is admitted; the simulation
+	// is healthy again, so the probe closes the breaker.
+	r.delay.Store(0)
+	time.Sleep(350 * time.Millisecond)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		out, _, err := tn.Submit("probe", 2*time.Second)
+		if err == nil {
+			if out != "ran:probe\n" {
+				t.Fatalf("probe output = %q", out)
+			}
+			break
+		}
+		// The loop may still be chewing on an old slow command; the
+		// probe's failure re-opens the breaker for a fresh cooldown.
+		if time.Now().After(deadline) {
+			t.Fatalf("breaker never recovered: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if st := tn.Info().Breaker; st != "closed" {
+		t.Fatalf("breaker after recovery = %q, want closed", st)
+	}
+}
+
+func TestTenantRateLimited(t *testing.T) {
+	tn := testTenant(t, Config{RatePerSec: 0.001, Burst: 1, BreakerThreshold: -1}, &fakeRunner{})
+	if _, _, err := tn.Submit("one", time.Second); err != nil {
+		t.Fatalf("first command within burst: %v", err)
+	}
+	if _, _, err := tn.Submit("two", time.Second); !errors.Is(err, ErrRateLimited) {
+		t.Fatalf("second command: err = %v, want ErrRateLimited", err)
+	}
+}

@@ -1,0 +1,233 @@
+package serve
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+
+	"liteview/internal/core"
+)
+
+// The wire protocol is newline-delimited JSON, one message per line,
+// symmetric request/response over a plain TCP stream:
+//
+//	→ {"type":"hello","tenant":"lab-a"}
+//	← {"type":"hello-ok","tenant":"lab-a"}
+//	→ {"type":"cmd","id":1,"line":"cd 192.168.0.1"}
+//	← {"type":"result","id":1,"cwd":"/sn01/192.168.0.1"}
+//	→ {"type":"cmd","id":2,"line":"ping 192.168.0.3"}
+//	← {"type":"result","id":2,"output":"Pinging ...","cwd":"/sn01/192.168.0.1"}
+//	← {"type":"bye","reason":"draining"}          (server push)
+//
+// healthz and metrics requests work before hello (no tenant needed), so
+// probes stay cheap. Errors carry a stable machine-readable code plus a
+// transient flag that tells the client whether backing off and retrying
+// can help.
+
+// Message type tags.
+const (
+	TypeHello   = "hello"
+	TypeHelloOK = "hello-ok"
+	TypeCmd     = "cmd"
+	TypeResult  = "result"
+	TypeHealthz = "healthz"
+	TypeMetrics = "metrics"
+	TypeBye     = "bye"
+	TypeError   = "error"
+)
+
+// Request is one client→server message.
+type Request struct {
+	Type   string `json:"type"`
+	Tenant string `json:"tenant,omitempty"` // hello
+	ID     uint64 `json:"id,omitempty"`     // cmd
+	Line   string `json:"line,omitempty"`   // cmd
+}
+
+// Response is one server→client message.
+type Response struct {
+	Type      string             `json:"type"`
+	ID        uint64             `json:"id,omitempty"`
+	Tenant    string             `json:"tenant,omitempty"`
+	Output    string             `json:"output,omitempty"`
+	Cwd       string             `json:"cwd,omitempty"`
+	Error     string             `json:"error,omitempty"`
+	Code      string             `json:"code,omitempty"`
+	Transient bool               `json:"transient,omitempty"`
+	Health    *Health            `json:"health,omitempty"`
+	Metrics   map[string]float64 `json:"metrics,omitempty"`
+	Reason    string             `json:"reason,omitempty"` // bye
+}
+
+// Health is the /healthz-style liveness and readiness report.
+type Health struct {
+	// Live is true as long as the daemon answers at all.
+	Live bool `json:"live"`
+	// Ready is true when the daemon accepts new sessions and commands
+	// (false while draining or before the listener is up).
+	Ready    bool         `json:"ready"`
+	Draining bool         `json:"draining"`
+	Sessions int          `json:"sessions"`
+	Tenants  []TenantInfo `json:"tenants,omitempty"`
+	UptimeMs int64        `json:"uptime_ms"`
+}
+
+// Stable error codes for the wire. See errCode.
+const (
+	CodeQueueFull      = "queue-full"
+	CodeRateLimited    = "rate-limited"
+	CodeBreakerOpen    = "breaker-open"
+	CodeDeadline       = "deadline"
+	CodeTenantCrashed  = "tenant-crashed"
+	CodeTenantDead     = "tenant-dead"
+	CodeDraining       = "draining"
+	CodeTooManyTenants = "too-many-tenants"
+	CodeBadRequest     = "bad-request"
+	CodeCommand        = "command"
+)
+
+// errCode maps a service or command error to its wire code and whether
+// a client retry (with backoff) is worthwhile.
+func errCode(err error) (code string, transient bool) {
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return CodeQueueFull, true
+	case errors.Is(err, ErrRateLimited):
+		return CodeRateLimited, true
+	case errors.Is(err, ErrDeadline):
+		return CodeDeadline, true
+	case errors.Is(err, ErrTenantCrashed):
+		return CodeTenantCrashed, false
+	case errors.Is(err, ErrTenantDead):
+		return CodeTenantDead, false
+	case errors.Is(err, ErrDraining):
+		return CodeDraining, false
+	case errors.Is(err, ErrTooManyTenants):
+		return CodeTooManyTenants, false
+	case errors.Is(err, core.ErrBreakerOpen):
+		return CodeBreakerOpen, true
+	case core.Transient(err):
+		return CodeCommand, true
+	default:
+		return CodeCommand, false
+	}
+}
+
+// maxLine bounds one wire message (either direction): big enough for a
+// full healthcheck transcript, small enough to stop a rogue peer from
+// ballooning the session buffer.
+const maxLine = 4 << 20
+
+// newLineScanner builds the line reader both ends of the wire use.
+func newLineScanner(r io.Reader) *bufio.Scanner {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), maxLine)
+	return sc
+}
+
+// Client is a minimal wire-protocol client used by cmd/lvctl and the
+// service tests. It is synchronous: one request, one response. Not safe
+// for concurrent use.
+type Client struct {
+	conn net.Conn
+	enc  *json.Encoder
+	sc   *bufio.Scanner
+	next uint64
+}
+
+// NewClient speaks the protocol over an established connection,
+// attaching to the named tenant when tenant is non-empty.
+func NewClient(conn net.Conn, tenant string) (*Client, error) {
+	c := &Client{conn: conn, enc: json.NewEncoder(conn), sc: bufio.NewScanner(conn)}
+	c.sc.Buffer(make([]byte, 0, 64<<10), maxLine)
+	if tenant == "" {
+		return c, nil
+	}
+	resp, err := c.do(Request{Type: TypeHello, Tenant: tenant})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Type != TypeHelloOK {
+		conn.Close()
+		return nil, fmt.Errorf("serve: hello rejected: %s (%s)", resp.Error, resp.Code)
+	}
+	return c, nil
+}
+
+// Dial connects to a daemon and attaches to tenant (may be empty for
+// probe-only clients).
+func Dial(addr, tenant string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn, tenant)
+}
+
+// do sends one request and reads one response.
+func (c *Client) do(req Request) (Response, error) {
+	if err := c.enc.Encode(req); err != nil {
+		return Response{}, fmt.Errorf("serve: send: %w", err)
+	}
+	if !c.sc.Scan() {
+		if err := c.sc.Err(); err != nil {
+			return Response{}, fmt.Errorf("serve: read: %w", err)
+		}
+		return Response{}, fmt.Errorf("serve: server closed the connection")
+	}
+	var resp Response
+	if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+		return Response{}, fmt.Errorf("serve: bad response: %w", err)
+	}
+	return resp, nil
+}
+
+// Run executes one command line on the attached tenant. The Response
+// carries output (possibly partial), the session cwd, and any error
+// text with its code; err is non-nil only for transport-level failures
+// or a server goodbye.
+func (c *Client) Run(line string) (Response, error) {
+	c.next++
+	resp, err := c.do(Request{Type: TypeCmd, ID: c.next, Line: line})
+	if err != nil {
+		return resp, err
+	}
+	if resp.Type == TypeBye {
+		return resp, fmt.Errorf("serve: server said goodbye: %s", resp.Reason)
+	}
+	if resp.ID != c.next {
+		return resp, fmt.Errorf("serve: response id %d for request %d", resp.ID, c.next)
+	}
+	return resp, nil
+}
+
+// Healthz asks for the liveness/readiness report.
+func (c *Client) Healthz() (Health, error) {
+	resp, err := c.do(Request{Type: TypeHealthz})
+	if err != nil {
+		return Health{}, err
+	}
+	if resp.Health == nil {
+		return Health{}, errors.New("serve: healthz response lacked a health block")
+	}
+	return *resp.Health, nil
+}
+
+// Metrics asks for a snapshot of the service metrics registry.
+func (c *Client) Metrics() (map[string]float64, error) {
+	resp, err := c.do(Request{Type: TypeMetrics})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Metrics, nil
+}
+
+// Close says goodbye and closes the connection.
+func (c *Client) Close() error {
+	c.enc.Encode(Request{Type: TypeBye}) // best effort
+	return c.conn.Close()
+}

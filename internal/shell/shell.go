@@ -87,7 +87,17 @@ type Shell struct {
 	// tb enables the simulator-side observability commands (trace,
 	// stats medium/reset); nil on sessions built with New.
 	tb *testbed.Testbed
+	// writeErr latches the first output-write failure of the command in
+	// progress. With a network-backed writer a dead peer surfaces here,
+	// and Exec reports it instead of silently dropping output.
+	writeErr error
 }
+
+// ErrWrite reports that a command's output could not be written to the
+// session's writer. With a network-backed session this is the "operator
+// hung up" signal: the command may have run to completion on the
+// deployment, but its output never reached the user.
+var ErrWrite = errors.New("shell: session output write failed")
 
 // New creates a session writing output to out.
 func New(ws *core.Workstation, resolver Resolver, out io.Writer) (*Shell, error) {
@@ -129,12 +139,45 @@ func (s *Shell) mustID(name string) phys.NodeID {
 	return id
 }
 
-func (s *Shell) printf(format string, args ...any) {
-	fmt.Fprintf(s.out, format, args...)
+// SetOutput redirects subsequent command output to w — the programmatic
+// session API: a service holding one long-lived shell per tenant points
+// the output at a fresh per-command buffer before each Exec.
+func (s *Shell) SetOutput(w io.Writer) error {
+	if w == nil {
+		return errors.New("shell: nil output writer")
+	}
+	s.out = w
+	return nil
 }
 
-// Exec parses and runs one command line.
+func (s *Shell) printf(format string, args ...any) {
+	if s.writeErr != nil {
+		return // the writer is already known dead; don't spam it
+	}
+	if _, err := fmt.Fprintf(s.out, format, args...); err != nil {
+		s.writeErr = err
+	}
+}
+
+// Exec parses and runs one command line. A failure to write the
+// command's output is a session error too: it surfaces as an
+// ErrWrite-wrapping error (joined with the command's own error when
+// both occurred), never silently dropped output.
 func (s *Shell) Exec(line string) error {
+	s.writeErr = nil
+	err := s.exec(line)
+	if s.writeErr != nil {
+		werr := fmt.Errorf("%w: %v", ErrWrite, s.writeErr)
+		if err == nil {
+			return werr
+		}
+		return errors.Join(err, werr)
+	}
+	return err
+}
+
+// exec dispatches one parsed command line.
+func (s *Shell) exec(line string) error {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
 		return nil

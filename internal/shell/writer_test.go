@@ -1,0 +1,106 @@
+package shell
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"liteview/internal/phys"
+	"liteview/internal/testbed"
+)
+
+// failAfter is an io.Writer that accepts n bytes and then fails every
+// further write — the shape of a network peer that hung up mid-output.
+type failAfter struct {
+	n      int
+	err    error
+	writes int
+}
+
+func (w *failAfter) Write(p []byte) (int, error) {
+	w.writes++
+	if w.n >= len(p) {
+		w.n -= len(p)
+		return len(p), nil
+	}
+	n := w.n
+	w.n = 0
+	return n, w.err
+}
+
+// TestExecSurfacesWriteErrors pins the session-error contract: output
+// that cannot be written is a command failure (ErrWrite), not silently
+// dropped text, and the session recovers once the writer is replaced.
+func TestExecSurfacesWriteErrors(t *testing.T) {
+	tb, err := testbed.Line(2, 18, testbed.DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := tb.NewWorkstation(phys.Position{X: -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := &failAfter{n: 0, err: errors.New("connection reset by peer")}
+	sh, err := NewForTestbed(tb, ws, dead)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sh.Exec("pwd"); !errors.Is(err, ErrWrite) {
+		t.Fatalf("Exec over a dead writer: err = %v, want ErrWrite", err)
+	}
+	// The latch stops hammering a known-dead writer: the long help text
+	// must not issue one write per printf after the first failure.
+	dead.writes = 0
+	if err := sh.Exec("help"); !errors.Is(err, ErrWrite) {
+		t.Fatalf("help over a dead writer: err = %v, want ErrWrite", err)
+	}
+	if dead.writes != 1 {
+		t.Fatalf("dead writer hit %d times during help, want 1", dead.writes)
+	}
+
+	// A command error and a write error surface together.
+	if err := sh.Exec("cd nowhere"); err == nil || errors.Is(err, ErrWrite) {
+		t.Fatalf("cd to a bad node writes nothing: err = %v, want plain command error", err)
+	}
+
+	// SetOutput is the programmatic session API: pointing the session at
+	// a live buffer fully recovers it.
+	var buf strings.Builder
+	if err := sh.SetOutput(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Exec("pwd"); err != nil {
+		t.Fatalf("Exec after SetOutput: %v", err)
+	}
+	if got := buf.String(); got != "/\n" {
+		t.Fatalf("pwd output = %q, want %q", got, "/\n")
+	}
+	if err := sh.SetOutput(nil); err == nil {
+		t.Fatal("SetOutput(nil) accepted")
+	}
+}
+
+// TestExecPartialWriteLatches checks that a writer dying mid-command
+// reports the write error while keeping the bytes that did make it.
+func TestExecPartialWriteLatches(t *testing.T) {
+	tb, err := testbed.Line(2, 18, testbed.DefaultOptions(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, err := tb.NewWorkstation(phys.Position{X: -2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := &failAfter{n: 2, err: errors.New("broken pipe")} // room for "/\n" only
+	sh, err := NewForTestbed(tb, ws, w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Exec("pwd"); err != nil {
+		t.Fatalf("first pwd fits the writer: %v", err)
+	}
+	if err := sh.Exec("pwd"); !errors.Is(err, ErrWrite) {
+		t.Fatalf("second pwd overruns the writer: err = %v, want ErrWrite", err)
+	}
+}

@@ -35,6 +35,7 @@ func main() {
 		parallel = flag.Int("parallel", runtime.GOMAXPROCS(0), "worker pool size (1 = sequential baseline, <=0 = GOMAXPROCS)")
 		jsonPath = flag.String("json", "", "write a machine-readable run summary to this file")
 		nowall   = flag.Bool("nowall", false, "suppress wall-clock readings inside experiment output (for byte-exact comparisons)")
+		profile  = flag.String("profile", "", "write per-experiment CPU and heap profiles into this directory (forces -parallel 1)")
 	)
 	flag.Parse()
 	opt := bench.Options{
@@ -42,6 +43,7 @@ func main() {
 		Short:       *short,
 		NoWallClock: *nowall,
 		Workers:     *parallel,
+		ProfileDir:  *profile,
 	}
 
 	if *list {

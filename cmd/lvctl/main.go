@@ -4,6 +4,7 @@
 //
 //	lvctl -tenant lab-a                                   # interactive
 //	lvctl -tenant lab-a -c "cd 192.168.0.1; ping 192.168.0.3"
+//	lvctl -tenant lab-a -watch -layer mac -count 50       # live telemetry
 //	lvctl -healthz                                        # probe only
 //
 // Exit status: 0 when every command succeeded, 1 on a command or
@@ -16,6 +17,7 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"liteview/internal/serve"
 	"liteview/internal/telemetry"
@@ -28,6 +30,14 @@ func main() {
 		script  = flag.String("c", "", "run these semicolon-separated commands and exit")
 		healthz = flag.Bool("healthz", false, "print the daemon's health report and exit")
 		metrics = flag.Bool("metrics", false, "print the daemon's service metrics and exit")
+		watch   = flag.Bool("watch", false, "stream the tenant's telemetry as JSONL to stdout")
+		wNode   = flag.Uint64("node", 0, "watch: only events owned by this node id (0 = any)")
+		wLayer  = flag.String("layer", "", "watch: only events from this layer (medium, mac, routing, ...)")
+		wKind   = flag.String("kind", "", "watch: only events of this kind (tx, rx, cca, ...)")
+		wLink   = flag.String("link", "", "watch: only events on this A-B node-id link")
+		wSpan   = flag.Uint64("span", 0, "watch: only events of this command span id (0 = any)")
+		wCount  = flag.Int("count", 0, "watch: stop after this many frames (0 = stream forever)")
+		wFor    = flag.Duration("for", 0, "watch: stop after this long (enforced server-side)")
 	)
 	flag.Parse()
 
@@ -42,6 +52,32 @@ func main() {
 		os.Exit(1)
 	}
 	defer c.Close()
+
+	if *watch {
+		spec := serve.WatchSpec{Node: *wNode, Layer: *wLayer, Kind: *wKind, Link: *wLink,
+			Span: *wSpan, ForMs: wFor.Milliseconds()}
+		deadline := time.Time{}
+		if *wFor > 0 {
+			deadline = time.Now().Add(*wFor)
+		}
+		frames := 0
+		var dropped uint64
+		err := c.Watch(spec, func(line string, drop uint64) bool {
+			fmt.Println(line)
+			frames++
+			dropped = drop
+			if *wCount > 0 && frames >= *wCount {
+				return false
+			}
+			return deadline.IsZero() || time.Now().Before(deadline)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvctl:", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "lvctl: watch ended after %d frame(s), %d dropped\n", frames, dropped)
+		return
+	}
 
 	if *script != "" {
 		for _, line := range strings.Split(*script, ";") {

@@ -23,6 +23,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -49,6 +50,7 @@ func main() {
 		idle       = flag.Duration("idle", 5*time.Minute, "session idle timeout")
 		tenantIdle = flag.Duration("tenant-idle", 15*time.Minute, "reap tenants unused for this long")
 		drain      = flag.Duration("drain", 30*time.Second, "graceful drain deadline on SIGTERM")
+		pprofOn    = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the admin address")
 		rate       = flag.Float64("rate", 50, "per-tenant commands per second (negative disables)")
 		burst      = flag.Float64("burst", 0, "per-tenant admission burst (0 = 2x rate)")
 		brkN       = flag.Int("breaker-threshold", 0, "consecutive service failures that open a tenant's breaker (0 = default)")
@@ -93,8 +95,23 @@ func main() {
 			fmt.Fprintln(os.Stderr, "lvserved:", err)
 			os.Exit(1)
 		}
-		go http.Serve(adminLn, srv.AdminHandler())
-		logf("lvserved: admin on http://%s (/healthz /readyz /metricz)", adminLn.Addr())
+		handler := srv.AdminHandler()
+		endpoints := "/healthz /readyz /metricz /streamz"
+		if *pprofOn {
+			// Profiling is opt-in: the handlers only exist behind -pprof,
+			// and only on the (normally loopback) admin listener.
+			mux := http.NewServeMux()
+			mux.Handle("/", handler)
+			mux.HandleFunc("/debug/pprof/", pprof.Index)
+			mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+			mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+			mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+			mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+			handler = mux
+			endpoints += " /debug/pprof/"
+		}
+		go http.Serve(adminLn, handler)
+		logf("lvserved: admin on http://%s (%s)", adminLn.Addr(), endpoints)
 	}
 	logf("lvserved: listening on %s (topo=%s)", ln.Addr(), dep.Topo)
 

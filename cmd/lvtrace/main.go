@@ -12,6 +12,7 @@
 //	lvtrace -script run.lvsh -jsonl - -chrome ''
 //	lvtrace -layer mac -node 3                     # filter the exports
 //	lvtrace -link 2-3                              # one link, both ways
+//	lvtrace -spans                                 # per-command span summary
 package main
 
 import (
@@ -40,10 +41,12 @@ func main() {
 		jsonl   = flag.String("jsonl", "lvtrace.jsonl", "JSONL output path ('-' = stdout, '' = skip)")
 		chrome  = flag.String("chrome", "lvtrace-chrome.json", "Chrome trace-event output path ('' = skip)")
 		node    = flag.Int("node", 0, "filter: only events owned by this node id (0 = all)")
-		layer   = flag.String("layer", "", "filter: only this layer (medium|mac|stack|routing|reliable|controller|fault)")
+		layer   = flag.String("layer", "", "filter: only this layer (medium|mac|neighbor|stack|routing|reliable|controller|fault|span)")
 		kind    = flag.String("kind", "", "filter: only this event kind")
 		link    = flag.String("link", "", "filter: only events involving both nodes of 'A-B'")
 		port    = flag.Int("port", 0, "filter: only events with this port attribute (0 = all)")
+		spanID  = flag.Uint64("span", 0, "filter: only events of this command span id (0 = all)")
+		spans   = flag.Bool("spans", false, "print the per-command span summary")
 		summary = flag.Bool("summary", true, "print per-layer event counts")
 		quiet   = flag.Bool("q", false, "suppress the shell transcript of the recorded run")
 	)
@@ -97,6 +100,7 @@ func main() {
 		Kind:  *kind,
 		Link:  *link,
 		Port:  *port,
+		Span:  *spanID,
 	}
 	events := rec.Events()
 
@@ -117,6 +121,9 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *chrome)
+	}
+	if *spans {
+		fmt.Print(telemetry.SummarizeSpans(events))
 	}
 	if *summary {
 		fmt.Print(telemetry.Summarize(events, f))

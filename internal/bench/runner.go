@@ -1,7 +1,11 @@
 package bench
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"time"
 )
@@ -31,6 +35,12 @@ type Options struct {
 	// every engine is private to one simulation and results are
 	// aggregated in experiment/trial order.
 	Workers int
+	// ProfileDir, when non-empty, writes per-experiment CPU and heap
+	// profiles (<dir>/<id>.cpu.pprof, <dir>/<id>.heap.pprof). CPU
+	// profiling is process-global, so a profiled run is forced to
+	// Workers=1 — one experiment on the CPU at a time is also what makes
+	// the profile attributable.
+	ProfileDir string
 	// gate is the run-wide worker pool, shared by the experiment-level
 	// fan-out and the per-trial fan-outs inside experiments so total
 	// concurrency stays bounded by Workers even when they nest.
@@ -45,6 +55,9 @@ func (o Options) tracing() bool { return o.TraceDir != "" }
 // the final worker (forEach falls back to running jobs inline when the
 // gate is full), so total concurrency equals Workers.
 func (o Options) withGate() Options {
+	if o.ProfileDir != "" {
+		o.Workers = 1
+	}
 	if o.Workers <= 0 {
 		o.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -122,9 +135,49 @@ func RunAll(exps []Experiment, seed uint64, opt Options) []Outcome {
 	// Experiments return their errors in outs; forEach cannot fail here.
 	_ = opt.forEach(len(exps), func(i int) error {
 		start := time.Now()
-		res, err := exps[i].Run(seed, opt)
+		res, err := runProfiled(exps[i], seed, opt)
 		outs[i] = Outcome{Exp: exps[i], Res: res, Err: err, Wall: time.Since(start)}
 		return nil
 	})
 	return outs
+}
+
+// runProfiled runs one experiment, bracketing it with CPU profiling and
+// a post-run heap snapshot when opt.ProfileDir is set. Profiling never
+// masks the experiment's own result: a profile I/O failure surfaces
+// only if the experiment itself succeeded.
+func runProfiled(exp Experiment, seed uint64, opt Options) (*Result, error) {
+	if opt.ProfileDir == "" {
+		return exp.Run(seed, opt)
+	}
+	if err := os.MkdirAll(opt.ProfileDir, 0o755); err != nil {
+		return nil, fmt.Errorf("profile dir: %w", err)
+	}
+	cpu, err := os.Create(filepath.Join(opt.ProfileDir, exp.ID+".cpu.pprof"))
+	if err != nil {
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(cpu); err != nil {
+		cpu.Close()
+		return nil, fmt.Errorf("cpu profile: %w", err)
+	}
+	res, runErr := exp.Run(seed, opt)
+	pprof.StopCPUProfile()
+	profErr := cpu.Close()
+	heap, err := os.Create(filepath.Join(opt.ProfileDir, exp.ID+".heap.pprof"))
+	if err == nil {
+		runtime.GC() // fresh statistics: profile live objects, not garbage
+		if werr := pprof.Lookup("heap").WriteTo(heap, 0); werr != nil && profErr == nil {
+			profErr = werr
+		}
+		if cerr := heap.Close(); cerr != nil && profErr == nil {
+			profErr = cerr
+		}
+	} else if profErr == nil {
+		profErr = err
+	}
+	if runErr == nil && profErr != nil {
+		return res, fmt.Errorf("writing profiles: %w", profErr)
+	}
+	return res, runErr
 }

@@ -8,6 +8,7 @@ import (
 
 	"liteview/internal/phys"
 	"liteview/internal/sim"
+	"liteview/internal/telemetry"
 )
 
 // Per-node circuit breaker around the command interpreter. A node that
@@ -233,14 +234,27 @@ func (w *Workstation) breakerAllow(node phys.NodeID) error {
 
 // breakerRecord folds one command outcome into the node's breaker.
 // Healthy nodes carry no entry at all — success drops the breaker from
-// the map so the table only ever holds trouble.
+// the map so the table only ever holds trouble. State transitions are
+// published to telemetry so a live fleet view can mark nodes whose
+// management link the interpreter has given up on.
 func (w *Workstation) breakerRecord(node phys.NodeID, ok bool) {
 	if w.breakerThreshold <= 0 {
 		return
 	}
 	if ok {
-		delete(w.breakers, node)
+		if b, exists := w.breakers[node]; exists {
+			if b.State() != BreakerClosed {
+				w.tel.Emit(node, telemetry.LayerController, "breaker-close")
+			}
+			delete(w.breakers, node)
+		}
 		return
 	}
-	w.nodeBreaker(node).Record(false)
+	b := w.nodeBreaker(node)
+	before := b.State()
+	b.Record(false)
+	if before != BreakerOpen && b.State() == BreakerOpen {
+		w.tel.Emit(node, telemetry.LayerController, "breaker-open",
+			telemetry.Int("fails", b.Fails()))
+	}
 }

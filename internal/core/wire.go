@@ -324,11 +324,11 @@ func EncodeStatus(s Status) []byte {
 
 // NbrEntry is one neighbor table row in a KindNbrEntry reply.
 type NbrEntry struct {
-	ID          phys.NodeID
-	Name        string
-	LQI         uint8
-	RSSI        int8
-	PRRPercent  uint8
+	ID         phys.NodeID
+	Name       string
+	LQI        uint8
+	RSSI       int8
+	PRRPercent uint8
 	// DeliveryPercent is the kernel's unicast delivery estimate (EWMA of
 	// MAC tx outcomes), carried alongside the beacon-based PRR.
 	DeliveryPercent uint8

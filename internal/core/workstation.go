@@ -52,6 +52,10 @@ type Workstation struct {
 	breakers         map[phys.NodeID]*Breaker
 	breakerThreshold int
 	breakerCooldown  sim.Time
+
+	// tel scopes command spans: every command opens a span so the
+	// events it causes down the stack carry its span id.
+	tel *telemetry.Recorder
 }
 
 // ErrNoRoute reports a command the target node accepted but could not
@@ -61,12 +65,18 @@ type Workstation struct {
 var ErrNoRoute = errors.New("core: node reports no route to destination")
 
 // SetTelemetry points the workstation's MAC, stack, and reliable
-// endpoint at a telemetry recorder (nil detaches).
+// endpoint at a telemetry recorder (nil detaches) and enables
+// command-scoped spans on the interpreter itself.
 func (w *Workstation) SetTelemetry(rec *telemetry.Recorder) {
+	w.tel = rec
 	w.mac.SetTelemetry(rec)
 	w.st.SetTelemetry(rec)
 	w.ep.SetTelemetry(rec)
 }
+
+// Telemetry returns the recorder the workstation publishes spans to
+// (nil when detached).
+func (w *Workstation) Telemetry() *telemetry.Recorder { return w.tel }
 
 type collector struct {
 	replies []Reply
@@ -189,6 +199,11 @@ func (w *Workstation) command(node phys.NodeID, cmd Command, window sim.Time, ea
 	c := &collector{}
 	w.collecting[node] = c
 	defer delete(w.collecting, node)
+	// Scope the command: everything the transfer and the response
+	// window cause down the stack is stamped with this span id. When a
+	// higher-level command (ping, traceroute, health) already opened a
+	// span, this nested one folds into it (BeginSpan returns 0).
+	span := w.tel.BeginSpan(WorkstationID, cmd.Kind.String(), telemetry.Node("node", node))
 	start := w.eng.Now()
 	err := w.ep.Send(node, [][]byte{EncodeCommand(cmd)}, 0, func(err error) {
 		if err != nil {
@@ -197,6 +212,7 @@ func (w *Workstation) command(node phys.NodeID, cmd Command, window sim.Time, ea
 		}
 	})
 	if err != nil {
+		w.tel.EndSpan(span, telemetry.Bool("ok", false))
 		return nil, 0, err
 	}
 	w.pump(start+window, c, early)
@@ -205,6 +221,7 @@ func (w *Workstation) command(node phys.NodeID, cmd Command, window sim.Time, ea
 	// transfer reach the node? Status errors from a live controller are
 	// the network's problem, not this link's.
 	w.breakerRecord(node, c.sendErr == nil)
+	w.tel.EndSpan(span, telemetry.Bool("ok", c.sendErr == nil))
 	if c.sendErr != nil {
 		return c, elapsed, fmt.Errorf("core: command %v to node %d: %w", cmd.Kind, node, c.sendErr)
 	}
@@ -335,10 +352,21 @@ type PingOutput struct {
 
 // Ping runs the ping command on node (the node the user is logged
 // into), probing opts.Dst.
-func (w *Workstation) Ping(node phys.NodeID, opts PingOptions) (*PingOutput, error) {
+func (w *Workstation) Ping(node phys.NodeID, opts PingOptions) (out *PingOutput, err error) {
 	if err := (&opts).normalize(); err != nil {
 		return nil, err
 	}
+	// The ping span covers every round: all MAC transmissions, retries,
+	// and routing decisions the probe causes carry this id.
+	span := w.tel.BeginSpan(WorkstationID, "ping",
+		telemetry.Node("node", node), telemetry.Node("dst", opts.Dst))
+	defer func() {
+		verdict := ""
+		if out != nil {
+			verdict = out.Verdict
+		}
+		w.tel.EndSpan(span, telemetry.String("verdict", verdict))
+	}()
 	cmd := Command{Kind: KindPing, Dst: opts.Dst, Rounds: opts.Rounds, Length: opts.Length, RouterPort: opts.RouterPort}
 	// The window must cover all rounds; each timed-out round costs the
 	// per-round timeout. The default single round keeps the paper's
@@ -351,11 +379,11 @@ func (w *Workstation) Ping(node phys.NodeID, opts PingOptions) (*PingOutput, err
 	if err != nil {
 		// Delivering the command itself failed (node down, out of range,
 		// or channel jammed): report the explicit verdict with the error.
-		out := &PingOutput{ResponseDelay: elapsed, Sent: opts.Rounds,
+		out = &PingOutput{ResponseDelay: elapsed, Sent: opts.Rounds,
 			Verdict: fmt.Sprintf("command delivery to node %d failed (node down, out of range, or channel jammed)", node)}
 		return out, err
 	}
-	out := &PingOutput{ResponseDelay: elapsed, Sent: opts.Rounds}
+	out = &PingOutput{ResponseDelay: elapsed, Sent: opts.Rounds}
 	bySeq := make(map[int]*PingResult)
 	for _, r := range c.replies {
 		switch r.Kind {
@@ -436,10 +464,21 @@ type TracerouteOutput struct {
 // streaming per-hop reports. The command finishes when the
 // destination's report arrives (the controller then closes the stream)
 // or when the window expires.
-func (w *Workstation) Traceroute(node phys.NodeID, opts TrOptions) (*TracerouteOutput, error) {
+func (w *Workstation) Traceroute(node phys.NodeID, opts TrOptions) (out *TracerouteOutput, err error) {
 	if err := (&opts).normalize(); err != nil {
 		return nil, err
 	}
+	// The traceroute span covers the whole hop walk: every probe,
+	// retry, and report routed back carries this id.
+	span := w.tel.BeginSpan(WorkstationID, "traceroute",
+		telemetry.Node("node", node), telemetry.Node("dst", opts.Dst))
+	defer func() {
+		verdict := ""
+		if out != nil {
+			verdict = out.Verdict
+		}
+		w.tel.EndSpan(span, telemetry.String("verdict", verdict))
+	}()
 	cmd := Command{Kind: KindTraceroute, Dst: opts.Dst, Rounds: 1, Length: opts.Length,
 		RouterPort: opts.RouterPort, Retries: opts.ProbeRetries}
 	// The listen window mirrors the controller's session budget (which
@@ -448,11 +487,11 @@ func (w *Workstation) Traceroute(node phys.NodeID, opts TrOptions) (*TracerouteO
 	start := w.eng.Now()
 	c, elapsed, err := w.command(node, cmd, window, true)
 	if err != nil {
-		out := &TracerouteOutput{ResponseDelay: elapsed,
+		out = &TracerouteOutput{ResponseDelay: elapsed,
 			Verdict: fmt.Sprintf("command delivery to node %d failed (node down, out of range, or channel jammed)", node)}
 		return out, err
 	}
-	out := &TracerouteOutput{}
+	out = &TracerouteOutput{}
 	for i, r := range c.replies {
 		switch r.Kind {
 		case KindTrHopReport:

@@ -19,6 +19,7 @@ import (
 	"liteview/internal/radio"
 	"liteview/internal/sim"
 	"liteview/internal/stack"
+	"liteview/internal/telemetry"
 )
 
 // MicaZ hardware budget.
@@ -85,6 +86,9 @@ type Node struct {
 	beaconWasOn bool
 	crashHooks  []func()
 	rebootHooks []func()
+
+	// tel publishes kernel-side link-state observations (nil = off).
+	tel *telemetry.Recorder
 }
 
 // NewNode builds a node and attaches it to the medium. The neighbor
@@ -128,9 +132,22 @@ func NewNode(eng *sim.Engine, med *medium.Medium, cfg Config) (*Node, error) {
 	}
 	n.nbr = nbr
 	// Close the link-estimation loop: every unicast outcome the MAC sees
-	// feeds the kernel neighbor table's delivery EWMA.
+	// feeds the kernel neighbor table's delivery EWMA. When telemetry is
+	// attached, the updated estimate is published as a link-state event —
+	// the per-link PRR/ETX/suspect signal the live fleet view renders.
 	m.SetTxObserver(func(dst phys.NodeID, err error) {
 		nbr.Table().ObserveTxResult(dst, err == nil, eng.Now())
+		if n.tel.Recording() {
+			if e, known := nbr.Table().Get(dst); known {
+				n.tel.Emit(cfg.ID, telemetry.LayerNeighbor, "link-state",
+					telemetry.Node("to", dst),
+					telemetry.Bool("ok", err == nil),
+					telemetry.Float("delivery", e.Delivery),
+					telemetry.Float("etx", e.ETX()),
+					telemetry.Float("prr", e.PRR),
+					telemetry.Bool("suspect", e.Suspect))
+			}
+		}
 	})
 	n.meter = energy.Attach(eng, rad, cfg.BatteryJ)
 	n.ramUsed = KernelRAM
@@ -170,6 +187,10 @@ func (n *Node) Stack() *stack.Stack { return n.stack }
 
 // Neighbors returns the kernel neighborhood service.
 func (n *Node) Neighbors() *neighbor.Service { return n.nbr }
+
+// SetTelemetry points the node's kernel-side instrumentation (neighbor
+// link-state publishing) at a recorder; nil detaches.
+func (n *Node) SetTelemetry(rec *telemetry.Recorder) { n.tel = rec }
 
 // Log returns the node's event log.
 func (n *Node) Log() *EventLog { return n.log }

@@ -2,7 +2,11 @@ package serve
 
 import (
 	"encoding/json"
+	"fmt"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 
 	"liteview/internal/telemetry"
 )
@@ -11,7 +15,9 @@ import (
 //
 //	GET /healthz  liveness  — 200 while the process answers
 //	GET /readyz   readiness — 200 while accepting work, 503 draining
-//	GET /metricz  service metrics as "name value" text lines
+//	GET /metricz  service metrics, Prometheus exposition format
+//	              (?format=plain for the legacy "name value" lines)
+//	GET /streamz  live telemetry for one tenant as Server-Sent Events
 //
 // cmd/lvserved mounts it on a separate loopback port so orchestrators
 // probe the daemon without speaking the tenant protocol.
@@ -30,9 +36,155 @@ func (s *Server) AdminHandler() http.Handler {
 	})
 	mux.HandleFunc("/metricz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		w.Write([]byte(telemetry.FormatSnapshot(s.MetricsSnapshot())))
+		if r.URL.Query().Get("format") == "plain" {
+			w.Write([]byte(telemetry.FormatSnapshot(s.MetricsSnapshot())))
+			return
+		}
+		s.met.writePrometheus(w)
 	})
+	mux.HandleFunc("/streamz", s.handleStreamz)
 	return mux
+}
+
+// handleStreamz streams one tenant's telemetry as Server-Sent Events:
+// each frame is `data: {json}` in the recorder's JSONL line format.
+//
+// Query parameters:
+//
+//	tenant  (required) tenant name; must already exist — /streamz never
+//	        creates simulations
+//	node, layer, kind, link, span   filter (see lvtrace)
+//	replay=N   first emit the newest N already-recorded events
+//	for=DUR    stop after a wall-clock duration (e.g. 30s); default
+//	           streams until the client disconnects or the drain begins
+//	max=N      cap streamed events per second
+//
+// Like a wire watch, attaching is zero-perturbation: recording is
+// enabled through the tenant's command queue and the stream rides a
+// Subscription, so the simulation's byte-identical determinism holds
+// with any number of streamz clients attached.
+func (s *Server) handleStreamz(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	name := q.Get("tenant")
+	if name == "" {
+		http.Error(w, "streamz: tenant parameter is required", http.StatusBadRequest)
+		return
+	}
+	t := s.tenantNamed(name)
+	if t == nil {
+		http.Error(w, "streamz: no such tenant (streamz never creates one)", http.StatusNotFound)
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streamz: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	spec := WatchSpec{
+		Node:  parseUint(q.Get("node")),
+		Layer: q.Get("layer"),
+		Kind:  q.Get("kind"),
+		Link:  q.Get("link"),
+		Span:  parseUint(q.Get("span")),
+	}
+	var stopAfter time.Duration
+	if v := q.Get("for"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil {
+			http.Error(w, "streamz: bad for= duration: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		stopAfter = d
+	}
+	maxPerSec := int(parseUint(q.Get("max")))
+	if maxPerSec <= 0 {
+		maxPerSec = defaultWatchRate
+	}
+
+	// Turn recording on through the command queue (the only goroutine
+	// allowed to touch the recorder's deterministic state), then attach
+	// the subscription before writing headers so frames can't be lost
+	// between replay and live.
+	if _, _, err := s.submit(t, "trace on"); err != nil {
+		http.Error(w, "streamz: "+err.Error(), http.StatusServiceUnavailable)
+		return
+	}
+	rec := t.Recorder()
+	if rec == nil {
+		http.Error(w, "streamz: tenant exposes no telemetry", http.StatusNotFound)
+		return
+	}
+	sub := rec.Subscribe(spec.filter(), 0)
+	defer sub.Close()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	s.met.inc("serve.streamz.started")
+	defer s.met.inc("serve.streamz.ended")
+
+	if n := int(parseUint(q.Get("replay"))); n > 0 {
+		// `trace dump N` prints the newest N recorded events as JSONL on
+		// the tenant goroutine — the race-free way to read history.
+		out, _, err := s.submit(t, fmt.Sprintf("trace dump %d", n))
+		if err == nil {
+			for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+				if strings.HasPrefix(line, "{") {
+					fmt.Fprintf(w, "data: %s\n\n", line)
+				}
+			}
+			flusher.Flush()
+		}
+	}
+
+	ctx := r.Context()
+	var deadline <-chan time.Time
+	if stopAfter > 0 {
+		timer := time.NewTimer(stopAfter)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	batch := maxPerSec / 10
+	if batch < 1 {
+		batch = 1
+	}
+	tick := time.NewTicker(100 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-deadline:
+			fmt.Fprintf(w, "event: end\ndata: elapsed dropped=%d\n\n", sub.Dropped())
+			flusher.Flush()
+			return
+		case <-tick.C:
+			if s.isDraining() {
+				fmt.Fprintf(w, "event: end\ndata: draining dropped=%d\n\n", sub.Dropped())
+				flusher.Flush()
+				return
+			}
+			events := sub.Poll(batch)
+			for i := range events {
+				fmt.Fprintf(w, "data: %s\n\n", telemetry.JSONLine(&events[i]))
+			}
+			if len(events) > 0 {
+				s.met.add("serve.streamz.frames", len(events))
+				flusher.Flush()
+			}
+		}
+	}
+}
+
+func parseUint(s string) uint64 {
+	if s == "" {
+		return 0
+	}
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return v
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {

@@ -4,6 +4,7 @@ import (
 	"bytes"
 
 	"liteview/internal/shell"
+	"liteview/internal/telemetry"
 )
 
 // Runner is one tenant's command interpreter: Run executes a command
@@ -48,3 +49,17 @@ func (r *ShellRunner) Run(line string) (string, error) {
 
 // Cwd reports the shell's current directory.
 func (r *ShellRunner) Cwd() string { return r.sh.Cwd() }
+
+// TelemetrySource is the optional Runner extension the live-streaming
+// layer uses: a runner that can expose its deployment's telemetry
+// recorder lets watch sessions and /streamz subscribe to the tenant's
+// event bus. The recorder is only ever *subscribed to* from service
+// goroutines — subscriptions are the one cross-goroutine-safe surface
+// of the bus, and attaching one is zero-perturbation by contract.
+type TelemetrySource interface {
+	Telemetry() *telemetry.Recorder
+}
+
+// Telemetry exposes the shell deployment's recorder (nil for sessions
+// without a testbed), satisfying TelemetrySource.
+func (r *ShellRunner) Telemetry() *telemetry.Recorder { return r.sh.Telemetry() }

@@ -5,12 +5,14 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"liteview/internal/phys"
 	"liteview/internal/telemetry"
 )
 
@@ -37,11 +39,33 @@ type Server struct {
 
 // session is one operator connection's state.
 type session struct {
-	conn     net.Conn
-	enc      *json.Encoder
+	conn net.Conn
+	enc  *json.Encoder
+	// writeMu serializes wire writes: the handler goroutine and the
+	// session's watch streamer (if any) share the connection.
+	writeMu  sync.Mutex
 	tenant   *Tenant
 	draining atomic.Bool
+	// watch is the live telemetry stream riding this session, nil when
+	// none. Touched only by the session's handler goroutine.
+	watch *sessionWatch
 }
+
+// sessionWatch is one live telemetry stream: a subscription on the
+// tenant's recorder drained by a streamer goroutine into event frames.
+type sessionWatch struct {
+	sub   *telemetry.Subscription
+	stop  chan struct{}
+	done  chan struct{}
+	stop1 sync.Once
+}
+
+func (w *sessionWatch) halt() { w.stop1.Do(func() { close(w.stop) }) }
+
+// defaultWatchRate caps streamed frames per second when the client's
+// WatchSpec doesn't say: high enough for a busy tenant, low enough
+// that one firehose watch can't starve the wire.
+const defaultWatchRate = 2000
 
 // New builds a server. cfg.NewRunner is mandatory.
 func New(cfg Config) (*Server, error) {
@@ -107,7 +131,10 @@ func (s *Server) isDraining() bool {
 
 // send writes one response, reporting whether the peer is still there.
 func (s *Server) send(sess *session, resp Response) bool {
-	if err := sess.enc.Encode(resp); err != nil {
+	sess.writeMu.Lock()
+	err := sess.enc.Encode(resp)
+	sess.writeMu.Unlock()
+	if err != nil {
 		s.met.inc("serve.sessions.write_errors")
 		return false
 	}
@@ -121,6 +148,13 @@ func (s *Server) send(sess *session, resp Response) bool {
 func (s *Server) handle(sess *session) {
 	defer func() {
 		sess.conn.Close()
+		if sess.watch != nil {
+			// Conn is closed, so a streamer stuck in a write unblocks;
+			// waiting on done guarantees the subscription detaches before
+			// the session is forgotten.
+			sess.watch.halt()
+			<-sess.watch.done
+		}
 		if sess.tenant != nil {
 			sess.tenant.detach()
 		}
@@ -138,7 +172,13 @@ func (s *Server) handle(sess *session) {
 			return
 		}
 		if s.cfg.IdleTimeout > 0 {
-			sess.conn.SetReadDeadline(s.clock().Add(s.cfg.IdleTimeout))
+			if sess.watch != nil {
+				// A watching client legitimately goes quiet for the whole
+				// stream; drain still wakes the read via SetReadDeadline.
+				sess.conn.SetReadDeadline(time.Time{})
+			} else {
+				sess.conn.SetReadDeadline(s.clock().Add(s.cfg.IdleTimeout))
+			}
 		}
 		if !sc.Scan() {
 			if s.isDraining() || sess.draining.Load() {
@@ -204,6 +244,17 @@ func (s *Server) handleRequest(sess *session, req Request) bool {
 			s.met.inc("serve.errors." + resp.Code)
 		}
 		return s.send(sess, resp)
+	case TypeWatch:
+		return s.startWatch(sess, req)
+	case TypeUnwatch:
+		if sess.watch == nil {
+			return s.send(sess, Response{Type: TypeError, ID: req.ID, Code: CodeBadRequest,
+				Error: "serve: no watch active on this session"})
+		}
+		sess.watch.halt()
+		<-sess.watch.done // streamer sends watch-end before exiting
+		sess.watch = nil
+		return true
 	case TypeHealthz:
 		h := s.Healthz()
 		return s.send(sess, Response{Type: TypeHealthz, Health: &h})
@@ -215,6 +266,127 @@ func (s *Server) handleRequest(sess *session, req Request) bool {
 	default:
 		return s.send(sess, Response{Type: TypeError, Code: CodeBadRequest,
 			Error: fmt.Sprintf("serve: unknown request type %q", req.Type)})
+	}
+}
+
+// startWatch begins streaming telemetry frames to the session. The
+// tenant's recording is switched on by submitting `trace on` through
+// the command queue — the one goroutine allowed to touch the recorder's
+// deterministic state — and the stream itself rides a Subscription, the
+// recorder's cross-goroutine-safe (and zero-perturbation) surface.
+func (s *Server) startWatch(sess *session, req Request) bool {
+	if sess.tenant == nil {
+		return s.send(sess, Response{Type: TypeError, ID: req.ID, Code: CodeBadRequest,
+			Error: "serve: say hello (attach to a tenant) before watching"})
+	}
+	if sess.watch != nil {
+		select {
+		case <-sess.watch.done:
+			sess.watch = nil // the streamer already ended (elapsed/drain)
+		default:
+			return s.send(sess, Response{Type: TypeError, ID: req.ID, Code: CodeBadRequest,
+				Error: "serve: session already has a watch; unwatch first"})
+		}
+	}
+	if s.isDraining() {
+		return s.send(sess, Response{Type: TypeError, ID: req.ID, Code: CodeDraining,
+			Error: ErrDraining.Error()})
+	}
+	spec := WatchSpec{}
+	if req.Watch != nil {
+		spec = *req.Watch
+	}
+	// Going through the queue also synchronizes with the tenant build:
+	// once the command returns, the recorder pointer is published.
+	if _, _, err := s.submit(sess.tenant, "trace on"); err != nil {
+		code, transient := errCode(err)
+		return s.send(sess, Response{Type: TypeError, ID: req.ID, Code: code,
+			Transient: transient, Error: err.Error()})
+	}
+	rec := sess.tenant.Recorder()
+	if rec == nil {
+		return s.send(sess, Response{Type: TypeError, ID: req.ID, Code: CodeBadRequest,
+			Error: "serve: tenant exposes no telemetry"})
+	}
+	w := &sessionWatch{
+		sub:  rec.Subscribe(spec.filter(), spec.Depth),
+		stop: make(chan struct{}),
+		done: make(chan struct{}),
+	}
+	if !s.send(sess, Response{Type: TypeWatchOK, ID: req.ID, Tenant: sess.tenant.Name()}) {
+		w.sub.Close()
+		return false
+	}
+	sess.watch = w
+	s.met.inc("serve.watch.started")
+	go s.runWatch(sess, w, spec, req.ID)
+	return true
+}
+
+// filter maps the wire spec onto the telemetry filter.
+func (spec WatchSpec) filter() telemetry.Filter {
+	return telemetry.Filter{
+		Node:  phys.NodeID(spec.Node),
+		Layer: telemetry.Layer(spec.Layer),
+		Kind:  spec.Kind,
+		Link:  spec.Link,
+		Span:  spec.Span,
+	}
+}
+
+// runWatch is the streamer goroutine: drain the subscription on a wall
+// ticker, bounded per tick, until unwatch, drain, or a dead peer. It
+// always closes the subscription and, when the wire still works, says
+// watch-end so the client can tell a finished stream from a cut one.
+func (s *Server) runWatch(sess *session, w *sessionWatch, spec WatchSpec, id uint64) {
+	defer close(w.done)
+	defer w.sub.Close()
+	maxPerSec := spec.MaxPerSec
+	if maxPerSec <= 0 {
+		maxPerSec = defaultWatchRate
+	}
+	var deadline <-chan time.Time
+	if spec.ForMs > 0 {
+		timer := time.NewTimer(time.Duration(spec.ForMs) * time.Millisecond)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	const tickEvery = 100 * time.Millisecond
+	batch := maxPerSec / 10
+	if batch < 1 {
+		batch = 1
+	}
+	tick := time.NewTicker(tickEvery)
+	defer tick.Stop()
+	end := func(reason string) {
+		s.send(sess, Response{Type: TypeWatchEnd, ID: id, Reason: reason, Dropped: w.sub.Dropped()})
+		s.met.inc("serve.watch.ended")
+	}
+	for {
+		select {
+		case <-w.stop:
+			end("unwatch")
+			return
+		case <-deadline:
+			end("elapsed")
+			return
+		case <-tick.C:
+			if s.isDraining() || sess.draining.Load() {
+				end("draining")
+				return
+			}
+			events := w.sub.Poll(batch)
+			for i := range events {
+				if !s.send(sess, Response{Type: TypeEvent, ID: id,
+					Event: telemetry.JSONLine(&events[i]), Dropped: w.sub.Dropped()}) {
+					s.met.inc("serve.watch.ended")
+					return
+				}
+			}
+			if n := len(events); n > 0 {
+				s.met.add("serve.watch.frames", n)
+			}
+		}
 	}
 }
 
@@ -237,6 +409,18 @@ func (s *Server) submit(t *Tenant, line string) (string, string, error) {
 		time.Sleep(backoff)
 		backoff *= 2
 	}
+}
+
+// tenantNamed returns the named tenant only if it already exists and is
+// alive — unlike tenantFor it never creates one. The admin streaming
+// endpoints use it so a stray curl can't spin up a simulation.
+func (s *Server) tenantNamed(name string) *Tenant {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok && t.Dead() == nil {
+		return t
+	}
+	return nil
 }
 
 // tenantFor returns the named live tenant, creating it (and its
@@ -431,6 +615,12 @@ func (m *metrics) inc(name string) {
 	m.mu.Unlock()
 }
 
+func (m *metrics) add(name string, n int) {
+	m.mu.Lock()
+	m.reg.Counter(name).Add(uint64(n))
+	m.mu.Unlock()
+}
+
 func (m *metrics) gaugeAdd(name string, d float64) {
 	m.mu.Lock()
 	m.reg.Gauge(name).Add(d)
@@ -447,4 +637,10 @@ func (m *metrics) snapshot() map[string]float64 {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.reg.Snapshot()
+}
+
+func (m *metrics) writePrometheus(w io.Writer) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.reg.WritePrometheus(w)
 }

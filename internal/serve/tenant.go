@@ -10,6 +10,7 @@ import (
 
 	"liteview/internal/core"
 	"liteview/internal/sim"
+	"liteview/internal/telemetry"
 )
 
 // Tenant is one simulated testbed behind the service: a single
@@ -39,6 +40,10 @@ type Tenant struct {
 	lastUsed time.Time
 	limiter  *bucket
 	brk      *core.Breaker
+	// rec is the tenant simulation's telemetry recorder, captured once
+	// on the tenant goroutine right after the Runner is built (nil when
+	// the Runner exposes none). Service goroutines only Subscribe to it.
+	rec *telemetry.Recorder
 }
 
 // job is one queued command and its reply path. resp has capacity 1 so
@@ -104,6 +109,16 @@ func (t *Tenant) loop(build func(string) (Runner, error)) {
 		t.kill(fmt.Errorf("%w: building tenant %q: %v", ErrTenantDead, t.name, err))
 		return
 	}
+	if src, ok := r.(TelemetrySource); ok {
+		// Materialize the recorder here, on the goroutine that owns the
+		// simulation, then publish the pointer for watch sessions. The
+		// recorder starts stopped; `trace on` submitted through the
+		// queue turns it on without leaving this goroutine.
+		rec := src.Telemetry()
+		t.mu.Lock()
+		t.rec = rec
+		t.mu.Unlock()
+	}
 	for {
 		select {
 		case <-t.quit:
@@ -165,6 +180,16 @@ func (t *Tenant) stop() { t.stop1.Do(func() { close(t.quit) }) }
 
 // Done is closed once the tenant goroutine has exited.
 func (t *Tenant) Done() <-chan struct{} { return t.done }
+
+// Recorder returns the tenant simulation's telemetry recorder, or nil
+// when the runner exposes none (or the build has not finished yet).
+// Callers may only use the recorder's cross-goroutine-safe surface:
+// Subscribe and Subscription methods.
+func (t *Tenant) Recorder() *telemetry.Recorder {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.rec
+}
 
 // Dead returns the reap reason, or nil while the tenant serves.
 func (t *Tenant) Dead() error {

@@ -29,22 +29,50 @@ import (
 
 // Message type tags.
 const (
-	TypeHello   = "hello"
-	TypeHelloOK = "hello-ok"
-	TypeCmd     = "cmd"
-	TypeResult  = "result"
-	TypeHealthz = "healthz"
-	TypeMetrics = "metrics"
-	TypeBye     = "bye"
-	TypeError   = "error"
+	TypeHello    = "hello"
+	TypeHelloOK  = "hello-ok"
+	TypeCmd      = "cmd"
+	TypeResult   = "result"
+	TypeHealthz  = "healthz"
+	TypeMetrics  = "metrics"
+	TypeBye      = "bye"
+	TypeError    = "error"
+	TypeWatch    = "watch"     // start streaming telemetry frames
+	TypeWatchOK  = "watch-ok"  // watch accepted, frames follow
+	TypeEvent    = "event"     // one streamed telemetry frame (server push)
+	TypeUnwatch  = "unwatch"   // stop the stream
+	TypeWatchEnd = "watch-end" // stream over (unwatch, drain, or error)
 )
+
+// WatchSpec filters and bounds one telemetry watch stream. The zero
+// value streams everything at the default depth and rate.
+type WatchSpec struct {
+	// Node/Layer/Kind/Link/Span mirror telemetry.Filter.
+	Node  uint64 `json:"node,omitempty"`
+	Layer string `json:"layer,omitempty"`
+	Kind  string `json:"kind,omitempty"`
+	Link  string `json:"link,omitempty"`
+	Span  uint64 `json:"span,omitempty"`
+	// Depth is the subscriber ring size (0 = default). A consumer that
+	// falls behind loses the oldest frames; the drop count rides along
+	// on event frames.
+	Depth int `json:"depth,omitempty"`
+	// MaxPerSec caps streamed frames per second (0 = server default).
+	MaxPerSec int `json:"max_per_sec,omitempty"`
+	// ForMs ends the stream server-side after this many wall-clock
+	// milliseconds (0 = until unwatch/disconnect/drain). Server-side so
+	// an idle stream still terminates even when no frame ever arrives
+	// to prompt the client.
+	ForMs int64 `json:"for_ms,omitempty"`
+}
 
 // Request is one client→server message.
 type Request struct {
-	Type   string `json:"type"`
-	Tenant string `json:"tenant,omitempty"` // hello
-	ID     uint64 `json:"id,omitempty"`     // cmd
-	Line   string `json:"line,omitempty"`   // cmd
+	Type   string     `json:"type"`
+	Tenant string     `json:"tenant,omitempty"` // hello
+	ID     uint64     `json:"id,omitempty"`     // cmd
+	Line   string     `json:"line,omitempty"`   // cmd
+	Watch  *WatchSpec `json:"watch,omitempty"`  // watch
 }
 
 // Response is one server→client message.
@@ -59,7 +87,14 @@ type Response struct {
 	Transient bool               `json:"transient,omitempty"`
 	Health    *Health            `json:"health,omitempty"`
 	Metrics   map[string]float64 `json:"metrics,omitempty"`
-	Reason    string             `json:"reason,omitempty"` // bye
+	Reason    string             `json:"reason,omitempty"` // bye, watch-end
+	// Event is one telemetry frame in the JSONL line format (see
+	// telemetry.JSONLine), carried as a string so the hand-rolled
+	// byte-stable encoding survives the wire untouched.
+	Event string `json:"event,omitempty"`
+	// Dropped is the cumulative count of frames lost to the subscriber
+	// ring when the stream (or its reader) fell behind.
+	Dropped uint64 `json:"dropped,omitempty"`
 }
 
 // Health is the /healthz-style liveness and readiness report.
@@ -224,6 +259,51 @@ func (c *Client) Metrics() (map[string]float64, error) {
 		return nil, err
 	}
 	return resp.Metrics, nil
+}
+
+// Watch streams filtered telemetry frames from the attached tenant,
+// calling fn for each frame with the JSONL-encoded event line and the
+// cumulative count of frames dropped server-side. Watch dedicates the
+// connection: it blocks until fn returns false (the client then sends
+// unwatch and drains to watch-end), the server ends the stream (drain,
+// shutdown), or the transport fails.
+func (c *Client) Watch(spec WatchSpec, fn func(line string, dropped uint64) bool) error {
+	c.next++
+	id := c.next
+	if err := c.enc.Encode(Request{Type: TypeWatch, ID: id, Watch: &spec}); err != nil {
+		return fmt.Errorf("serve: send watch: %w", err)
+	}
+	stopping := false
+	for c.sc.Scan() {
+		var resp Response
+		if err := json.Unmarshal(c.sc.Bytes(), &resp); err != nil {
+			return fmt.Errorf("serve: bad response: %w", err)
+		}
+		switch resp.Type {
+		case TypeWatchOK:
+			// Stream accepted; frames follow.
+		case TypeEvent:
+			if stopping {
+				continue // draining buffered frames after unwatch
+			}
+			if !fn(resp.Event, resp.Dropped) {
+				stopping = true
+				if err := c.enc.Encode(Request{Type: TypeUnwatch, ID: id}); err != nil {
+					return fmt.Errorf("serve: send unwatch: %w", err)
+				}
+			}
+		case TypeWatchEnd:
+			return nil
+		case TypeBye:
+			return fmt.Errorf("serve: server said goodbye: %s", resp.Reason)
+		case TypeError:
+			return fmt.Errorf("serve: watch rejected: %s (%s)", resp.Error, resp.Code)
+		}
+	}
+	if err := c.sc.Err(); err != nil {
+		return fmt.Errorf("serve: read: %w", err)
+	}
+	return fmt.Errorf("serve: server closed the connection")
 }
 
 // Close says goodbye and closes the connection.

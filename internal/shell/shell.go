@@ -122,6 +122,16 @@ func NewForTestbed(tb *testbed.Testbed, ws *core.Workstation, out io.Writer) (*S
 // SetFaultInjector enables the fault command on a session built with New.
 func (s *Shell) SetFaultInjector(inj *fault.Injector) { s.inj = inj }
 
+// Telemetry returns the recorder of the session's deployment, creating
+// it on first use. Sessions built with New (no testbed) return nil —
+// callers must treat the result as optional.
+func (s *Shell) Telemetry() *telemetry.Recorder {
+	if s.tb == nil {
+		return nil
+	}
+	return s.tb.Telemetry()
+}
+
 // Cwd returns the current directory.
 func (s *Shell) Cwd() string { return s.cwd }
 
@@ -239,6 +249,7 @@ func (s *Shell) help() {
                               medium-wide counters; reset zeroes them
   trace on|off|dump [count]   control the cross-layer telemetry recorder
   trace summary               per-layer event counts of the recording
+  trace spans                 per-command span summary of the recording
   energy                      battery account and lifetime estimate
   log on|off|show [count]     control / read the node's event log
   survey                      broadcast radio query to all nodes in range
@@ -596,7 +607,14 @@ func (s *Shell) healthcheck() error {
 		}
 		targets = append(targets, diagnose.Target{ID: id, Name: name, Pos: pos})
 	}
+	// One span covers the whole walk: every ping, traceroute, and
+	// neighbor query the diagnosis runs is stamped with it, so a trace
+	// can separate healthcheck traffic from user commands.
+	rec := s.ws.Telemetry()
+	span := rec.BeginSpan(core.WorkstationID, "healthcheck",
+		telemetry.Int("targets", len(targets)))
 	rep, err := diagnose.HealthCheck(s.ws, targets, diagnose.Options{})
+	rec.EndSpan(span, telemetry.Bool("ok", err == nil))
 	if err != nil {
 		return err
 	}
@@ -740,7 +758,7 @@ func (s *Shell) trace(args []string) error {
 		return errors.New("shell: this session has no testbed (telemetry unavailable)")
 	}
 	if len(args) == 0 {
-		return errors.New("shell: usage: trace on|off|dump [count]|summary")
+		return errors.New("shell: usage: trace on|off|dump [count]|summary|spans")
 	}
 	rec := s.tb.Telemetry()
 	switch args[0] {
@@ -768,6 +786,9 @@ func (s *Shell) trace(args []string) error {
 		return telemetry.WriteJSONL(s.out, events, telemetry.Filter{})
 	case "summary":
 		s.printf("%s", telemetry.Summarize(rec.Events(), telemetry.Filter{}))
+		return nil
+	case "spans":
+		s.printf("%s", telemetry.SummarizeSpans(rec.Events()))
 		return nil
 	default:
 		return fmt.Errorf("shell: unknown trace subcommand %q", args[0])
@@ -938,7 +959,10 @@ func (s *Shell) fault(args []string) error {
 	default:
 		return fmt.Errorf("shell: unknown fault subcommand %q", sub)
 	}
+	rec := s.ws.Telemetry()
+	span := rec.BeginSpan(core.WorkstationID, "fault", telemetry.String("fault", f.Kind.String()))
 	id, err := s.inj.Schedule(f)
+	rec.EndSpan(span, telemetry.Bool("ok", err == nil))
 	if err != nil {
 		return err
 	}

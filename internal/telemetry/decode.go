@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"liteview/internal/phys"
+)
+
+// jsonEvent mirrors the JSONL field layout AppendJSONLine writes.
+type jsonEvent struct {
+	Seq   uint64            `json:"seq"`
+	Us    int64             `json:"us"`
+	DurUs int64             `json:"dur_us"`
+	Node  uint64            `json:"node"`
+	Layer string            `json:"layer"`
+	Kind  string            `json:"kind"`
+	Span  uint64            `json:"span"`
+	Attrs map[string]string `json:"attrs"`
+}
+
+// ParseJSONLine decodes one JSONL event line (the format AppendJSONLine
+// writes). Attribute emission order is not preserved by JSON decoding,
+// so decoded attrs are sorted by key — stable, though not necessarily
+// the original order.
+func ParseJSONLine(line []byte) (Event, error) {
+	var je jsonEvent
+	if err := json.Unmarshal(line, &je); err != nil {
+		return Event{}, fmt.Errorf("telemetry: bad event line: %w", err)
+	}
+	if je.Layer == "" && je.Kind == "" {
+		return Event{}, fmt.Errorf("telemetry: event line lacks layer and kind")
+	}
+	e := Event{
+		Seq:    je.Seq,
+		At:     time.Duration(je.Us) * time.Microsecond,
+		Dur:    time.Duration(je.DurUs) * time.Microsecond,
+		NodeID: phys.NodeID(je.Node),
+		Layer:  Layer(je.Layer),
+		Kind:   je.Kind,
+		Span:   je.Span,
+	}
+	if len(je.Attrs) > 0 {
+		keys := make([]string, 0, len(je.Attrs))
+		for k := range je.Attrs {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		e.Attrs = make([]Attr, 0, len(keys))
+		for _, k := range keys {
+			e.Attrs = append(e.Attrs, Attr{Key: k, Val: je.Attrs[k]})
+		}
+	}
+	return e, nil
+}
+
+// ReadJSONL decodes a whole JSONL stream, skipping blank lines. The
+// virtual timestamps come back as sim.Time offsets, so a decoded trace
+// replays against the same clock arithmetic the live stream uses.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 4<<20)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		trimmed := false
+		for _, c := range raw {
+			if c != ' ' && c != '\t' && c != '\r' {
+				trimmed = true
+				break
+			}
+		}
+		if !trimmed {
+			continue
+		}
+		e, err := ParseJSONLine(raw)
+		if err != nil {
+			return out, fmt.Errorf("line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

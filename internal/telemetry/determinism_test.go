@@ -16,10 +16,13 @@ import (
 
 // scriptedRun executes the same command script under the same fault
 // schedule as the fault package's seed-determinism regression, with the
-// telemetry recorder optionally wired in and recording. It returns the
-// packet trace CSV, the diagnosis report, and the recorder (nil when
-// record is false).
-func scriptedRun(t *testing.T, seed uint64, record bool) (traceCSV, report string, rec *telemetry.Recorder) {
+// telemetry recorder optionally wired in and recording. When live is
+// true, a Subscription with a deliberately tiny ring is attached before
+// the script and drained from a separate goroutine for the whole run —
+// the live-observer configuration whose non-perturbation DESIGN §12
+// promises. It returns the packet trace CSV, the diagnosis report, and
+// the recorder (nil when record is false).
+func scriptedRun(t *testing.T, seed uint64, record, live bool) (traceCSV, report string, rec *telemetry.Recorder) {
 	t.Helper()
 	opt := testbed.DefaultOptions(seed)
 	opt.ShadowSigma = 0
@@ -42,6 +45,29 @@ func scriptedRun(t *testing.T, seed uint64, record bool) (traceCSV, report strin
 	if record {
 		rec = tb.Telemetry()
 		rec.Start()
+	}
+	if live {
+		// Tiny ring + concurrent consumer: drops are likely and harmless;
+		// what must not happen is any effect on the simulation.
+		sub := rec.Subscribe(telemetry.Filter{}, 8)
+		stop := make(chan struct{})
+		drained := make(chan struct{})
+		go func() {
+			defer close(drained)
+			for {
+				sub.Poll(0)
+				select {
+				case <-stop:
+					return
+				default:
+				}
+			}
+		}()
+		defer func() {
+			close(stop)
+			<-drained
+			sub.Close()
+		}()
 	}
 	inj := tb.FaultInjector()
 	var buf strings.Builder
@@ -75,8 +101,8 @@ func scriptedRun(t *testing.T, seed uint64, record bool) (traceCSV, report strin
 // recorder was never created. Emission draws no randomness and
 // schedules no events, so observation cannot change the experiment.
 func TestRecordingDoesNotPerturb(t *testing.T) {
-	tracePlain, repPlain, _ := scriptedRun(t, 31, false)
-	traceRec, repRec, rec := scriptedRun(t, 31, true)
+	tracePlain, repPlain, _ := scriptedRun(t, 31, false, false)
+	traceRec, repRec, rec := scriptedRun(t, 31, true, false)
 	if tracePlain != traceRec {
 		t.Fatal("telemetry recording changed the packet trace")
 	}
@@ -104,13 +130,73 @@ func TestRecordingDoesNotPerturb(t *testing.T) {
 	}
 }
 
+// TestLiveSubscriberDoesNotPerturb extends the zero-perturbation proof
+// to the streaming path: the same seeded run with a live subscriber
+// attached — tiny ring, concurrent consumer, guaranteed contention —
+// produces a byte-identical packet trace, diagnosis report, AND
+// recorded event stream to the run without one. This is the contract
+// that makes `lvctl watch`, /streamz, and `lvtopo -live` safe to point
+// at a production tenant. Run under -race it is also the data-race
+// proof for the subscription fan-out.
+func TestLiveSubscriberDoesNotPerturb(t *testing.T) {
+	tracePlain, repPlain, recPlain := scriptedRun(t, 31, true, false)
+	traceLive, repLive, recLive := scriptedRun(t, 31, true, true)
+	if tracePlain != traceLive {
+		t.Fatal("a live subscriber changed the packet trace")
+	}
+	if repPlain != repLive {
+		t.Fatal("a live subscriber changed the diagnosis report")
+	}
+	exportJSONL := func(rec *telemetry.Recorder) string {
+		var b strings.Builder
+		if err := telemetry.WriteJSONL(&b, rec.Events(), telemetry.Filter{}); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	if exportJSONL(recPlain) != exportJSONL(recLive) {
+		t.Fatal("a live subscriber changed the recorded event stream")
+	}
+}
+
+// TestSpansEncloseMACTraffic is the span-model acceptance check: every
+// ping and traceroute span in a recorded run carries at least one MAC
+// transmission event stamped with its id — the trace can answer "which
+// transmissions did this command cause".
+func TestSpansEncloseMACTraffic(t *testing.T) {
+	_, _, rec := scriptedRun(t, 31, true, false)
+	macBySpan := make(map[uint64]int)
+	for _, e := range rec.Events() {
+		if e.Layer == telemetry.LayerMAC && e.Span != 0 {
+			macBySpan[e.Span]++
+		}
+	}
+	var checked int
+	for _, info := range telemetry.Spans(rec.Events()) {
+		kind := info.Record.Kind
+		if kind != "ping" && kind != "traceroute" {
+			continue
+		}
+		checked++
+		if macBySpan[info.Record.Span] == 0 {
+			t.Errorf("span %d (%s) encloses no MAC events", info.Record.Span, kind)
+		}
+		if info.ByLayer[telemetry.LayerMAC] == 0 {
+			t.Errorf("SpanInfo for span %d (%s) counts no MAC events", info.Record.Span, kind)
+		}
+	}
+	if checked < 2 {
+		t.Fatalf("only %d ping/traceroute spans found; the script should produce at least 2", checked)
+	}
+}
+
 // TestTelemetryStreamDeterminism asserts the event stream itself is
 // reproducible: two recorded runs with the same seed export
 // byte-identical JSONL, and a different seed produces a different
 // stream.
 func TestTelemetryStreamDeterminism(t *testing.T) {
 	export := func(seed uint64) string {
-		_, _, rec := scriptedRun(t, seed, true)
+		_, _, rec := scriptedRun(t, seed, true, false)
 		var b strings.Builder
 		if err := telemetry.WriteJSONL(&b, rec.Events(), telemetry.Filter{}); err != nil {
 			t.Fatal(err)

@@ -26,6 +26,9 @@ type Filter struct {
 	// Port keeps only events whose "port" attribute equals this value
 	// (0 = any).
 	Port int
+	// Span keeps only events stamped with this command span id
+	// (0 = any).
+	Span uint64
 }
 
 // Match reports whether the event passes the filter.
@@ -37,6 +40,9 @@ func (f Filter) Match(e *Event) bool {
 		return false
 	}
 	if f.Kind != "" && e.Kind != f.Kind {
+		return false
+	}
+	if f.Span != 0 && e.Span != f.Span {
 		return false
 	}
 	if f.Port != 0 {
@@ -86,10 +92,55 @@ func Select(events []Event, f Filter) []Event {
 	return out
 }
 
+// AppendJSONLine appends one event as a JSON object plus newline.
+// Serialization is hand-rolled over the ordered attribute slice so
+// output is byte-stable across runs — the same reason the trace CSV
+// writer in internal/testbed avoids maps.
+func AppendJSONLine(b *strings.Builder, e *Event) {
+	b.WriteString(`{"seq":`)
+	b.WriteString(strconv.FormatUint(e.Seq, 10))
+	b.WriteString(`,"us":`)
+	b.WriteString(strconv.FormatInt(e.At.Microseconds(), 10))
+	if e.Dur > 0 {
+		b.WriteString(`,"dur_us":`)
+		b.WriteString(strconv.FormatInt(e.Dur.Microseconds(), 10))
+	}
+	b.WriteString(`,"node":`)
+	b.WriteString(strconv.FormatUint(uint64(e.NodeID), 10))
+	b.WriteString(`,"layer":`)
+	b.WriteString(strconv.Quote(string(e.Layer)))
+	b.WriteString(`,"kind":`)
+	b.WriteString(strconv.Quote(e.Kind))
+	if e.Span != 0 {
+		b.WriteString(`,"span":`)
+		b.WriteString(strconv.FormatUint(e.Span, 10))
+	}
+	if len(e.Attrs) > 0 {
+		b.WriteString(`,"attrs":{`)
+		for j, a := range e.Attrs {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(a.Key))
+			b.WriteByte(':')
+			b.WriteString(strconv.Quote(a.Val))
+		}
+		b.WriteByte('}')
+	}
+	b.WriteString("}\n")
+}
+
+// JSONLine renders one event as its JSONL representation without the
+// trailing newline — the frame format the serve watch stream and the
+// /streamz SSE endpoint forward verbatim.
+func JSONLine(e *Event) string {
+	var b strings.Builder
+	AppendJSONLine(&b, e)
+	return strings.TrimSuffix(b.String(), "\n")
+}
+
 // WriteJSONL writes one JSON object per line for each event matching
-// the filter. Serialization is hand-rolled over the ordered attribute
-// slice so output is byte-stable across runs — the same reason the
-// trace CSV writer in internal/testbed avoids maps.
+// the filter.
 func WriteJSONL(w io.Writer, events []Event, f Filter) error {
 	var b strings.Builder
 	for i := range events {
@@ -98,33 +149,7 @@ func WriteJSONL(w io.Writer, events []Event, f Filter) error {
 			continue
 		}
 		b.Reset()
-		b.WriteString(`{"seq":`)
-		b.WriteString(strconv.FormatUint(e.Seq, 10))
-		b.WriteString(`,"us":`)
-		b.WriteString(strconv.FormatInt(e.At.Microseconds(), 10))
-		if e.Dur > 0 {
-			b.WriteString(`,"dur_us":`)
-			b.WriteString(strconv.FormatInt(e.Dur.Microseconds(), 10))
-		}
-		b.WriteString(`,"node":`)
-		b.WriteString(strconv.FormatUint(uint64(e.NodeID), 10))
-		b.WriteString(`,"layer":`)
-		b.WriteString(strconv.Quote(string(e.Layer)))
-		b.WriteString(`,"kind":`)
-		b.WriteString(strconv.Quote(e.Kind))
-		if len(e.Attrs) > 0 {
-			b.WriteString(`,"attrs":{`)
-			for j, a := range e.Attrs {
-				if j > 0 {
-					b.WriteByte(',')
-				}
-				b.WriteString(strconv.Quote(a.Key))
-				b.WriteByte(':')
-				b.WriteString(strconv.Quote(a.Val))
-			}
-			b.WriteByte('}')
-		}
-		b.WriteString("}\n")
+		AppendJSONLine(&b, e)
 		if _, err := io.WriteString(w, b.String()); err != nil {
 			return err
 		}

@@ -176,9 +176,12 @@ func (r *Registry) Snapshot() map[string]float64 {
 	for name, h := range r.hists {
 		snap[name+".count"] = float64(h.count)
 		snap[name+".sum"] = h.sum
-		snap[name+".min"] = h.min
-		snap[name+".max"] = h.max
+		// min/max/mean only exist once something was observed: before
+		// the first sample Min()/Max() report 0, which a snapshot must
+		// not confuse with a real zero-valued sample.
 		if h.count > 0 {
+			snap[name+".min"] = h.min
+			snap[name+".max"] = h.max
 			snap[name+".mean"] = h.sum / float64(h.count)
 		}
 	}

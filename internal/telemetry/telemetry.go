@@ -22,6 +22,8 @@ package telemetry
 
 import (
 	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"liteview/internal/phys"
 	"liteview/internal/sim"
@@ -35,18 +37,24 @@ type Layer string
 const (
 	LayerMedium     Layer = "medium"
 	LayerMAC        Layer = "mac"
+	LayerNeighbor   Layer = "neighbor"
 	LayerStack      Layer = "stack"
 	LayerRouting    Layer = "routing"
 	LayerReliable   Layer = "reliable"
 	LayerController Layer = "controller"
 	LayerFault      Layer = "fault"
+	// LayerSpan carries command-scoped span records: one event per
+	// completed workstation command (ping, traceroute, fault, ...),
+	// stamped At the command's start with Dur covering its extent.
+	LayerSpan Layer = "span"
 )
 
 // Layers lists every known layer in stack order (bottom-up). Exporters
 // use the position as a stable thread id.
 func Layers() []Layer {
-	return []Layer{LayerMedium, LayerMAC, LayerStack, LayerRouting,
-		LayerReliable, LayerController, LayerFault}
+	return []Layer{LayerMedium, LayerMAC, LayerNeighbor, LayerStack,
+		LayerRouting, LayerReliable, LayerController, LayerFault,
+		LayerSpan}
 }
 
 // Attr is one key-value annotation on an event. Attributes are an
@@ -105,6 +113,10 @@ type Event struct {
 	// Kind classifies the event within its layer ("tx", "rx", "cca",
 	// "ack-timeout", "command", ...).
 	Kind string
+	// Span is the id of the workstation command span active when the
+	// event was recorded (0 = none). For LayerSpan records it is the
+	// span's own id.
+	Span uint64
 	// Attrs carries the event's key-value detail in emission order.
 	Attrs []Attr
 }
@@ -134,6 +146,33 @@ type Recorder struct {
 	seq       uint64
 	events    []Event
 	reg       *Registry
+
+	// cap bounds the retained event slice (0 = unbounded). Long-lived
+	// daemons set it so a tenant recording for hours cannot balloon.
+	cap int
+
+	// Command-span state. Touched only from the simulation goroutine,
+	// like seq and events.
+	spanSeq   uint64
+	spanDepth int
+	active    spanState
+
+	// Subscribers live outside the deterministic state: the list is
+	// mutex-guarded so consumer goroutines attach and detach while the
+	// simulation goroutine fans out. hasSubs keeps the no-subscriber
+	// emit path to one atomic load.
+	hasSubs atomic.Int32
+	subMu   sync.Mutex
+	subs    []*Subscription
+}
+
+// spanState is the currently open outermost command span.
+type spanState struct {
+	id    uint64
+	node  phys.NodeID
+	name  string
+	start sim.Time
+	attrs []Attr
 }
 
 // NewRecorder builds a stopped recorder on the engine's virtual clock.
@@ -174,14 +213,115 @@ func (r *Recorder) EmitSpan(node phys.NodeID, layer Layer, kind string, dur sim.
 		return
 	}
 	r.seq++
-	r.events = append(r.events, Event{
+	r.record(Event{
 		Seq:    r.seq,
 		At:     r.eng.Now(),
 		Dur:    dur,
 		NodeID: node,
 		Layer:  layer,
 		Kind:   kind,
+		Span:   r.active.id,
 		Attrs:  attrs,
+	})
+}
+
+// record appends one event, enforces the retention cap, and fans the
+// event out to subscribers. Subscriber fan-out happens after the append
+// and touches none of the deterministic state, which is what makes
+// attaching a Subscription provably zero-perturbation (DESIGN §12).
+func (r *Recorder) record(e Event) {
+	r.events = append(r.events, e)
+	if r.cap > 0 && len(r.events) > 2*r.cap {
+		keep := r.events[len(r.events)-r.cap:]
+		n := copy(r.events, keep)
+		r.events = r.events[:n]
+	}
+	if r.hasSubs.Load() == 0 {
+		return
+	}
+	r.subMu.Lock()
+	for _, s := range r.subs {
+		s.offer(e)
+	}
+	r.subMu.Unlock()
+}
+
+// SetEventCap bounds the number of retained events; once exceeded the
+// oldest are discarded (amortized: the slice grows to twice the cap
+// before trimming). 0 restores unbounded retention. Subscribers see
+// every event regardless of the cap — it only limits what Events()
+// later returns.
+func (r *Recorder) SetEventCap(n int) {
+	if r == nil {
+		return
+	}
+	if n < 0 {
+		n = 0
+	}
+	r.cap = n
+	if n > 0 && len(r.events) > n {
+		keep := r.events[len(r.events)-n:]
+		m := copy(r.events, keep)
+		r.events = r.events[:m]
+	}
+}
+
+// BeginSpan opens a command-scoped span owned by node. Every event
+// emitted before the matching EndSpan is stamped with the returned span
+// id, so a trace can answer "which transmissions did this command
+// cause". Spans do not nest: the outermost wins, and nested calls
+// return 0 (EndSpan(0) is a harmless no-op close). Returns 0 when the
+// recorder is nil or stopped.
+func (r *Recorder) BeginSpan(node phys.NodeID, name string, attrs ...Attr) uint64 {
+	if r == nil {
+		return 0
+	}
+	r.spanDepth++
+	if r.spanDepth > 1 || !r.recording {
+		return 0
+	}
+	r.spanSeq++
+	r.active = spanState{
+		id:    r.spanSeq,
+		node:  node,
+		name:  name,
+		start: r.eng.Now(),
+		attrs: attrs,
+	}
+	return r.active.id
+}
+
+// EndSpan closes the span opened by BeginSpan. When id is the live
+// outermost span, a LayerSpan event is recorded At the span's start
+// with Dur covering its extent, carrying the open attrs plus any
+// closing attrs (typically the command verdict).
+func (r *Recorder) EndSpan(id uint64, attrs ...Attr) {
+	if r == nil || r.spanDepth == 0 {
+		return
+	}
+	r.spanDepth--
+	if id == 0 || id != r.active.id {
+		return
+	}
+	sp := r.active
+	r.active = spanState{}
+	if !r.recording {
+		return
+	}
+	all := sp.attrs
+	if len(attrs) > 0 {
+		all = append(append([]Attr(nil), sp.attrs...), attrs...)
+	}
+	r.seq++
+	r.record(Event{
+		Seq:    r.seq,
+		At:     sp.start,
+		Dur:    r.eng.Now() - sp.start,
+		NodeID: sp.node,
+		Layer:  LayerSpan,
+		Kind:   sp.name,
+		Span:   sp.id,
+		Attrs:  all,
 	})
 }
 

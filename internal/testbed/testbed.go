@@ -312,6 +312,7 @@ func (tb *Testbed) Telemetry() *telemetry.Recorder {
 		for _, n := range tb.Nodes {
 			n.MAC().SetTelemetry(tb.tel)
 			n.Stack().SetTelemetry(tb.tel)
+			n.SetTelemetry(tb.tel)
 		}
 		// Map order is irrelevant here: wiring just sets a pointer.
 		for _, byNode := range tb.routers {

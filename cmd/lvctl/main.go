@@ -6,6 +6,13 @@
 //	lvctl -tenant lab-a -c "cd 192.168.0.1; ping 192.168.0.3"
 //	lvctl -tenant lab-a -watch -layer mac -count 50       # live telemetry
 //	lvctl -healthz                                        # probe only
+//	lvctl -recovery                                       # crash-recovery status
+//	lvctl -clear lab-a                                    # lift a quarantine
+//
+// A watch survives transient disconnects (a daemon restart mid-stream):
+// it reconnects with capped exponential backoff and marks the seam with
+// a "# reconnected (n dropped)" comment line; -reconnect=false restores
+// the old exit-on-disconnect behavior.
 //
 // Exit status: 0 when every command succeeded, 1 on a command or
 // transport error (the first failing command ends a -c script).
@@ -28,9 +35,12 @@ func main() {
 		addr    = flag.String("addr", "127.0.0.1:7117", "lvserved wire-protocol address")
 		tenant  = flag.String("tenant", "default", "tenant (testbed) to attach to")
 		script  = flag.String("c", "", "run these semicolon-separated commands and exit")
-		healthz = flag.Bool("healthz", false, "print the daemon's health report and exit")
-		metrics = flag.Bool("metrics", false, "print the daemon's service metrics and exit")
-		watch   = flag.Bool("watch", false, "stream the tenant's telemetry as JSONL to stdout")
+		healthz  = flag.Bool("healthz", false, "print the daemon's health report and exit")
+		metrics  = flag.Bool("metrics", false, "print the daemon's service metrics and exit")
+		recovery = flag.Bool("recovery", false, "print the daemon's crash-recovery status and exit")
+		clear    = flag.String("clear", "", "lift this tenant's quarantine (implies -recovery)")
+		watch    = flag.Bool("watch", false, "stream the tenant's telemetry as JSONL to stdout")
+		rewatch  = flag.Bool("reconnect", true, "watch: reconnect with backoff on transient disconnects")
 		wNode   = flag.Uint64("node", 0, "watch: only events owned by this node id (0 = any)")
 		wLayer  = flag.String("layer", "", "watch: only events from this layer (medium, mac, routing, ...)")
 		wKind   = flag.String("kind", "", "watch: only events of this kind (tx, rx, cca, ...)")
@@ -41,17 +51,10 @@ func main() {
 	)
 	flag.Parse()
 
-	if *healthz || *metrics {
-		probe(*addr, *healthz, *metrics)
+	if *healthz || *metrics || *recovery || *clear != "" {
+		probe(*addr, *healthz, *metrics, *recovery || *clear != "", *clear)
 		return
 	}
-
-	c, err := serve.Dial(*addr, *tenant)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "lvctl:", err)
-		os.Exit(1)
-	}
-	defer c.Close()
 
 	if *watch {
 		spec := serve.WatchSpec{Node: *wNode, Layer: *wLayer, Kind: *wKind, Link: *wLink,
@@ -62,15 +65,34 @@ func main() {
 		}
 		frames := 0
 		var dropped uint64
-		err := c.Watch(spec, func(line string, drop uint64) bool {
+		// Comment frames ("# reconnected ...") mark reconnect seams; they
+		// are printed but never counted against -count.
+		sink := func(line string, drop uint64) bool {
 			fmt.Println(line)
+			if strings.HasPrefix(line, "#") {
+				return true
+			}
 			frames++
 			dropped = drop
 			if *wCount > 0 && frames >= *wCount {
 				return false
 			}
 			return deadline.IsZero() || time.Now().Before(deadline)
-		})
+		}
+		var err error
+		if *rewatch {
+			logf := func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "lvctl: "+format+"\n", args...)
+			}
+			err = serve.WatchRetry(*addr, *tenant, spec, serve.RetrySpec{}, sink, logf)
+		} else {
+			var c *serve.Client
+			c, err = serve.Dial(*addr, *tenant)
+			if err == nil {
+				defer c.Close()
+				err = c.Watch(spec, sink)
+			}
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "lvctl:", err)
 			os.Exit(1)
@@ -78,6 +100,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "lvctl: watch ended after %d frame(s), %d dropped\n", frames, dropped)
 		return
 	}
+
+	c, err := serve.Dial(*addr, *tenant)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lvctl:", err)
+		os.Exit(1)
+	}
+	defer c.Close()
 
 	if *script != "" {
 		for _, line := range strings.Split(*script, ";") {
@@ -143,8 +172,10 @@ func runOne(c *serve.Client, line string) bool {
 	return true
 }
 
-// probe prints health and/or metrics without attaching to any tenant.
-func probe(addr string, health, metrics bool) {
+// probe prints health, metrics, and/or recovery status without
+// attaching to any tenant. A non-empty clear lifts that tenant's
+// quarantine before the recovery status prints.
+func probe(addr string, health, metrics, recovery bool, clear string) {
 	c, err := serve.Dial(addr, "")
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lvctl:", err)
@@ -166,15 +197,46 @@ func probe(addr string, health, metrics bool) {
 		fmt.Printf("live=%v %s, %d session(s), %d tenant(s), up %dms\n",
 			h.Live, state, h.Sessions, len(h.Tenants), h.UptimeMs)
 		for _, t := range h.Tenants {
-			dead := ""
+			extra := ""
+			if t.State != "" && t.State != "serving" {
+				extra += " state=" + t.State
+			}
+			if t.Restarts > 0 {
+				extra += fmt.Sprintf(" restarts=%d", t.Restarts)
+			}
 			if t.Dead != "" {
-				dead = " DEAD: " + t.Dead
+				extra += " DEAD: " + t.Dead
 			}
 			fmt.Printf("  tenant %-16s sessions=%d queued=%d breaker=%s%s\n",
-				t.Name, t.Sessions, t.Queued, t.Breaker, dead)
+				t.Name, t.Sessions, t.Queued, t.Breaker, extra)
+		}
+		for _, q := range h.Quarantined {
+			fmt.Printf("  tenant %-16s QUARANTINED after %d restart(s): %s\n", q.Tenant, q.Restarts, q.Reason)
 		}
 		if !h.Ready {
 			os.Exit(1)
+		}
+	}
+	if recovery {
+		st, err := c.Recovery(clear)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvctl:", err)
+			os.Exit(1)
+		}
+		if clear != "" {
+			fmt.Printf("quarantine cleared: %s\n", clear)
+		}
+		fmt.Printf("recovery enabled=%v restored=%d recovering=%d quarantined=%d\n",
+			st.Enabled, st.Restored, len(st.Recovering), len(st.Quarantined))
+		for _, name := range st.Recovering {
+			fmt.Printf("  recovering %s\n", name)
+		}
+		for _, q := range st.Quarantined {
+			entry := ""
+			if q.Line != "" {
+				entry = fmt.Sprintf(" entry %d %q", q.Index, q.Line)
+			}
+			fmt.Printf("  quarantined %s after %d restart(s)%s: %s\n", q.Tenant, q.Restarts, entry, q.Reason)
 		}
 	}
 	if metrics {

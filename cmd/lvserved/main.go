@@ -13,13 +13,18 @@
 // per tenant. SIGTERM (or SIGINT) drains gracefully: stop accepting,
 // finish or cancel in-flight commands, stop every simulation, flush the
 // service metrics, exit 0.
+//
+// With -journal <dir> the daemon write-ahead journals every accepted
+// command and supervises crashing tenants back to life by replay; after
+// a crash or kill -9 of the whole daemon, restarting with the same
+// -journal plus -recover resurrects every tenant exactly where its
+// journal left off.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"hash/fnv"
 	"io"
 	"net"
 	"net/http"
@@ -56,8 +61,46 @@ func main() {
 		brkN       = flag.Int("breaker-threshold", 0, "consecutive service failures that open a tenant's breaker (0 = default)")
 		brkCool    = flag.Duration("breaker-cooldown", 0, "open-breaker cooldown (0 = default)")
 		quiet      = flag.Bool("quiet", false, "suppress service event log lines")
+
+		journalDir = flag.String("journal", "", "write-ahead command journal directory (empty disables crash recovery)")
+		recoverOn  = flag.Bool("recover", false, "resurrect tenants from their journals at startup (needs -journal)")
+		jnlSegment = flag.Int64("journal-segment", 1<<20, "journal segment rotation size in bytes")
+		jnlFsync   = flag.Int("journal-fsync", 8, "fsync the journal every N appends (1 = every append)")
+		budget     = flag.Int("restart-budget", 3, "supervised restarts before a crashing tenant is quarantined")
+		backoff    = flag.Duration("restart-backoff", 100*time.Millisecond, "initial supervised-restart backoff (doubles, capped)")
 	)
 	flag.Parse()
+
+	// Validate before anything listens: a daemon with a zero-capacity
+	// queue or a negative deadline would start, then wedge on its first
+	// command. Usage errors exit 2 like flag parse failures do.
+	usage := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "lvserved: "+format+"\n", args...)
+		flag.Usage()
+		os.Exit(2)
+	}
+	switch {
+	case *queue <= 0:
+		usage("-queue must be positive, got %d", *queue)
+	case *cmdTimeout <= 0:
+		usage("-cmd-timeout must be positive, got %v", *cmdTimeout)
+	case *idle <= 0:
+		usage("-idle must be positive, got %v", *idle)
+	case *drain <= 0:
+		usage("-drain must be positive, got %v", *drain)
+	case *maxTenants <= 0:
+		usage("-max-tenants must be positive, got %d", *maxTenants)
+	case *journalDir != "" && *jnlSegment <= 0:
+		usage("-journal-segment must be positive, got %d", *jnlSegment)
+	case *journalDir != "" && *jnlFsync <= 0:
+		usage("-journal-fsync must be positive, got %d", *jnlFsync)
+	case *budget < 1:
+		usage("-restart-budget must be at least 1, got %d", *budget)
+	case *backoff <= 0:
+		usage("-restart-backoff must be positive, got %v", *backoff)
+	case *recoverOn && *journalDir == "":
+		usage("-recover needs -journal")
+	}
 
 	logf := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, format+"\n", args...)
@@ -67,21 +110,35 @@ func main() {
 	}
 
 	srv, err := serve.New(serve.Config{
-		NewRunner:        newRunner(dep, *root),
-		MaxTenants:       *maxTenants,
-		QueueDepth:       *queue,
-		CmdTimeout:       *cmdTimeout,
-		IdleTimeout:      *idle,
-		TenantIdle:       *tenantIdle,
-		RatePerSec:       *rate,
-		Burst:            *burst,
-		BreakerThreshold: *brkN,
-		BreakerCooldown:  *brkCool,
-		Logf:             logf,
+		NewRunner:         newRunner(dep, *root),
+		SeedFor:           func(tenant string) uint64 { return serve.TenantSeed(dep.Seed, tenant) },
+		MaxTenants:        *maxTenants,
+		QueueDepth:        *queue,
+		CmdTimeout:        *cmdTimeout,
+		IdleTimeout:       *idle,
+		TenantIdle:        *tenantIdle,
+		RatePerSec:        *rate,
+		Burst:             *burst,
+		BreakerThreshold:  *brkN,
+		BreakerCooldown:   *brkCool,
+		JournalDir:        *journalDir,
+		JournalSegmentCap: *jnlSegment,
+		JournalFsyncEvery: *jnlFsync,
+		RestartBudget:     *budget,
+		RestartBackoff:    *backoff,
+		Logf:              logf,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "lvserved:", err)
 		os.Exit(1)
+	}
+	if *recoverOn {
+		n, err := srv.RecoverJournals()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "lvserved: recover:", err)
+			os.Exit(1)
+		}
+		logf("lvserved: recovering %d tenant(s) from %s", n, *journalDir)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -142,13 +199,14 @@ func main() {
 
 // newRunner builds the per-tenant simulation factory: each tenant gets
 // a full deployment (all four routing protocols, LiteView installed,
-// warmed up) with a seed derived from the base seed and the tenant
-// name. The factory runs on the tenant's own goroutine — the testbed is
-// born and dies there.
-func newRunner(dep cli.DeploymentFlags, root int) func(string) (serve.Runner, error) {
-	return func(tenant string) (serve.Runner, error) {
+// warmed up) from the seed the service hands it (Config.SeedFor, i.e.
+// serve.TenantSeed over the base seed and tenant name — or, under
+// recovery, the seed its journal recorded). The factory runs on the
+// tenant's own goroutine — the testbed is born and dies there.
+func newRunner(dep cli.DeploymentFlags, root int) func(string, uint64) (serve.Runner, error) {
+	return func(tenant string, seed uint64) (serve.Runner, error) {
 		d := dep
-		d.Seed = tenantSeed(dep.Seed, tenant)
+		d.Seed = seed
 		tb, err := d.Build()
 		if err != nil {
 			return nil, err
@@ -177,13 +235,4 @@ func newRunner(dep cli.DeploymentFlags, root int) func(string) (serve.Runner, er
 		}
 		return serve.NewShellRunner(sh)
 	}
-}
-
-// tenantSeed derives a tenant's deployment seed: deterministic in the
-// (base seed, tenant name) pair so reconnecting to a tenant name
-// rebuilds the identical testbed.
-func tenantSeed(base uint64, tenant string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(tenant))
-	return base ^ h.Sum64()
 }

@@ -14,8 +14,8 @@ import (
 
 // chaosRunner wraps the real testbed runner with a fault injector: the
 // command "boom" panics mid-command, everything else passes through.
-func chaosRunner(tenant string) (Runner, error) {
-	r, err := testbedRunner(tenant)
+func chaosRunner(tenant string, seed uint64) (Runner, error) {
+	r, err := testbedRunner(tenant, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -202,5 +202,69 @@ func TestChaosRegression(t *testing.T) {
 	}
 	if srv.MetricsSnapshot()["serve.drain.clean"] != 1 {
 		t.Errorf("drain not clean: %v", srv.MetricsSnapshot())
+	}
+}
+
+// TestCrashPathCountsAndFreshRebuild pins today's journal-less crash
+// contract: the crash is counted, the session sees the typed
+// ErrTenantCrashed, and — with no journal to replay — a fresh hello for
+// the same name gets a freshly built simulation with none of the dead
+// incarnation's session state.
+func TestCrashPathCountsAndFreshRebuild(t *testing.T) {
+	cfg := Config{NewRunner: chaosRunner, TenantIdle: -1, Logf: func(string, ...any) {}}
+	srv, addr := startServer(t, cfg)
+
+	c, err := Dial(addr, "crashy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	home, err := c.Run("pwd")
+	if err != nil || home.Error != "" {
+		t.Fatalf("pwd: %v %q", err, home.Error)
+	}
+	if resp, err := c.Run("cd 192.168.0.1"); err != nil || resp.Error != "" {
+		t.Fatalf("cd: %v %q", err, resp.Error)
+	}
+	moved, err := c.Run("pwd")
+	if err != nil || moved.Error != "" {
+		t.Fatalf("pwd after cd: %v %q", err, moved.Error)
+	}
+	if moved.Output == home.Output {
+		t.Fatalf("cd did not move the shell; pwd stayed %q", home.Output)
+	}
+
+	resp, err := c.Run("boom")
+	if err != nil {
+		t.Fatalf("crash transport: %v", err)
+	}
+	if resp.Code != CodeTenantCrashed || !strings.Contains(resp.Error, ErrTenantCrashed.Error()) {
+		t.Fatalf("crash response = [%s] %q, want typed %v", resp.Code, resp.Error, ErrTenantCrashed)
+	}
+	if got := srv.MetricsSnapshot()["serve.tenants.crashed"]; got != 1 {
+		t.Errorf("tenants.crashed = %v, want 1", got)
+	}
+
+	// Same session, dead tenant: fail fast with the death certificate.
+	if resp, err := c.Run("pwd"); err != nil || resp.Code != CodeTenantDead {
+		t.Fatalf("post-crash on old session = (%+v, %v), want code %q", resp, err, CodeTenantDead)
+	}
+
+	// Fresh hello, fresh testbed: the shell is back at the workstation
+	// root, not wherever the crashed incarnation had cd'd to.
+	c2, err := Dial(addr, "crashy")
+	if err != nil {
+		t.Fatalf("re-hello after crash: %v", err)
+	}
+	defer c2.Close()
+	fresh, err := c2.Run("pwd")
+	if err != nil || fresh.Error != "" {
+		t.Fatalf("pwd on rebuilt tenant: %v %q", err, fresh.Error)
+	}
+	if fresh.Output != home.Output {
+		t.Errorf("rebuilt tenant pwd = %q, want the fresh root %q", fresh.Output, home.Output)
+	}
+	if got := srv.MetricsSnapshot()["serve.tenants.created"]; got != 2 {
+		t.Errorf("tenants.created = %v, want 2", got)
 	}
 }

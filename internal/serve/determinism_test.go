@@ -2,7 +2,6 @@ package serve
 
 import (
 	"fmt"
-	"hash/fnv"
 	"io"
 	"strings"
 	"sync"
@@ -16,14 +15,15 @@ import (
 )
 
 // testbedRunner builds the same per-tenant deployment cmd/lvserved
-// builds, shrunk for test speed: a 3-node line, short warm-up, with the
-// seed derived from the tenant name exactly like the daemon does.
-func testbedRunner(tenant string) (Runner, error) {
+// builds, shrunk for test speed: a 3-node line, short warm-up, seeded
+// by the service (Config.SeedFor derives the seed from the tenant name
+// exactly like the daemon does).
+func testbedRunner(tenant string, seed uint64) (Runner, error) {
 	dep := cli.DeploymentFlags{
 		Topo:    "line",
 		Nodes:   3,
 		Spacing: 18,
-		Seed:    deriveSeed(1, tenant),
+		Seed:    seed,
 		Warmup:  12 * time.Second, // virtual time: cheap
 	}
 	tb, err := dep.Build()
@@ -51,13 +51,6 @@ func testbedRunner(tenant string) (Runner, error) {
 	return NewShellRunner(sh)
 }
 
-// deriveSeed mirrors cmd/lvserved's tenant seed derivation.
-func deriveSeed(base uint64, tenant string) uint64 {
-	h := fnv.New64a()
-	h.Write([]byte(tenant))
-	return base ^ h.Sum64()
-}
-
 // diagScript is the command sequence each tenant replays. It exercises
 // the paper's diagnostic path (ping, traceroute, health) plus shell
 // navigation, and its output depends on the tenant's simulation state —
@@ -76,7 +69,7 @@ var diagScript = []string{
 // service layer at all — the reference transcript.
 func runDirect(t *testing.T, tenant string) string {
 	t.Helper()
-	r, err := testbedRunner(tenant)
+	r, err := testbedRunner(tenant, TenantSeed(0, tenant))
 	if err != nil {
 		t.Fatal(err)
 	}

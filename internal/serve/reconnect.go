@@ -1,0 +1,109 @@
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"time"
+)
+
+// RetrySpec bounds a client-side reconnect loop: capped exponential
+// backoff, giving up after Attempts consecutive failures. The zero
+// value gets the defaults.
+type RetrySpec struct {
+	// Initial is the first backoff (0 = 250ms), doubling per
+	// consecutive failure.
+	Initial time.Duration
+	// Max caps the backoff (0 = 4s).
+	Max time.Duration
+	// Attempts is how many consecutive failures end the loop (0 = 8).
+	// Any successfully delivered frame resets the count.
+	Attempts int
+}
+
+func (r RetrySpec) withDefaults() RetrySpec {
+	if r.Initial <= 0 {
+		r.Initial = 250 * time.Millisecond
+	}
+	if r.Max <= 0 {
+		r.Max = 4 * time.Second
+	}
+	if r.Attempts <= 0 {
+		r.Attempts = 8
+	}
+	return r
+}
+
+// WatchRetry is Client.Watch wrapped in a reconnect loop: when the
+// stream dies a transient death — the daemon restarted mid-stream, the
+// connection dropped, the server drained — it redials with capped
+// exponential backoff, re-attaches, and resumes the watch instead of
+// giving up. Each successful reconnect first delivers a synthetic
+// comment frame ("# reconnected (n dropped)", with the last dropped
+// count seen before the cut) through fn, so a JSONL consumer can see
+// the seam; comment frames count dropped=0. Like Watch, fn returning
+// false ends the loop cleanly (as does a server-side elapsed ForMs).
+// Non-transient rejections (unknown tenant state, quarantine, bad spec)
+// and Attempts consecutive failures surface the last error. logf
+// receives one line per reconnect attempt; nil discards.
+func WatchRetry(addr, tenant string, spec WatchSpec, retry RetrySpec,
+	fn func(line string, dropped uint64) bool, logf func(format string, args ...any)) error {
+	retry = retry.withDefaults()
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	var (
+		failures    int
+		backoff     = retry.Initial
+		lastDropped uint64
+		reconnected bool
+		stopped     bool
+	)
+	for {
+		err := func() error {
+			c, err := Dial(addr, tenant)
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			first := true
+			return c.Watch(spec, func(line string, dropped uint64) bool {
+				if first {
+					first = false
+					failures = 0
+					backoff = retry.Initial
+					if reconnected {
+						reconnected = false
+						if !fn(fmt.Sprintf("# reconnected (%d dropped)", lastDropped), 0) {
+							stopped = true
+							return false
+						}
+					}
+				}
+				lastDropped = dropped
+				if !fn(line, dropped) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+		}()
+		if err == nil || stopped {
+			return nil
+		}
+		var rej *RejectedError
+		if errors.As(err, &rej) && !rej.Transient && !errors.Is(err, ErrDraining) {
+			return err
+		}
+		failures++
+		if failures >= retry.Attempts {
+			return fmt.Errorf("serve: watch gave up after %d attempt(s): %w", failures, err)
+		}
+		logf("serve: watch lost (%v); reconnecting in %v", err, backoff)
+		time.Sleep(backoff)
+		backoff *= 2
+		if backoff > retry.Max {
+			backoff = retry.Max
+		}
+		reconnected = true
+	}
+}

@@ -1,0 +1,162 @@
+package serve
+
+import (
+	"context"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestWatchRetryReconnectsAcrossRestart: a live watch survives the
+// daemon being replaced under it. The first daemon drains mid-stream;
+// WatchRetry backs off, redials the same address once a new daemon
+// listens there, marks the seam with a "# reconnected" comment frame,
+// and keeps delivering frames.
+func TestWatchRetryReconnectsAcrossRestart(t *testing.T) {
+	cfg := Config{NewRunner: testbedRunner, TenantIdle: -1, Logf: func(string, ...any) {}}
+
+	newDaemon := func(addr string) (*Server, net.Listener, chan error) {
+		t.Helper()
+		srv, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ln net.Listener
+		deadline := time.Now().Add(5 * time.Second)
+		for {
+			ln, err = net.Listen("tcp", addr)
+			if err == nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatalf("rebinding %s: %v", addr, err)
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		done := make(chan error, 1)
+		go func() { done <- srv.Serve(ln) }()
+		return srv, ln, done
+	}
+
+	srvA, lnA, doneA := newDaemon("127.0.0.1:0")
+	addr := lnA.Addr().String()
+
+	// The sink runs until it has seen a reconnect comment followed by at
+	// least one real frame from the second daemon.
+	var (
+		mu        sync.Mutex
+		comments  []string
+		preFrames = make(chan struct{}, 64)
+		seam      = make(chan struct{})
+		seamOnce  sync.Once
+	)
+	sink := func(line string, dropped uint64) bool {
+		if strings.HasPrefix(line, "#") {
+			mu.Lock()
+			comments = append(comments, line)
+			mu.Unlock()
+			seamOnce.Do(func() { close(seam) })
+			return true
+		}
+		select {
+		case <-seam:
+			return false // a post-reconnect frame: the stream provably resumed
+		default:
+		}
+		select {
+		case preFrames <- struct{}{}:
+		default:
+		}
+		return true
+	}
+	watchDone := make(chan error, 1)
+	go func() {
+		watchDone <- WatchRetry(addr, "stream", WatchSpec{},
+			RetrySpec{Initial: 25 * time.Millisecond, Max: 250 * time.Millisecond, Attempts: 60},
+			sink, nil)
+	}()
+
+	// Drive traffic on daemon A until the watch has delivered frames.
+	d1, err := Dial(addr, "stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp, err := d1.Run("cd 192.168.0.1"); err != nil || resp.Error != "" {
+		t.Fatalf("driver cd on daemon A: %v %q", err, resp.Error)
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for seen := false; !seen; {
+		if _, err := d1.Run("ping 192.168.0.2"); err != nil {
+			t.Fatalf("driver ping on daemon A: %v", err)
+		}
+		select {
+		case <-preFrames:
+			seen = true
+		case <-time.After(50 * time.Millisecond):
+			if time.Now().After(deadline) {
+				t.Fatal("watch never delivered a frame from daemon A")
+			}
+		}
+	}
+	d1.Close()
+
+	// Replace the daemon: drain A (the watch ends with reason
+	// "draining" — a transient cut), then start B on the same address.
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srvA.Shutdown(ctx); err != nil {
+		t.Fatalf("draining daemon A: %v", err)
+	}
+	if err := <-doneA; err != nil {
+		t.Fatalf("daemon A Serve = %v", err)
+	}
+	srvB, _, doneB := newDaemon(addr)
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		srvB.Shutdown(ctx)
+		<-doneB
+	})
+
+	// Drive traffic on daemon B until the watch sees a post-reconnect
+	// frame and ends cleanly (the sink returns false).
+	var d2 *Client
+	for {
+		d2, err = Dial(addr, "stream")
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("dialing daemon B: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	defer d2.Close()
+	if resp, err := d2.Run("cd 192.168.0.1"); err != nil || resp.Error != "" {
+		t.Fatalf("driver cd on daemon B: %v %q", err, resp.Error)
+	}
+	for {
+		select {
+		case err := <-watchDone:
+			if err != nil {
+				t.Fatalf("WatchRetry = %v, want clean stop after reconnect", err)
+			}
+			mu.Lock()
+			defer mu.Unlock()
+			if len(comments) == 0 || !strings.HasPrefix(comments[0], "# reconnected (") {
+				t.Fatalf("no reconnect comment frame; comments = %q", comments)
+			}
+			return
+		default:
+		}
+		if _, err := d2.Run("ping 192.168.0.2"); err != nil {
+			t.Fatalf("driver ping on daemon B: %v", err)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("watch never resumed on daemon B")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

@@ -18,6 +18,13 @@
 //     rejections;
 //   - panic isolation: a crashing tenant simulation is reaped and
 //     reported (ErrTenantCrashed) without taking down the daemon;
+//   - crash recovery: with a journal directory configured, every
+//     accepted command is written ahead of execution (internal/journal)
+//     and a supervisor resurrects crashed tenants — and, after a daemon
+//     restart, whole fleets — by rebuilding the simulation from the
+//     recorded seed and replaying the journal; deterministically
+//     poisonous commands are quarantined after a restart budget instead
+//     of crash-looping (ErrPoisonCommand, ErrTenantQuarantined);
 //   - graceful drain on SIGTERM: stop accepting, finish or cancel
 //     in-flight commands, say goodbye to every session, stop every
 //     tenant, flush service metrics;
@@ -56,16 +63,34 @@ var (
 	ErrDraining = errors.New("serve: server is draining")
 	// ErrTooManyTenants reports a hello refused by the tenant cap.
 	ErrTooManyTenants = errors.New("serve: tenant limit reached")
+	// ErrTenantRecovering reports a hello for a tenant the supervisor is
+	// currently resurrecting from its journal. Transient: retry shortly.
+	ErrTenantRecovering = errors.New("serve: tenant is recovering")
+	// ErrPoisonCommand reports a journaled command that crashes the
+	// simulation deterministically on every replay. The quarantine
+	// reason names the offending journal entry.
+	ErrPoisonCommand = errors.New("serve: poison command")
+	// ErrTenantQuarantined reports a hello for a tenant the supervisor
+	// gave up on after exhausting its restart budget. Clear it with the
+	// recovery wire command (lvctl -clear) or a daemon restart.
+	ErrTenantQuarantined = errors.New("serve: tenant quarantined")
 )
 
 // Config tunes the service. The zero value is completed by
 // (*Config).withDefaults; only NewRunner is mandatory.
 type Config struct {
-	// NewRunner builds the command interpreter for a named tenant. It is
-	// invoked on the tenant's own goroutine, which stays the simulation's
-	// only goroutine for the tenant's whole life — determinism per tenant
-	// is preserved by confinement, not by locking.
-	NewRunner func(tenant string) (Runner, error)
+	// NewRunner builds the command interpreter for a named tenant from
+	// the given seed. It is invoked on the tenant's own goroutine, which
+	// stays the simulation's only goroutine for the tenant's whole life —
+	// determinism per tenant is preserved by confinement, not by locking.
+	// The seed, not the name, must be the only source of simulation
+	// state: recovery rebuilds the tenant from (seed, journal) alone.
+	NewRunner func(tenant string, seed uint64) (Runner, error)
+
+	// SeedFor derives a tenant's simulation seed from its name
+	// (nil = TenantSeed(0, name)). It must be a pure function: recovery
+	// calls it again after a restart and expects the same answer.
+	SeedFor func(tenant string) uint64
 
 	// MaxTenants caps the number of live tenants (0 = 64).
 	MaxTenants int
@@ -100,6 +125,25 @@ type Config struct {
 	// EdgeBackoff is the initial backoff between edge retries, doubling
 	// each attempt (0 = 25ms).
 	EdgeBackoff time.Duration
+
+	// JournalDir enables crash recovery: each tenant gets a write-ahead
+	// command journal under this directory, and crashed tenants are
+	// resurrected by replay instead of reaped (empty disables — crashes
+	// reap the tenant as before).
+	JournalDir string
+	// JournalSegmentCap rotates journal segment files at this many bytes
+	// (0 = 1 MiB).
+	JournalSegmentCap int64
+	// JournalFsyncEvery batches journal fsync: sync after this many
+	// appends (0 = 8; 1 = sync every append). Appends always reach the
+	// OS before the command runs regardless.
+	JournalFsyncEvery int
+	// RestartBudget is how many times the supervisor restarts a crashing
+	// tenant before quarantining it (0 = 3).
+	RestartBudget int
+	// RestartBackoff is the delay before the first supervised restart,
+	// doubling per consecutive attempt, capped at 32x (0 = 100ms).
+	RestartBackoff time.Duration
 
 	// Logf receives one line per service-level event (session opened,
 	// tenant crashed, drain progress). Nil discards.
@@ -137,8 +181,55 @@ func (c Config) withDefaults() Config {
 	if c.EdgeBackoff == 0 {
 		c.EdgeBackoff = 25 * time.Millisecond
 	}
+	if c.RestartBudget == 0 {
+		c.RestartBudget = 3
+	}
+	if c.RestartBackoff == 0 {
+		c.RestartBackoff = 100 * time.Millisecond
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
 	return c
+}
+
+// validate rejects configurations that cannot serve: a daemon started
+// with a zero-capacity queue or a negative deadline would wedge or spin
+// instead of failing fast at the flag edge.
+func (c Config) validate() error {
+	checks := []struct {
+		bad  bool
+		what string
+	}{
+		{c.MaxTenants < 0, "MaxTenants must not be negative"},
+		{c.QueueDepth < 0, "QueueDepth must not be negative"},
+		{c.CmdTimeout < 0, "CmdTimeout must not be negative"},
+		{c.IdleTimeout < 0, "IdleTimeout must not be negative"},
+		{c.JournalSegmentCap < 0, "JournalSegmentCap must not be negative"},
+		{c.JournalFsyncEvery < 0, "JournalFsyncEvery must not be negative"},
+		{c.RestartBudget < 0, "RestartBudget must not be negative"},
+		{c.RestartBackoff < 0, "RestartBackoff must not be negative"},
+	}
+	for _, ck := range checks {
+		if ck.bad {
+			return errors.New("serve: Config." + ck.what)
+		}
+	}
+	return nil
+}
+
+// TenantSeed derives a tenant's simulation seed from a base seed and
+// the tenant name: deterministic, so the same tenant name always
+// rebuilds the identical testbed — the property journal replay recovery
+// stands on. It is the default Config.SeedFor (with base 0) and the
+// derivation cmd/lvserved uses.
+func TenantSeed(base uint64, tenant string) uint64 {
+	// FNV-1a, inlined to keep this file dependency-free.
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(tenant); i++ {
+		h ^= uint64(tenant[i])
+		h *= prime64
+	}
+	return base ^ h
 }

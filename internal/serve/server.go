@@ -12,6 +12,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"liteview/internal/journal"
 	"liteview/internal/phys"
 	"liteview/internal/telemetry"
 )
@@ -19,7 +20,10 @@ import (
 // Server is the control-plane daemon: it accepts operator connections,
 // multiplexes them onto the tenant pool, and survives misbehaving
 // sessions and crashing tenants. One Server per process; drive it with
-// Serve and stop it with Shutdown.
+// Serve and stop it with Shutdown. With Config.JournalDir set it is
+// also the supervisor: crashed tenants are resurrected from their
+// write-ahead journals (call RecoverJournals before Serve to restore a
+// previous process's fleet).
 type Server struct {
 	cfg   Config
 	clock func() time.Time
@@ -33,6 +37,17 @@ type Server struct {
 	tenants  map[string]*Tenant
 	sessions map[*session]struct{}
 	janitor  chan struct{} // closed to stop the idle-tenant reaper
+	// restarts counts consecutive supervised restarts per tenant; reset
+	// on a successful replay.
+	restarts map[string]int
+	// quarantined holds tenants the supervisor gave up on.
+	quarantined map[string]QuarantineInfo
+	// journaled marks tenant names whose journal this process owns; a
+	// hello for a journaled name whose tenant is dead or missing waits
+	// for the supervisor (ErrTenantRecovering) instead of wiping the
+	// journal with a fresh Create.
+	journaled map[string]bool
+	restored  int // tenants resurrected by RecoverJournals
 
 	wg sync.WaitGroup // session goroutines
 }
@@ -72,15 +87,21 @@ func New(cfg Config) (*Server, error) {
 	if cfg.NewRunner == nil {
 		return nil, errors.New("serve: Config.NewRunner is required")
 	}
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
 	cfg = cfg.withDefaults()
 	return &Server{
-		cfg:      cfg,
-		clock:    time.Now,
-		start:    time.Now(),
-		met:      newMetrics(),
-		tenants:  make(map[string]*Tenant),
-		sessions: make(map[*session]struct{}),
-		janitor:  make(chan struct{}),
+		cfg:         cfg,
+		clock:       time.Now,
+		start:       time.Now(),
+		met:         newMetrics(),
+		tenants:     make(map[string]*Tenant),
+		sessions:    make(map[*session]struct{}),
+		janitor:     make(chan struct{}),
+		restarts:    make(map[string]int),
+		quarantined: make(map[string]QuarantineInfo),
+		journaled:   make(map[string]bool),
 	}, nil
 }
 
@@ -260,6 +281,19 @@ func (s *Server) handleRequest(sess *session, req Request) bool {
 		return s.send(sess, Response{Type: TypeHealthz, Health: &h})
 	case TypeMetrics:
 		return s.send(sess, Response{Type: TypeMetrics, Metrics: s.MetricsSnapshot()})
+	case TypeRecovery:
+		if req.Clear != "" {
+			if err := s.ClearQuarantine(req.Clear); err != nil {
+				code, transient := errCode(err)
+				if !errors.Is(err, ErrDraining) {
+					code = CodeBadRequest
+				}
+				return s.send(sess, Response{Type: TypeError, ID: req.ID, Code: code,
+					Transient: transient, Error: err.Error()})
+			}
+		}
+		st := s.RecoveryStatus()
+		return s.send(sess, Response{Type: TypeRecovery, ID: req.ID, Recovery: &st})
 	case TypeBye:
 		s.send(sess, Response{Type: TypeBye, Reason: "goodbye"})
 		return false
@@ -425,7 +459,9 @@ func (s *Server) tenantNamed(name string) *Tenant {
 
 // tenantFor returns the named live tenant, creating it (and its
 // simulation goroutine) on first use. Dead tenants still in the table
-// are replaced — a fresh hello after a crash gets a fresh testbed.
+// are replaced — a fresh hello after a crash gets a fresh testbed —
+// except under journaling, where the supervisor owns resurrection and a
+// hello mid-recovery is asked to retry.
 func (s *Server) tenantFor(name string) (*Tenant, error) {
 	if name == "" {
 		return nil, errors.New("serve: hello needs a tenant name")
@@ -435,33 +471,238 @@ func (s *Server) tenantFor(name string) (*Tenant, error) {
 	if s.draining {
 		return nil, ErrDraining
 	}
+	if q, ok := s.quarantined[name]; ok {
+		return nil, fmt.Errorf("%w: tenant %q: %s", ErrTenantQuarantined, name, q.Reason)
+	}
 	if t, ok := s.tenants[name]; ok && t.Dead() == nil {
 		return t, nil
+	}
+	if s.cfg.JournalDir != "" && s.journaled[name] {
+		// The tenant is dead or gone but this process owns its journal:
+		// the supervisor's replacement is (or is about to be) replaying
+		// it. A fresh Create here would wipe the history mid-recovery.
+		return nil, fmt.Errorf("%w: tenant %q", ErrTenantRecovering, name)
 	}
 	if len(s.tenants) >= s.cfg.MaxTenants {
 		if t, ok := s.tenants[name]; !ok || t.Dead() == nil {
 			return nil, fmt.Errorf("%w (%d)", ErrTooManyTenants, s.cfg.MaxTenants)
 		}
 	}
-	t := newTenant(name, s.cfg, s.clock, s.reapCrashed)
+	t := s.spawnLocked(name, false, 0, 0)
 	s.tenants[name] = t
+	if s.cfg.JournalDir != "" {
+		s.journaled[name] = true
+	}
 	s.met.inc("serve.tenants.created")
 	s.met.gaugeAdd("serve.tenants.active", 1)
 	s.cfg.Logf("serve: tenant %q created", name)
 	return t, nil
 }
 
-// reapCrashed is the tenant loop's crash hook: drop the corpse from the
-// pool so the next hello builds a fresh simulation.
-func (s *Server) reapCrashed(name string, reason error) {
-	s.met.inc("serve.tenants.crashed")
+// spawnLocked builds one tenant incarnation. Caller holds s.mu — the
+// atomic map swap under one critical section is what keeps a racing
+// hello from wiping a journal mid-recovery.
+func (s *Server) spawnLocked(name string, recover bool, delay time.Duration, restarts int) *Tenant {
+	return newTenant(tenantParams{
+		name:        name,
+		seed:        s.seedFor(name),
+		recover:     recover,
+		delay:       delay,
+		restarts:    restarts,
+		onCrash:     s.crashHook,
+		onRecovered: s.recoveredHook,
+	}, s.cfg, s.clock)
+}
+
+func (s *Server) seedFor(name string) uint64 {
+	if s.cfg.SeedFor != nil {
+		return s.cfg.SeedFor(name)
+	}
+	return TenantSeed(0, name)
+}
+
+func (s *Server) journalOpts() journal.Options {
+	return journal.Options{
+		SegmentCap: s.cfg.JournalSegmentCap,
+		FsyncEvery: s.cfg.JournalFsyncEvery,
+		Logf:       s.cfg.Logf,
+	}
+}
+
+// restartDelay is the supervised-restart backoff: RestartBackoff
+// doubling per consecutive attempt, capped at 32x.
+func restartDelay(base time.Duration, attempt int) time.Duration {
+	d := base
+	for i := 1; i < attempt && d < 32*base; i++ {
+		d *= 2
+	}
+	if d > 32*base {
+		d = 32 * base
+	}
+	return d
+}
+
+// crashHook is the tenant loop's death hook. Without journaling it
+// reaps the corpse as before. With journaling it is the supervisor:
+// swap in a recovering replacement (with backoff) under the same lock
+// that hello uses, or quarantine the tenant once the restart budget is
+// spent — truncating the journal past a poisonous command so the good
+// prefix stays recoverable.
+func (s *Server) crashHook(t *Tenant, reason error) {
+	name := t.Name()
+	crash := t.crashState()
+	switch crash.kind {
+	case "build", "journal":
+		s.met.inc("serve.tenants.build_failures")
+	default:
+		s.met.inc("serve.tenants.crashed")
+	}
+	if s.cfg.JournalDir == "" {
+		s.mu.Lock()
+		if cur, ok := s.tenants[name]; ok && cur == t {
+			delete(s.tenants, name)
+			s.met.gaugeAdd("serve.tenants.active", -1)
+		}
+		s.mu.Unlock()
+		s.cfg.Logf("serve: tenant %q reaped: %v", name, reason)
+		return
+	}
 	s.mu.Lock()
-	if t, ok := s.tenants[name]; ok && t.Dead() != nil {
+	if cur, ok := s.tenants[name]; !ok || cur != t {
+		s.mu.Unlock()
+		return // superseded (janitor or drain already took it)
+	}
+	if s.draining {
 		delete(s.tenants, name)
 		s.met.gaugeAdd("serve.tenants.active", -1)
+		s.mu.Unlock()
+		return
 	}
+	s.restarts[name]++
+	attempts := s.restarts[name]
+	if attempts > s.cfg.RestartBudget {
+		q := QuarantineInfo{Tenant: name, Restarts: attempts - 1}
+		if crash.valid {
+			q.Index, q.Line = crash.index, crash.line
+			q.Reason = fmt.Sprintf("%v: journal entry %d %q: %v",
+				ErrPoisonCommand, crash.index, crash.line, reason)
+		} else {
+			q.Reason = fmt.Sprintf("restart budget exhausted: %v", reason)
+		}
+		s.quarantined[name] = q
+		delete(s.restarts, name)
+		delete(s.tenants, name)
+		s.met.gaugeAdd("serve.tenants.active", -1)
+		s.mu.Unlock()
+		s.met.inc("serve.recovery.quarantined")
+		if crash.valid {
+			// Amputate the poison command (and everything after it): the
+			// journal's good prefix stays replayable for ClearQuarantine.
+			if err := journal.TruncatePast(s.cfg.JournalDir, name, crash.index, s.journalOpts()); err != nil {
+				s.cfg.Logf("serve: tenant %q: truncating journal past poison entry %d: %v",
+					name, crash.index, err)
+			}
+		}
+		s.cfg.Logf("serve: tenant %q quarantined after %d restart(s): %s", name, attempts-1, q.Reason)
+		return
+	}
+	delay := restartDelay(s.cfg.RestartBackoff, attempts)
+	s.tenants[name] = s.spawnLocked(name, true, delay, attempts)
 	s.mu.Unlock()
-	s.cfg.Logf("serve: tenant %q reaped: %v", name, reason)
+	s.met.inc("serve.recovery.restarts")
+	s.cfg.Logf("serve: tenant %q crashed (%v); supervised restart %d/%d after %v",
+		name, reason, attempts, s.cfg.RestartBudget, delay)
+}
+
+// recoveredHook fires after a recovering tenant finishes its replay:
+// reset the restart budget and record the recovery.
+func (s *Server) recoveredHook(t *Tenant, replayed int, dur time.Duration) {
+	s.mu.Lock()
+	delete(s.restarts, t.Name())
+	s.mu.Unlock()
+	s.met.inc("serve.recovery.recovered")
+	s.met.add("serve.recovery.replayed_commands", replayed)
+	s.met.observe("serve.recovery.replay_ms", telemetry.DefaultReplayBucketsMs(),
+		float64(dur.Microseconds())/1000)
+	s.cfg.Logf("serve: tenant %q recovered: replayed %d command(s) in %v", t.Name(), replayed, dur)
+}
+
+// RecoverJournals resurrects every tenant with a journal under
+// Config.JournalDir (lvserved -recover). Call it before Serve: each
+// tenant rebuilds from its journaled seed and replays its history on
+// its own goroutine; sessions arriving mid-replay simply queue behind
+// it. Returns how many tenants were restored.
+func (s *Server) RecoverJournals() (int, error) {
+	if s.cfg.JournalDir == "" {
+		return 0, errors.New("serve: RecoverJournals needs Config.JournalDir")
+	}
+	names, err := journal.List(s.cfg.JournalDir)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	s.mu.Lock()
+	for _, name := range names {
+		if _, ok := s.tenants[name]; ok {
+			continue
+		}
+		s.tenants[name] = s.spawnLocked(name, true, 0, 0)
+		s.journaled[name] = true
+		n++
+	}
+	s.restored += n
+	s.mu.Unlock()
+	if n > 0 {
+		s.met.add("serve.recovery.restored", n)
+		s.met.gaugeAdd("serve.tenants.active", float64(n))
+		s.cfg.Logf("serve: restoring %d tenant(s) from journals in %s", n, s.cfg.JournalDir)
+	}
+	return n, nil
+}
+
+// ClearQuarantine lifts a tenant's quarantine and resurrects it from
+// what is left of its journal (the poisonous entry was truncated away
+// when the quarantine was imposed).
+func (s *Server) ClearQuarantine(name string) error {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		return ErrDraining
+	}
+	if _, ok := s.quarantined[name]; !ok {
+		s.mu.Unlock()
+		return fmt.Errorf("serve: tenant %q is not quarantined", name)
+	}
+	delete(s.quarantined, name)
+	delete(s.restarts, name)
+	s.tenants[name] = s.spawnLocked(name, true, 0, 0)
+	s.journaled[name] = true
+	s.mu.Unlock()
+	s.met.gaugeAdd("serve.tenants.active", 1)
+	s.cfg.Logf("serve: tenant %q quarantine cleared; recovering from journal", name)
+	return nil
+}
+
+// RecoveryStatus reports the supervisor's view: whether journaling is
+// on, how many tenants the last RecoverJournals restored, which are
+// mid-replay, and which are quarantined.
+func (s *Server) RecoveryStatus() RecoveryStatus {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := RecoveryStatus{Enabled: s.cfg.JournalDir != "", Restored: s.restored}
+	for name, t := range s.tenants {
+		if t.Recovering() {
+			st.Recovering = append(st.Recovering, name)
+		}
+	}
+	sort.Strings(st.Recovering)
+	for _, q := range s.quarantined {
+		st.Quarantined = append(st.Quarantined, q)
+	}
+	sort.Slice(st.Quarantined, func(i, j int) bool {
+		return st.Quarantined[i].Tenant < st.Quarantined[j].Tenant
+	})
+	return st
 }
 
 // runJanitor reaps tenants that have had no session and no command for
@@ -494,6 +735,17 @@ func (s *Server) runJanitor() {
 			for _, t := range idle {
 				t.stop()
 				<-t.Done()
+				if s.cfg.JournalDir != "" {
+					// An idle-reaped tenant deliberately starts fresh on its
+					// next hello; its journal would resurrect stale state.
+					if err := journal.Drop(s.cfg.JournalDir, t.Name()); err != nil {
+						s.cfg.Logf("serve: tenant %q: dropping journal: %v", t.Name(), err)
+					}
+					s.mu.Lock()
+					delete(s.journaled, t.Name())
+					delete(s.restarts, t.Name())
+					s.mu.Unlock()
+				}
 				s.met.inc("serve.tenants.reaped_idle")
 				s.met.gaugeAdd("serve.tenants.active", -1)
 				s.cfg.Logf("serve: tenant %q reaped (idle)", t.Name())
@@ -569,6 +821,23 @@ func (s *Server) Shutdown(ctx context.Context) error {
 		s.cfg.Logf("serve: drain deadline exceeded, connections closed hard")
 		return ctx.Err()
 	}
+	if s.cfg.JournalDir != "" {
+		// Clean drain: every journal is closed, so compact each into a
+		// single tidy segment. The journals stay on disk — that is the
+		// point: lvserved -recover after a deploy restores the fleet.
+		s.mu.Lock()
+		names := make([]string, 0, len(s.journaled))
+		for name := range s.journaled {
+			names = append(names, name)
+		}
+		s.mu.Unlock()
+		sort.Strings(names)
+		for _, name := range names {
+			if err := journal.Compact(s.cfg.JournalDir, name, s.journalOpts()); err != nil {
+				s.cfg.Logf("serve: tenant %q: compacting journal on drain: %v", name, err)
+			}
+		}
+	}
 	s.met.inc("serve.drain.clean")
 	s.cfg.Logf("serve: drain complete")
 	return nil
@@ -590,6 +859,10 @@ func (s *Server) Healthz() Health {
 		h.Tenants = append(h.Tenants, t.Info())
 	}
 	sort.Slice(h.Tenants, func(i, j int) bool { return h.Tenants[i].Name < h.Tenants[j].Name })
+	for _, q := range s.quarantined {
+		h.Quarantined = append(h.Quarantined, q)
+	}
+	sort.Slice(h.Quarantined, func(i, j int) bool { return h.Quarantined[i].Tenant < h.Quarantined[j].Tenant })
 	return h
 }
 

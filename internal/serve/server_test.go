@@ -38,7 +38,7 @@ func startServer(t *testing.T, cfg Config) (*Server, string) {
 }
 
 func echoConfig() Config {
-	return Config{NewRunner: func(string) (Runner, error) { return &fakeRunner{}, nil }}
+	return Config{NewRunner: func(string, uint64) (Runner, error) { return &fakeRunner{}, nil }}
 }
 
 func TestServerEndToEnd(t *testing.T) {

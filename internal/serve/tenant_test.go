@@ -33,9 +33,9 @@ func (r *fakeRunner) Cwd() string { return "/" }
 // testTenant builds a tenant around a fakeRunner with tight timings.
 func testTenant(t *testing.T, cfg Config, r Runner) *Tenant {
 	t.Helper()
-	cfg.NewRunner = func(string) (Runner, error) { return r, nil }
+	cfg.NewRunner = func(string, uint64) (Runner, error) { return r, nil }
 	cfg = cfg.withDefaults()
-	tn := newTenant("t", cfg, time.Now, nil)
+	tn := newTenant(tenantParams{name: "t"}, cfg, time.Now)
 	t.Cleanup(func() {
 		tn.stop()
 		<-tn.Done()

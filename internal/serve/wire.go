@@ -42,6 +42,7 @@ const (
 	TypeEvent    = "event"     // one streamed telemetry frame (server push)
 	TypeUnwatch  = "unwatch"   // stop the stream
 	TypeWatchEnd = "watch-end" // stream over (unwatch, drain, or error)
+	TypeRecovery = "recovery"  // crash-recovery status (and quarantine clearing)
 )
 
 // WatchSpec filters and bounds one telemetry watch stream. The zero
@@ -73,6 +74,7 @@ type Request struct {
 	ID     uint64     `json:"id,omitempty"`     // cmd
 	Line   string     `json:"line,omitempty"`   // cmd
 	Watch  *WatchSpec `json:"watch,omitempty"`  // watch
+	Clear  string     `json:"clear,omitempty"`  // recovery: lift this tenant's quarantine
 }
 
 // Response is one server→client message.
@@ -95,6 +97,32 @@ type Response struct {
 	// Dropped is the cumulative count of frames lost to the subscriber
 	// ring when the stream (or its reader) fell behind.
 	Dropped uint64 `json:"dropped,omitempty"`
+	// Recovery answers a recovery request.
+	Recovery *RecoveryStatus `json:"recovery,omitempty"`
+}
+
+// RecoveryStatus is the supervisor's wire-visible state.
+type RecoveryStatus struct {
+	// Enabled is true when the daemon journals commands (-journal).
+	Enabled bool `json:"enabled"`
+	// Restored counts tenants resurrected at startup (-recover).
+	Restored int `json:"restored,omitempty"`
+	// Recovering lists tenants currently mid-replay.
+	Recovering []string `json:"recovering,omitempty"`
+	// Quarantined lists tenants the supervisor gave up on.
+	Quarantined []QuarantineInfo `json:"quarantined,omitempty"`
+}
+
+// QuarantineInfo names a quarantined tenant and, when the crash was a
+// deterministically-poisonous journaled command, the offending entry.
+type QuarantineInfo struct {
+	Tenant string `json:"tenant"`
+	// Index/Line identify the poison journal entry (Line empty when the
+	// quarantine came from a build or journal failure instead).
+	Index    uint64 `json:"index,omitempty"`
+	Line     string `json:"line,omitempty"`
+	Reason   string `json:"reason"`
+	Restarts int    `json:"restarts"`
 }
 
 // Health is the /healthz-style liveness and readiness report.
@@ -107,7 +135,10 @@ type Health struct {
 	Draining bool         `json:"draining"`
 	Sessions int          `json:"sessions"`
 	Tenants  []TenantInfo `json:"tenants,omitempty"`
-	UptimeMs int64        `json:"uptime_ms"`
+	// Quarantined lists tenants the crash-recovery supervisor gave up
+	// on; they refuse hellos until cleared.
+	Quarantined []QuarantineInfo `json:"quarantined,omitempty"`
+	UptimeMs    int64            `json:"uptime_ms"`
 }
 
 // Stable error codes for the wire. See errCode.
@@ -122,6 +153,9 @@ const (
 	CodeTooManyTenants = "too-many-tenants"
 	CodeBadRequest     = "bad-request"
 	CodeCommand        = "command"
+	CodeRecovering     = "recovering"
+	CodeQuarantined    = "quarantined"
+	CodePoison         = "poison-command"
 )
 
 // errCode maps a service or command error to its wire code and whether
@@ -136,6 +170,12 @@ func errCode(err error) (code string, transient bool) {
 		return CodeDeadline, true
 	case errors.Is(err, ErrTenantCrashed):
 		return CodeTenantCrashed, false
+	case errors.Is(err, ErrTenantRecovering):
+		return CodeRecovering, true
+	case errors.Is(err, ErrPoisonCommand):
+		return CodePoison, false
+	case errors.Is(err, ErrTenantQuarantined):
+		return CodeQuarantined, false
 	case errors.Is(err, ErrTenantDead):
 		return CodeTenantDead, false
 	case errors.Is(err, ErrDraining):
@@ -173,8 +213,23 @@ type Client struct {
 	next uint64
 }
 
+// RejectedError is a server rejection carried back to the caller with
+// its wire code and transient flag intact, so retry loops (WatchRetry,
+// recovery-aware clients) can tell "back off and retry" from "stop".
+type RejectedError struct {
+	Op        string // "hello", "watch"
+	Code      string
+	Msg       string
+	Transient bool
+}
+
+func (e *RejectedError) Error() string {
+	return fmt.Sprintf("serve: %s rejected: %s (%s)", e.Op, e.Msg, e.Code)
+}
+
 // NewClient speaks the protocol over an established connection,
-// attaching to the named tenant when tenant is non-empty.
+// attaching to the named tenant when tenant is non-empty. A server-side
+// hello rejection comes back as a *RejectedError.
 func NewClient(conn net.Conn, tenant string) (*Client, error) {
 	c := &Client{conn: conn, enc: json.NewEncoder(conn), sc: bufio.NewScanner(conn)}
 	c.sc.Buffer(make([]byte, 0, 64<<10), maxLine)
@@ -188,7 +243,7 @@ func NewClient(conn net.Conn, tenant string) (*Client, error) {
 	}
 	if resp.Type != TypeHelloOK {
 		conn.Close()
-		return nil, fmt.Errorf("serve: hello rejected: %s (%s)", resp.Error, resp.Code)
+		return nil, &RejectedError{Op: "hello", Code: resp.Code, Msg: resp.Error, Transient: resp.Transient}
 	}
 	return c, nil
 }
@@ -293,17 +348,40 @@ func (c *Client) Watch(spec WatchSpec, fn func(line string, dropped uint64) bool
 				}
 			}
 		case TypeWatchEnd:
+			if resp.Reason == "draining" {
+				// The daemon is going down, not the stream's natural end:
+				// surface it typed so reconnect loops can resume after the
+				// restart instead of reporting success.
+				return fmt.Errorf("serve: watch ended: %w", ErrDraining)
+			}
 			return nil
 		case TypeBye:
 			return fmt.Errorf("serve: server said goodbye: %s", resp.Reason)
 		case TypeError:
-			return fmt.Errorf("serve: watch rejected: %s (%s)", resp.Error, resp.Code)
+			return &RejectedError{Op: "watch", Code: resp.Code, Msg: resp.Error, Transient: resp.Transient}
 		}
 	}
 	if err := c.sc.Err(); err != nil {
 		return fmt.Errorf("serve: read: %w", err)
 	}
 	return fmt.Errorf("serve: server closed the connection")
+}
+
+// Recovery asks for the daemon's crash-recovery status. A non-empty
+// clear first lifts that tenant's quarantine (resurrecting it from the
+// truncated journal).
+func (c *Client) Recovery(clear string) (RecoveryStatus, error) {
+	resp, err := c.do(Request{Type: TypeRecovery, Clear: clear})
+	if err != nil {
+		return RecoveryStatus{}, err
+	}
+	if resp.Type == TypeError {
+		return RecoveryStatus{}, fmt.Errorf("serve: recovery request failed: %s (%s)", resp.Error, resp.Code)
+	}
+	if resp.Recovery == nil {
+		return RecoveryStatus{}, errors.New("serve: recovery response lacked a status block")
+	}
+	return *resp.Recovery, nil
 }
 
 // Close says goodbye and closes the connection.

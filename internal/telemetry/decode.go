@@ -35,6 +35,13 @@ func ParseJSONLine(line []byte) (Event, error) {
 	if je.Layer == "" && je.Kind == "" {
 		return Event{}, fmt.Errorf("telemetry: event line lacks layer and kind")
 	}
+	// Timestamps are microseconds converted to time.Duration
+	// (nanoseconds); reject magnitudes the multiplication would wrap,
+	// so decode(encode(e)) is a fixed point on every accepted line.
+	const maxUs = int64(1<<63-1) / int64(time.Microsecond)
+	if je.Us > maxUs || je.Us < -maxUs || je.DurUs > maxUs || je.DurUs < -maxUs {
+		return Event{}, fmt.Errorf("telemetry: event timestamp out of range (us=%d dur_us=%d)", je.Us, je.DurUs)
+	}
 	e := Event{
 		Seq:    je.Seq,
 		At:     time.Duration(je.Us) * time.Microsecond,

@@ -49,6 +49,13 @@ func DefaultRTTBucketsMs() []float64 {
 	return []float64{1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 2000}
 }
 
+// DefaultReplayBucketsMs are histogram bounds suited to journal replay
+// durations (milliseconds): a resurrection re-executes a whole command
+// history, so the tail runs orders of magnitude past a single RTT.
+func DefaultReplayBucketsMs() []float64 {
+	return []float64{5, 20, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 30000, 60000}
+}
+
 // Observe records one sample.
 func (h *Histogram) Observe(v float64) {
 	if h.count == 0 || v < h.min {

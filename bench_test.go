@@ -276,23 +276,32 @@ func (s *silentNode) Channel() int                      { return 17 }
 func (s *silentNode) PowerLevel() int                   { return radio.MaxPowerLevel }
 func (s *silentNode) OnFrame(_ []byte, _ medium.RxInfo) {}
 
-// BenchmarkMediumDeliver measures one broadcast fan-out on a 400-node
-// grid (20×20 at 15 m): transmit from the grid center, deliver to every
+// BenchmarkMediumDeliver measures one broadcast fan-out on a dense
+// grid (15 m spacing): transmit from the grid center, deliver to every
 // candidate. The indexed variant is the default engine (link-gain cache
 // + reachability index + shared frame); fanout is the legacy full-order
 // scan with per-pair recomputation and per-receiver frame copies, kept
-// as the before-side of the optimization.
+// as the before-side of the optimization. The sharded variants run the
+// spatially partitioned medium (per-cell ledgers, ring-bounded reach) —
+// with one assessment lane and with four concurrent ones — at 400 and
+// 10,000 nodes; all variants deliver byte-identical results.
 func BenchmarkMediumDeliver(b *testing.B) {
-	run := func(b *testing.B, indexed bool) {
+	run := func(b *testing.B, side int, indexed bool, shardWorkers int) {
 		eng := sim.NewEngine(42)
 		model := phys.DefaultModel(42)
 		m := medium.New(eng, model)
 		m.SetReachabilityIndex(indexed)
+		if shardWorkers > 0 {
+			if err := m.SetSharding(medium.Sharding{Workers: shardWorkers}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		centerID := phys.NodeID((side/2)*side + side/2 + 1)
 		var center medium.Receiver
-		for i := 0; i < 400; i++ {
+		for i := 0; i < side*side; i++ {
 			n := &silentNode{id: phys.NodeID(i + 1),
-				pos: phys.Position{X: float64(i%20) * 15, Y: float64(i/20) * 15}}
-			if n.id == 211 {
+				pos: phys.Position{X: float64(i%side) * 15, Y: float64(i/side) * 15}}
+			if n.id == centerID {
 				center = n
 			}
 			if err := m.Attach(n); err != nil {
@@ -314,6 +323,10 @@ func BenchmarkMediumDeliver(b *testing.B) {
 			eng.Run()
 		}
 	}
-	b.Run("indexed-400", func(b *testing.B) { run(b, true) })
-	b.Run("fanout-400", func(b *testing.B) { run(b, false) })
+	b.Run("indexed-400", func(b *testing.B) { run(b, 20, true, 0) })
+	b.Run("fanout-400", func(b *testing.B) { run(b, 20, false, 0) })
+	b.Run("sharded-400", func(b *testing.B) { run(b, 20, true, 1) })
+	b.Run("sharded-400-lanes-4", func(b *testing.B) { run(b, 20, true, 4) })
+	b.Run("indexed-10k", func(b *testing.B) { run(b, 100, true, 0) })
+	b.Run("sharded-10k-lanes-4", func(b *testing.B) { run(b, 100, true, 4) })
 }

@@ -118,7 +118,7 @@ func All() []Experiment {
 		{"d7", "ablation: always-on vs low-power listening", DutyCycling},
 		{"chaos", "command behaviour under injected faults", Chaos},
 		{"recover", "self-healing: reroute after relay failure", Recovery},
-		{"scale", "medium scalability: commands + traceroute on a 400-node grid", Scale},
+		{"scale", "medium scalability: commands on 400-node and sharded 10k-node grids", Scale},
 	}
 }
 

@@ -9,7 +9,10 @@ import (
 // shape checks to pass — this is the repository's statement that the
 // paper's qualitative results hold on the simulated substrate.
 func TestAllExperiments(t *testing.T) {
-	opt := Options{Short: testing.Short()}
+	// The scale experiment's sharded row runs at 576 nodes here; the
+	// real 10,000-node deployment is exercised by the lvbench -short
+	// smoke and by internal/medium's worker-invariance regression.
+	opt := Options{Short: testing.Short(), scaleBigSide: 24}
 	for _, exp := range All() {
 		exp := exp
 		t.Run(exp.ID, func(t *testing.T) {

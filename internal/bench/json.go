@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"io"
 	"os"
+	"runtime"
 	"time"
 )
 
@@ -31,26 +32,35 @@ type JSONExperiment struct {
 // emitted by -json so the perf trajectory (wall-clock per experiment,
 // worker scaling) is tracked across commits in BENCH_lvbench.json.
 type JSONReport struct {
-	Seed        uint64           `json:"seed"`
-	Workers     int              `json:"workers"`
-	Short       bool             `json:"short"`
-	GoMaxProcs  int              `json:"gomaxprocs"`
-	WallMSTotal float64          `json:"wall_ms_total"`
-	Pass        bool             `json:"pass"`
-	Experiments []JSONExperiment `json:"experiments"`
+	Seed    uint64 `json:"seed"`
+	Workers int    `json:"workers"`
+	Short   bool   `json:"short"`
+	// GoMaxProcs is the effective runtime.GOMAXPROCS at report time —
+	// recorded by NewJSONReport itself so the committed file reflects
+	// the machine the numbers were measured on, not a caller-supplied
+	// constant.
+	GoMaxProcs int `json:"gomaxprocs"`
+	// MediumWorkers is the sharded-medium assessment concurrency the
+	// scale experiments ran with (0 = unsharded/sequential medium).
+	// Throughput rows are meaningless without it.
+	MediumWorkers int              `json:"medium_workers"`
+	WallMSTotal   float64          `json:"wall_ms_total"`
+	Pass          bool             `json:"pass"`
+	Experiments   []JSONExperiment `json:"experiments"`
 }
 
 // NewJSONReport summarises a RunAll result set. total is the whole
 // run's wall time (with Workers > 1 it is less than the sum of the
 // per-experiment times — that difference is the parallel speedup).
-func NewJSONReport(outcomes []Outcome, seed uint64, opt Options, gomaxprocs int, total time.Duration) JSONReport {
+func NewJSONReport(outcomes []Outcome, seed uint64, opt Options, total time.Duration) JSONReport {
 	rep := JSONReport{
-		Seed:        seed,
-		Workers:     opt.withGate().Workers,
-		Short:       opt.Short,
-		GoMaxProcs:  gomaxprocs,
-		WallMSTotal: float64(total.Nanoseconds()) / 1e6,
-		Pass:        true,
+		Seed:          seed,
+		Workers:       opt.withGate().Workers,
+		Short:         opt.Short,
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		MediumWorkers: opt.MediumWorkers,
+		WallMSTotal:   float64(total.Nanoseconds()) / 1e6,
+		Pass:          true,
 	}
 	for _, o := range outcomes {
 		je := JSONExperiment{

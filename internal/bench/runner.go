@@ -35,6 +35,13 @@ type Options struct {
 	// every engine is private to one simulation and results are
 	// aggregated in experiment/trial order.
 	Workers int
+	// MediumWorkers, when above one, runs the scale experiments on a
+	// spatially sharded radio medium with that many concurrent
+	// assessment lanes per simulation (medium.Sharding). Sharded-medium
+	// output is byte-identical at every lane count, so this is a pure
+	// throughput knob; it is recorded in the JSON report because the
+	// wall-clock rows depend on it.
+	MediumWorkers int
 	// ProfileDir, when non-empty, writes per-experiment CPU and heap
 	// profiles (<dir>/<id>.cpu.pprof, <dir>/<id>.heap.pprof). CPU
 	// profiling is process-global, so a profiled run is forced to
@@ -45,6 +52,11 @@ type Options struct {
 	// fan-out and the per-trial fan-outs inside experiments so total
 	// concurrency stays bounded by Workers even when they nest.
 	gate chan struct{}
+	// scaleBigSide overrides the sharded scale deployment's grid side.
+	// Test hook only: the bench unit tests shrink the 10,000-node row so
+	// the full suite stays fast; lvbench itself always runs the real
+	// thing (the 10k smoke is the point of -short there).
+	scaleBigSide int
 }
 
 // tracing reports whether artifact recording is enabled.

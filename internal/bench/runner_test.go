@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strings"
 	"testing"
@@ -61,7 +62,11 @@ func readDir(t *testing.T, dir string) (names []string, contents map[string][]by
 func TestParallelDeterminism(t *testing.T) {
 	seqDir := t.TempDir()
 	parDir := t.TempDir()
-	base := Options{Short: true, NoWallClock: true}
+	// scaleBigSide shrinks the scale experiment's 10k sharded row to a
+	// 576-node one: worker invariance at full 10,000-node scale is
+	// pinned by internal/medium's TestShardedScaleWorkerInvariance, so
+	// this test buys nothing by re-simulating it twice.
+	base := Options{Short: true, NoWallClock: true, scaleBigSide: 24}
 
 	seqOpt := base
 	seqOpt.TraceDir = seqDir
@@ -100,7 +105,7 @@ func TestParallelDeterminism(t *testing.T) {
 // time and pass/fail populated.
 func TestRunAllOrderAndOutcomes(t *testing.T) {
 	exps := All()
-	outs := RunAll(exps, 42, Options{Short: true, Workers: 4})
+	outs := RunAll(exps, 42, Options{Short: true, Workers: 4, scaleBigSide: 24})
 	if len(outs) != len(exps) {
 		t.Fatalf("got %d outcomes for %d experiments", len(outs), len(exps))
 	}
@@ -172,7 +177,13 @@ func TestJSONReport(t *testing.T) {
 		t.Fatal("f7 missing")
 	}
 	outs := RunAll([]Experiment{e}, 42, Options{Short: true, Workers: 1})
-	rep := NewJSONReport(outs, 42, Options{Short: true, Workers: 1}, 4, outs[0].Wall)
+	rep := NewJSONReport(outs, 42, Options{Short: true, Workers: 1, MediumWorkers: 4}, outs[0].Wall)
+	if rep.GoMaxProcs != runtime.GOMAXPROCS(0) {
+		t.Fatalf("GoMaxProcs = %d, want the effective %d", rep.GoMaxProcs, runtime.GOMAXPROCS(0))
+	}
+	if rep.MediumWorkers != 4 {
+		t.Fatalf("MediumWorkers = %d, want 4", rep.MediumWorkers)
+	}
 	if !rep.Pass || len(rep.Experiments) != 1 {
 		t.Fatalf("report: %+v", rep)
 	}

@@ -4,7 +4,7 @@ import "testing"
 
 func TestSeedRobustness(t *testing.T) {
 	seeds := []uint64{1, 7, 99, 1234}
-	opt := Options{Short: testing.Short()}
+	opt := Options{Short: testing.Short(), scaleBigSide: 24}
 	if testing.Short() {
 		seeds = seeds[:2]
 	}

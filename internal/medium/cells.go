@@ -1,0 +1,471 @@
+package medium
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+)
+
+// Spatial sharding: the medium partitioned into square grid cells.
+//
+// RF energy is local — phys.Model.DetectRange bounds the distance
+// beyond which no link can clear the reachability floor even with the
+// most favourable shadowing draw — so a transmission is physically
+// incapable of touching nodes outside a bounded ring of cells around
+// its origin. The sharded medium exploits that three ways:
+//
+//  1. Each cell owns the interference ledger and link-budget cache for
+//     its member nodes, so a delivery's SINR scan walks only the
+//     transmissions registered to the receiver's cell instead of the
+//     whole deployment's active list.
+//  2. A transmitter's reachability candidates are collected from the
+//     cells within the detectability ring, not from a full node scan.
+//  3. Because distinct cells own disjoint mutable state, the expensive
+//     pure phase of a delivery fan-out — link budgets and interference
+//     sums, grouped by receiver cell — runs concurrently on the
+//     engine's worker lanes (sim.Engine.ForkJoin), while every
+//     observable effect (randomness draws, stats, telemetry, OnFrame)
+//     is committed sequentially in candidate-index order. Output is
+//     therefore byte-identical at every worker count; DESIGN.md §14
+//     spells out the contract.
+//
+// Interference accounting is the one modelled difference from the
+// unsharded medium: signals from transmitters beyond the detectability
+// ring — which EnergyDBmAt already treats as silence — are excluded
+// from SINR sums too, instead of contributing sub-noise-floor watts.
+// On deployments small enough that everything is within one ring the
+// sharded medium is bit-identical to the indexed one (the purity
+// regression checks exactly that).
+
+// Sharding configures the spatially sharded medium.
+type Sharding struct {
+	// CellSize is the cell edge in meters. Zero derives it from the
+	// propagation model: the detectability range at maximum transmit
+	// power against the reachability floor, which makes the ring radius
+	// exactly one cell. Any positive size is correct — the ring just
+	// widens to cover the same physical radius.
+	CellSize float64
+	// Workers is the engine's concurrency budget for fan-out
+	// assessment (sim.Engine.SetWorkers). Zero leaves the engine's
+	// current budget untouched; 1 forces the sequential baseline.
+	Workers int
+}
+
+// cellKey addresses one grid cell: floor(position / cellSize).
+type cellKey struct{ cx, cy int }
+
+// cell is one spatial shard: the nodes inside one grid square, the
+// transmissions that can touch them, and the caches only they read.
+type cell struct {
+	// members holds the resident nodes in attach order (ties broken by
+	// the global attach sequence, so candidate sets keep the exact
+	// iteration order the unsharded index uses).
+	members []phys.NodeID
+	// ledger holds the active transmissions whose origin cell is
+	// within the detectability ring — everything a member could
+	// possibly hear or be interfered by, in transmit order.
+	ledger []*transmission
+	// gains caches the static budgets of directed links INTO members
+	// of this cell, keyed from<<16|to. During a concurrent fan-out the
+	// lane assessing this cell is the only goroutine touching it.
+	gains map[uint32]phys.Budget
+}
+
+// shardState is the sharded medium's bookkeeping.
+type shardState struct {
+	cellSize float64
+	// ring is the Chebyshev cell radius that covers DetectRange: cells
+	// farther apart than ring are provably out of RF reach.
+	ring   int
+	cells  map[cellKey]*cell
+	cellOf map[phys.NodeID]cellKey
+	// seq records global attach order (monotonic, survives detaches)
+	// so merged candidate lists sort back into attach order.
+	seq     map[phys.NodeID]uint64
+	nextSeq uint64
+}
+
+// shardFanoutMin is the candidate count under which a sharded delivery
+// skips the fork-join and assesses inline: the parallel and sequential
+// paths are byte-identical by construction, so the threshold is purely
+// a per-event overhead knob.
+const shardFanoutMin = 24
+
+func (m *Medium) keyFor(p phys.Position) cellKey {
+	s := m.shard.cellSize
+	return cellKey{int(math.Floor(p.X / s)), int(math.Floor(p.Y / s))}
+}
+
+// SetSharding partitions the medium into spatial cells (replacing any
+// previous partition) and optionally sets the engine's worker budget.
+// It requires the reachability index: sharding is the index taken
+// spatial. Attached nodes are placed immediately; in-flight
+// transmissions are re-registered into the new cells.
+func (m *Medium) SetSharding(s Sharding) error {
+	if !m.indexed {
+		return fmt.Errorf("medium: sharding requires the reachability index")
+	}
+	size := s.CellSize
+	rangeBound := m.model.DetectRange(maxTxDBm, radio.SensitivityDBm-FadeMarginDB)
+	if size <= 0 {
+		size = rangeBound
+	}
+	sh := &shardState{
+		cellSize: size,
+		ring:     int(math.Ceil(rangeBound / size)),
+		cells:    make(map[cellKey]*cell),
+		cellOf:   make(map[phys.NodeID]cellKey),
+		seq:      make(map[phys.NodeID]uint64),
+	}
+	m.shard = sh
+	for _, id := range m.order {
+		sh.place(id, m.keyFor(m.nodes[id].Position()))
+	}
+	// Re-register in-flight transmissions under the new partition.
+	for _, t := range m.active {
+		t.ocx, t.ocy = m.keyFor(t.pos).cx, m.keyFor(t.pos).cy
+	}
+	for key, c := range sh.cells {
+		c.ledger = m.ledgerFor(key)
+	}
+	// Cached candidate sets and budgets predate the partition; the
+	// cell-scoped caches rebuild lazily.
+	clear(m.reach)
+	clear(m.gains)
+	if s.Workers > 0 {
+		m.eng.SetWorkers(s.Workers)
+	}
+	return nil
+}
+
+// Sharded reports whether the medium is spatially sharded.
+func (m *Medium) Sharded() bool { return m.shard != nil }
+
+// ShardInfo reports the partition's shape: cell count, cell edge in
+// meters, and the detectability ring radius in cells. Zeroes when the
+// medium is unsharded.
+func (m *Medium) ShardInfo() (cells int, cellSize float64, ring int) {
+	if m.shard == nil {
+		return 0, 0, 0
+	}
+	return len(m.shard.cells), m.shard.cellSize, m.shard.ring
+}
+
+// place adds id to the cell at key, creating the cell on first use,
+// keeping members in attach-sequence order.
+func (sh *shardState) place(id phys.NodeID, key cellKey) {
+	if _, ok := sh.seq[id]; !ok {
+		sh.nextSeq++
+		sh.seq[id] = sh.nextSeq
+	}
+	c := sh.cells[key]
+	if c == nil {
+		c = &cell{gains: make(map[uint32]phys.Budget)}
+		sh.cells[key] = c
+	}
+	// Insert keeping attach order: appends are the common case (fresh
+	// attaches always carry the highest sequence).
+	i := sort.Search(len(c.members), func(i int) bool {
+		return sh.seq[c.members[i]] > sh.seq[id]
+	})
+	c.members = append(c.members, 0)
+	copy(c.members[i+1:], c.members[i:])
+	c.members[i] = id
+	sh.cellOf[id] = key
+}
+
+// remove drops id from its cell's member list (the cell itself is
+// retained: its ledger may still be feeding in-flight deliveries).
+func (sh *shardState) remove(id phys.NodeID) {
+	key, ok := sh.cellOf[id]
+	if !ok {
+		return
+	}
+	c := sh.cells[key]
+	for i, n := range c.members {
+		if n == id {
+			c.members = append(c.members[:i], c.members[i+1:]...)
+			break
+		}
+	}
+	delete(sh.cellOf, id)
+	delete(sh.seq, id)
+}
+
+// ledgerFor rebuilds the ledger of the cell at key from the global
+// active list: every transmission whose origin cell is within the
+// detectability ring, in transmit order. Used when a cell springs into
+// existence mid-flight (attach or migration into fresh ground).
+func (m *Medium) ledgerFor(key cellKey) []*transmission {
+	var out []*transmission
+	for _, t := range m.active {
+		if t.pruned {
+			continue
+		}
+		if chebyshev(t.ocx-key.cx, t.ocy-key.cy) <= m.shard.ring {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func chebyshev(dx, dy int) int {
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	if dy > dx {
+		return dy
+	}
+	return dx
+}
+
+// forRing visits every existing cell within the detectability ring of
+// key, in deterministic row-major order.
+func (sh *shardState) forRing(key cellKey, fn func(*cell)) {
+	for dy := -sh.ring; dy <= sh.ring; dy++ {
+		for dx := -sh.ring; dx <= sh.ring; dx++ {
+			if c, ok := sh.cells[cellKey{key.cx + dx, key.cy + dy}]; ok {
+				fn(c)
+			}
+		}
+	}
+}
+
+// register files t into the ledgers of all cells its RF energy can
+// reach: those within the ring of its origin cell.
+func (sh *shardState) register(t *transmission) {
+	sh.forRing(cellKey{t.ocx, t.ocy}, func(c *cell) {
+		c.ledger = append(c.ledger, t)
+	})
+}
+
+// invalidateRing drops the cached candidate sets of every transmitter
+// whose fan-out can include nodes in the ring around key — exactly the
+// transmitters resident in cells within the ring (spatial symmetry:
+// node X can hear node Y only if Y can be ring-reached from X's cell).
+func (m *Medium) invalidateRing(key cellKey) {
+	m.shard.forRing(key, func(c *cell) {
+		for _, id := range c.members {
+			delete(m.reach, id)
+		}
+	})
+}
+
+// purgeGains deletes cached budgets involving id: links INTO id live
+// in id's own cell; links FROM id live in the cells of receivers
+// within the detectability ring of id's cell (budgets are only ever
+// cached against current positions, so nothing farther can hold one).
+func (m *Medium) purgeGains(id phys.NodeID, key cellKey) {
+	m.shard.forRing(key, func(c *cell) {
+		for k := range c.gains {
+			if phys.NodeID(k>>16) == id || phys.NodeID(k&0xFFFF) == id {
+				delete(c.gains, k)
+			}
+		}
+	})
+}
+
+// shardAttach wires a newly attached node into the partition.
+func (m *Medium) shardAttach(id phys.NodeID, pos phys.Position) {
+	key := m.keyFor(pos)
+	fresh := m.shard.cells[key] == nil
+	m.shard.place(id, key)
+	if fresh {
+		m.shard.cells[key].ledger = m.ledgerFor(key)
+	}
+	// Nearby transmitters must see the newcomer in their candidate
+	// sets; distant ones provably cannot reach it.
+	m.invalidateRing(key)
+}
+
+// shardDetach removes a node from the partition.
+func (m *Medium) shardDetach(id phys.NodeID) {
+	key, ok := m.shard.cellOf[id]
+	if !ok {
+		return
+	}
+	m.purgeGains(id, key)
+	m.shard.remove(id)
+	m.invalidateRing(key)
+}
+
+// shardMove migrates a node between cells after a position change and
+// scopes the invalidation to the two detectability rings involved:
+// every transmitter that could reach the node at either position gets
+// a fresh candidate set, everyone else keeps theirs — at 10k nodes
+// that is the difference between O(ring²·density) and O(N) per step
+// of a walking workstation.
+func (m *Medium) shardMove(id phys.NodeID) {
+	sh := m.shard
+	old, ok := sh.cellOf[id]
+	if !ok {
+		return
+	}
+	// Budgets involving the node are stale at both ends.
+	m.purgeGains(id, old)
+	m.invalidateRing(old)
+	key := m.keyFor(m.nodes[id].Position())
+	if key != old {
+		fresh := sh.cells[key] == nil
+		sh.remove(id)
+		sh.place(id, key)
+		if fresh {
+			sh.cells[key].ledger = m.ledgerFor(key)
+		}
+		m.invalidateRing(key)
+		m.purgeGains(id, key)
+	}
+}
+
+// cellOf returns the cell id currently resides in (nil when unsharded
+// or id is detached).
+func (m *Medium) cellOf(id phys.NodeID) *cell {
+	if m.shard == nil {
+		return nil
+	}
+	key, ok := m.shard.cellOf[id]
+	if !ok {
+		return nil
+	}
+	return m.shard.cells[key]
+}
+
+// shardReach builds tx's candidate set from the cells within the
+// detectability ring of its own cell: collect resident nodes, sort
+// them back into global attach order, and apply the same reachability
+// floor the unsharded index applies. Nodes outside the ring are
+// provably under the floor (phys.Model.DetectRange), so the candidate
+// set — and the bulk below-sensitivity count — match the unsharded
+// index exactly.
+func (m *Medium) shardReach(tx Receiver) *reachability {
+	sh := m.shard
+	id := tx.NodeID()
+	pos := tx.Position()
+	var near []phys.NodeID
+	sh.forRing(sh.cellOf[id], func(c *cell) {
+		near = append(near, c.members...)
+	})
+	sort.Slice(near, func(i, j int) bool { return sh.seq[near[i]] < sh.seq[near[j]] })
+	r := &reachability{}
+	for _, other := range near {
+		if other == id {
+			continue
+		}
+		b := m.txBudget(id, pos, other, m.nodes[other].Position(), m.cellOf(other))
+		if b.Received(maxTxDBm) < radio.SensitivityDBm-FadeMarginDB {
+			r.far++
+			continue
+		}
+		r.cand = append(r.cand, other)
+	}
+	// Out-of-ring nodes are below the floor by construction: count
+	// them in bulk so stats match the full-scan index byte for byte.
+	// near contains tx itself (it resides in its own cell), which is
+	// neither candidate nor far, so the arithmetic works out to
+	// "attached nodes other than tx that were not collected".
+	out := len(m.nodes) - len(near)
+	if !containsID(near, id) {
+		out--
+	}
+	r.far += uint64(out)
+	return r
+}
+
+func containsID(ids []phys.NodeID, id phys.NodeID) bool {
+	for _, x := range ids {
+		if x == id {
+			return true
+		}
+	}
+	return false
+}
+
+// assess is one receiver's pure delivery physics, computed before any
+// observable effect: the static link budget and the
+// interference-plus-noise level at the delivery instant. It carries no
+// randomness — the corruption draw happens at commit, in candidate
+// order.
+type assess struct {
+	rx Receiver
+	b  phys.Budget
+	// inDBm is noise+interference in dBm at the receiver; interfered
+	// reports whether any co-channel transmission overlapped. Only
+	// meaningful when scanned (receiver listening on the right
+	// channel); the commit path never reads them otherwise.
+	inDBm      float64
+	interfered bool
+}
+
+// assessOne computes one candidate's delivery physics. Pure with
+// respect to everything outside the receiver's cell: it reads medium
+// topology and writes only the cell-scoped budget cache, which is what
+// makes per-cell concurrent assessment race-free.
+func (m *Medium) assessOne(t *transmission, id phys.NodeID, noiseMW float64) assess {
+	rx, ok := m.nodes[id]
+	if !ok {
+		return assess{} // detached while the frame was in flight
+	}
+	c := m.cellOf(id)
+	pos := rx.Position()
+	a := assess{rx: rx, b: m.txBudget(t.from, t.pos, id, pos, c)}
+	if rx.Channel() != t.channel || rx.RadioState() != radio.RX {
+		// The commit path bails out before the SINR term; skip the scan.
+		return a
+	}
+	ledger := m.active
+	if c != nil {
+		ledger = c.ledger
+	}
+	interfMW := 0.0
+	for _, o := range ledger {
+		if o == t || o.pruned || o.channel != t.channel || o.from == id {
+			continue
+		}
+		if o.start >= t.end || o.end <= t.start {
+			continue // no temporal overlap
+		}
+		p := m.txBudget(o.from, o.pos, id, pos, c).Received(o.txDBm)
+		interfMW += dbmToMW(p)
+		a.interfered = true
+	}
+	a.inDBm = mwToDBm(noiseMW + interfMW)
+	return a
+}
+
+// assessCells runs the pure assessment of every candidate, grouped by
+// the receiver's current cell, across the engine's worker lanes. Cells
+// are the unit of concurrency because they are the unit of state
+// ownership: a lane touches only its cell's budget cache and ledger.
+// Results land in candidate-index slots; the caller commits them in
+// index order, so worker count is invisible in the output.
+func (m *Medium) assessCells(t *transmission, ids []phys.NodeID, noiseMW float64) []assess {
+	sh := m.shard
+	as := make([]assess, len(ids))
+	groups := make(map[cellKey][]int)
+	var order []cellKey
+	for i, id := range ids {
+		if id == t.from {
+			continue
+		}
+		key, ok := sh.cellOf[id]
+		if !ok {
+			continue // detached: zero assess, commit skips it
+		}
+		if _, seen := groups[key]; !seen {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	m.eng.ForkJoin(len(order), func(lane int) {
+		for _, i := range groups[order[lane]] {
+			as[i] = m.assessOne(t, ids[i], noiseMW)
+		}
+	})
+	return as
+}

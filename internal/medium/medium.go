@@ -188,6 +188,18 @@ type transmission struct {
 	// indexed records which fan-out mode the transmission was put on the
 	// air under, so a mid-flight toggle cannot mix the two paths.
 	indexed bool
+	// sharded records whether the medium was spatially sharded at
+	// transmit time; the candidate set was then ring-collected and the
+	// delivery may assess cells concurrently.
+	sharded bool
+	// ocx, ocy is the origin grid cell (floor(pos / cellSize)) under the
+	// sharded medium: the transmission is registered in the ledgers of
+	// all cells within the detectability ring of this cell, and cells
+	// created later (attach, migration) re-derive membership from it.
+	ocx, ocy int
+	// pruned marks a transmission prune decided to drop, so per-cell
+	// ledgers can be compacted independently of slice identity.
+	pruned bool
 }
 
 // FadeMarginDB is the headroom the reachability index keeps above the
@@ -265,6 +277,11 @@ type Medium struct {
 	// reach caches each transmitter's candidate set; invalidated on
 	// attach/detach and topology changes.
 	reach map[phys.NodeID]*reachability
+	// shard, when non-nil, is the spatial partition (see cells.go):
+	// per-cell interference ledgers, budget caches, and membership,
+	// enabling ring-bounded candidate collection and concurrent fan-out
+	// assessment.
+	shard *shardState
 	// links interns per-link metric names, keyed from<<16|to.
 	links map[uint32]*linkKeys
 	// prr memoises the PRR curve by (SINR bits, frame length).
@@ -334,6 +351,10 @@ func New(eng *sim.Engine, model *phys.Model) *Medium {
 func (m *Medium) SetReachabilityIndex(enabled bool) {
 	m.indexed = enabled
 	clear(m.reach)
+	if !enabled {
+		// Sharding is the index taken spatial; it cannot outlive it.
+		m.shard = nil
+	}
 }
 
 // InvalidateTopology drops the cached link budgets and reachability
@@ -344,6 +365,11 @@ func (m *Medium) InvalidateTopology() {
 	clear(m.gains)
 	clear(m.reach)
 	clear(m.prr)
+	if m.shard != nil {
+		for _, c := range m.shard.cells {
+			clear(c.gains)
+		}
+	}
 }
 
 // NodeMoved tells the medium that one attached node changed position:
@@ -354,6 +380,13 @@ func (m *Medium) InvalidateTopology() {
 // recomputed against the new position at delivery, as the unindexed
 // scan would.
 func (m *Medium) NodeMoved(id phys.NodeID) {
+	if m.shard != nil {
+		// The sharded medium migrates the node between cells and scopes
+		// both the budget purge and the candidate-set invalidation to
+		// the detectability rings around the old and new positions.
+		m.shardMove(id)
+		return
+	}
 	for k := range m.gains {
 		if phys.NodeID(k>>16) == id || phys.NodeID(k&0xFFFF) == id {
 			delete(m.gains, k)
@@ -370,7 +403,11 @@ func (m *Medium) Attach(r Receiver) error {
 	}
 	m.nodes[id] = r
 	m.order = append(m.order, id)
-	clear(m.reach) // candidate sets must include the newcomer
+	if m.shard != nil {
+		m.shardAttach(id, r.Position())
+	} else {
+		clear(m.reach) // candidate sets must include the newcomer
+	}
 	return nil
 }
 
@@ -392,7 +429,11 @@ func (m *Medium) Detach(id phys.NodeID) {
 	// In-flight transmissions keep their captured candidate sets (which
 	// may still name id — deliver drops it via the nodes lookup); only
 	// future transmissions need rebuilt sets.
-	clear(m.reach)
+	if m.shard != nil {
+		m.shardDetach(id)
+	} else {
+		clear(m.reach)
+	}
 }
 
 // Nodes returns the number of attached nodes.
@@ -423,6 +464,7 @@ func (m *Medium) prune() {
 		}
 	}
 	keep := m.active[:0]
+	dropped := false
 	for _, t := range m.active {
 		// Keep frames still awaiting delivery, and any ended frame that
 		// overlapped an undelivered one (o overlaps t iff o.end > t.start,
@@ -430,6 +472,9 @@ func (m *Medium) prune() {
 		// or after now, so nothing already ended can overlap them.
 		if t.end >= now || t.end > minStart {
 			keep = append(keep, t)
+		} else {
+			t.pruned = true
+			dropped = true
 		}
 	}
 	// Zero the tail so dropped transmissions can be collected.
@@ -437,23 +482,67 @@ func (m *Medium) prune() {
 		m.active[i] = nil
 	}
 	m.active = keep
+	if dropped && m.shard != nil {
+		// Compact every cell ledger. The keep filter is per-transmission
+		// (the pruned flag), so ledgers can be filtered independently of
+		// the global list and of one another.
+		for _, c := range m.shard.cells {
+			kl := c.ledger[:0]
+			for _, t := range c.ledger {
+				if !t.pruned {
+					kl = append(kl, t)
+				}
+			}
+			for i := len(kl); i < len(c.ledger); i++ {
+				c.ledger[i] = nil
+			}
+			c.ledger = kl
+		}
+	}
 }
 
 // budgetBetween returns the static link budget from → to, consulting
 // the per-pair cache when the index is enabled. The cached components
 // are the same deterministic function of the endpoints either way, and
 // Budget.Received combines them in the model's arithmetic order, so
-// both paths produce bit-identical received powers.
+// both paths produce bit-identical received powers. Callers must pass
+// *current* positions — the cache is keyed by node pair only; for
+// budgets against a position captured at transmit time, use txBudget.
 func (m *Medium) budgetBetween(from, to phys.NodeID, fromPos, toPos phys.Position) phys.Budget {
+	return m.txBudget(from, fromPos, to, toPos, nil)
+}
+
+// txBudget returns the static link budget from → to for a transmission
+// whose origin position was captured at fromPos. The per-pair cache
+// (keyed by node IDs only) always describes the transmitter's current
+// position — NodeMoved purges it on every move — so when fromPos no
+// longer matches (the transmitter walked away, or detached, while the
+// frame was in flight) the budget is computed directly instead of
+// being read from, or written into, the cache. Without this check a
+// delivery after a mid-flight move would poison the cache with a
+// budget computed from the stale captured position, and every later
+// transmission on that link would inherit it.
+//
+// c, when non-nil, is the receiver's cell: its cell-scoped cache is
+// used instead of the global one, which is what lets concurrent
+// per-cell assessment lanes write their caches without racing.
+func (m *Medium) txBudget(from phys.NodeID, fromPos phys.Position, to phys.NodeID, toPos phys.Position, c *cell) phys.Budget {
 	if !m.indexed {
 		return m.model.LinkBudget(from, to, fromPos, toPos)
 	}
+	if cur, ok := m.nodes[from]; !ok || cur.Position() != fromPos {
+		return m.model.LinkBudget(from, to, fromPos, toPos)
+	}
+	gains := m.gains
+	if c != nil {
+		gains = c.gains
+	}
 	key := uint32(from)<<16 | uint32(to)
-	if b, ok := m.gains[key]; ok {
+	if b, ok := gains[key]; ok {
 		return b
 	}
 	b := m.model.LinkBudget(from, to, fromPos, toPos)
-	m.gains[key] = b
+	gains[key] = b
 	return b
 }
 
@@ -464,6 +553,11 @@ func (m *Medium) budgetBetween(from, to phys.NodeID, fromPos, toPos phys.Positio
 func (m *Medium) reachFor(tx Receiver) *reachability {
 	id := tx.NodeID()
 	if r, ok := m.reach[id]; ok {
+		return r
+	}
+	if m.shard != nil {
+		r := m.shardReach(tx)
+		m.reach[id] = r
 		return r
 	}
 	r := &reachability{}
@@ -558,6 +652,12 @@ func (m *Medium) Transmit(tx Receiver, frame []byte) (sim.Time, error) {
 		r := m.reachFor(tx)
 		t.cand, t.far = r.cand, r.far
 	}
+	if m.shard != nil {
+		t.sharded = true
+		key := m.keyFor(t.pos)
+		t.ocx, t.ocy = key.cx, key.cy
+		m.shard.register(t)
+	}
 	m.active = append(m.active, t)
 	m.stats.Transmitted++
 	m.txSeq++
@@ -621,6 +721,14 @@ func (m *Medium) report(d TapDelivery) {
 // filtered by the same reachability floor, so both modes produce the
 // same outcome sequence, the same randomness draws, and byte-identical
 // telemetry.
+//
+// The fan-out is split into a pure assessment phase (link budget and
+// interference per candidate — assessOne) and a commit phase (fault
+// hooks, randomness, stats, telemetry, OnFrame). Under the sharded
+// medium with a worker budget above one, the assessment phase runs
+// concurrently grouped by receiver cell; the commit loop below always
+// walks candidates in index order, so worker count never shows in the
+// output (DESIGN.md §14).
 func (m *Medium) deliver(t *transmission, seq uint64) {
 	// Nodes excluded by the reachability floor can never demodulate the
 	// frame; they are counted in bulk, with no per-receiver outcome.
@@ -629,15 +737,26 @@ func (m *Medium) deliver(t *transmission, seq uint64) {
 	if !t.indexed {
 		ids = m.order
 	}
-	for _, id := range ids {
+	noiseMW := m.noiseFloorMW()
+	var as []assess
+	if t.sharded && m.shard != nil && m.eng.Workers() > 1 && len(ids) >= shardFanoutMin {
+		as = m.assessCells(t, ids, noiseMW)
+	}
+	for i, id := range ids {
 		if id == t.from {
 			continue
 		}
-		rx, ok := m.nodes[id]
-		if !ok {
+		var a assess
+		if as != nil {
+			a = as[i]
+		} else {
+			a = m.assessOne(t, id, noiseMW)
+		}
+		rx := a.rx
+		if rx == nil {
 			continue // detached while the frame was in flight
 		}
-		b := m.budgetBetween(t.from, id, t.pos, rx.Position())
+		b := a.b
 		if !t.indexed && b.Received(maxTxDBm) < radio.SensitivityDBm-FadeMarginDB {
 			// The same floor the index precomputes, applied inline.
 			m.stats.BelowSensitivity++
@@ -676,7 +795,7 @@ func (m *Medium) deliver(t *transmission, seq uint64) {
 			m.report(outcome)
 			continue
 		}
-		sinr, interfered := m.sinrAt(t, id, rx.Position(), rxDBm)
+		sinr, interfered := rxDBm-a.inDBm, a.interfered
 		// The analytical BER curve models interference as white noise,
 		// which flatters DSSS under co-channel collisions. Real CC2420
 		// receivers need the carrier a few dB above an 802.15.4
@@ -736,47 +855,34 @@ func (m *Medium) deliver(t *transmission, seq uint64) {
 // least this many dB above the combined interference.
 const CaptureThresholdDB = 4.0
 
-// sinrAt computes the signal-to-interference-plus-noise ratio in dB of
-// transmission t at receiver id, given its received power. The second
-// result reports whether any co-channel transmission overlapped t.
-func (m *Medium) sinrAt(t *transmission, id phys.NodeID, pos phys.Position, rxDBm float64) (float64, bool) {
-	noiseMW := m.noiseFloorMW()
-	interfMW := 0.0
-	interfered := false
-	for _, o := range m.active {
-		if o == t || o.channel != t.channel || o.from == id {
-			continue
-		}
-		if o.start >= t.end || o.end <= t.start {
-			continue // no temporal overlap
-		}
-		p := m.budgetBetween(o.from, id, o.pos, pos).Received(o.txDBm)
-		interfMW += dbmToMW(p)
-		interfered = true
-	}
-	return rxDBm - mwToDBm(noiseMW+interfMW), interfered
-}
-
 // EnergyDBmAt reports the strongest in-band signal currently on the air
 // as heard by node r, or negative infinity when the channel is silent.
 // This is what the MAC's CCA samples. Signals under the reachability
 // floor (SensitivityDBm − FadeMarginDB even at full transmit power) are
 // treated as silence: the radio cannot detect them, and skipping them
-// keeps the indexed and legacy fan-outs bit-identical.
+// keeps the indexed and legacy fan-outs bit-identical. Under the
+// sharded medium the scan covers only the receiver's cell ledger —
+// everything outside it is under the floor by the ring bound, so the
+// answer is bit-identical to the full scan.
 func (m *Medium) EnergyDBmAt(r Receiver) float64 {
 	m.prune()
 	now := m.eng.Now()
 	best := math.Inf(-1)
 	rid := r.NodeID()
 	rpos := r.Position()
-	for _, t := range m.active {
-		if t.channel != r.Channel() || t.from == rid {
+	c := m.cellOf(rid)
+	ledger := m.active
+	if c != nil {
+		ledger = c.ledger
+	}
+	for _, t := range ledger {
+		if t.pruned || t.channel != r.Channel() || t.from == rid {
 			continue
 		}
 		if t.start > now || t.end <= now {
 			continue
 		}
-		b := m.budgetBetween(t.from, rid, t.pos, rpos)
+		b := m.txBudget(t.from, t.pos, rid, rpos, c)
 		if b.Received(maxTxDBm) < radio.SensitivityDBm-FadeMarginDB {
 			continue // undetectable at any power level
 		}

@@ -123,6 +123,36 @@ func (m *Model) PathLoss(d float64) float64 {
 	return m.PL0 + 10*m.Exponent*math.Log10(d)
 }
 
+// MaxGaussDB is the largest magnitude gauss can produce. Box-Muller
+// over u1 ≥ 1e-12 bounds the radius at sqrt(-2·ln 1e-12) ≈ 7.434, so
+// every shadowing or asymmetry draw lies within ±MaxGaussDB standard
+// deviations. The spatially sharded medium leans on this: it turns the
+// model's "random" terms into a hard worst-case link budget.
+const MaxGaussDB = 7.44
+
+// MaxDeviationDB returns the largest total boost in dB the static
+// shadowing and asymmetry draws can add to any directed link.
+func (m *Model) MaxDeviationDB() float64 {
+	return MaxGaussDB * (m.ShadowSigma + m.AsymSigma)
+}
+
+// DetectRange returns the distance in meters beyond which NO link in
+// this deployment can deliver floorDBm to a receiver from a transmitter
+// emitting txDBm — even with the most favourable shadowing and
+// asymmetry draws the model can produce. It inverts PathLoss at the
+// worst-case budget, so it is conservative: every pair farther apart
+// than DetectRange is guaranteed under the floor, while pairs inside it
+// must still be checked link by link. This bound is what sizes the
+// sharded medium's cells: RF energy from a transmitter is provably
+// confined to cells within DetectRange of it.
+func (m *Model) DetectRange(txDBm, floorDBm float64) float64 {
+	budget := txDBm - floorDBm + m.MaxDeviationDB() - m.PL0
+	if budget <= 0 {
+		return 1 // loss at the 1 m reference distance already exceeds the budget
+	}
+	return math.Pow(10, budget/(10*m.Exponent))
+}
+
 // Budget holds the static dB components of a directed link's budget:
 // path loss, shadowing, and per-direction asymmetry. All three depend
 // only on the endpoints' identities and positions and the model seed,

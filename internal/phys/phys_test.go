@@ -206,3 +206,70 @@ func TestDefaultModelPlausibleRange(t *testing.T) {
 		t.Fatalf("200m link PRR = %f, want ~0", p)
 	}
 }
+
+// TestMaxGaussBound verifies the documented hard bound on the model's
+// deviate generator: the sharded medium's cell sizing is only sound if
+// no shadowing or asymmetry draw can ever exceed MaxGaussDB sigmas.
+func TestMaxGaussBound(t *testing.T) {
+	m := DefaultModel(99)
+	for k := uint64(0); k < 200000; k++ {
+		if g := math.Abs(m.gauss(k)); g > MaxGaussDB {
+			t.Fatalf("gauss(%d) = %f exceeds MaxGaussDB = %f", k, g, MaxGaussDB)
+		}
+	}
+	// The analytic worst case: u1 is clamped at 1e-12, so the radius is
+	// bounded by sqrt(-2 ln 1e-12) < 7.44.
+	if worst := math.Sqrt(-2 * math.Log(1e-12)); worst > MaxGaussDB {
+		t.Fatalf("analytic bound %f exceeds MaxGaussDB", worst)
+	}
+}
+
+// TestDetectRangeIsConservative samples many links and checks that no
+// pair separated by more than DetectRange can clear the floor.
+func TestDetectRangeIsConservative(t *testing.T) {
+	m := DefaultModel(5)
+	const txDBm, floorDBm = 0.0, -106.0
+	r := m.DetectRange(txDBm, floorDBm)
+	if r <= 1 {
+		t.Fatalf("DetectRange = %f, want a usable radius", r)
+	}
+	for a := NodeID(1); a <= 60; a++ {
+		for b := a + 1; b <= 60; b++ {
+			pa := Position{}
+			pb := Position{X: r * 1.0000001} // just outside the bound
+			if got := m.ReceivedPower(txDBm, a, b, pa, pb); got >= floorDBm {
+				t.Fatalf("link %d→%d at %.1f m received %f dBm, above floor %f",
+					a, b, pb.X, got, floorDBm)
+			}
+		}
+	}
+	// Inside the bound, at least some links must clear the floor
+	// (otherwise the bound would be vacuous).
+	ok := false
+	for a := NodeID(1); a <= 60 && !ok; a++ {
+		pb := Position{X: r * 0.02}
+		if m.ReceivedPower(txDBm, a, a+1, Position{}, pb) >= floorDBm {
+			ok = true
+		}
+	}
+	if !ok {
+		t.Fatal("no link inside DetectRange cleared the floor")
+	}
+}
+
+// TestDetectRangeZeroSigma pins the closed form when shadowing and
+// asymmetry are disabled: PL0 + 10·n·log10(d) = tx − floor.
+func TestDetectRangeZeroSigma(t *testing.T) {
+	m := DefaultModel(1)
+	m.ShadowSigma = 0
+	m.AsymSigma = 0
+	got := m.DetectRange(0, -106)
+	want := math.Pow(10, (0+106-m.PL0)/(10*m.Exponent))
+	if math.Abs(got-want) > 1e-9 {
+		t.Fatalf("DetectRange = %f, want %f", got, want)
+	}
+	// A hopeless budget clamps to the reference distance.
+	if m.DetectRange(-300, -106) != 1 {
+		t.Fatal("negative budget should clamp to 1 m")
+	}
+}

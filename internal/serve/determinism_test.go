@@ -19,13 +19,19 @@ import (
 // by the service (Config.SeedFor derives the seed from the tenant name
 // exactly like the daemon does).
 func testbedRunner(tenant string, seed uint64) (Runner, error) {
-	dep := cli.DeploymentFlags{
+	return deploymentRunner(cli.DeploymentFlags{
 		Topo:    "line",
 		Nodes:   3,
 		Spacing: 18,
 		Seed:    seed,
 		Warmup:  12 * time.Second, // virtual time: cheap
-	}
+	})
+}
+
+// deploymentRunner builds a tenant runner for an arbitrary deployment —
+// the managed stack (geographic + tree routing, LiteView, warm-up, a
+// workstation shell) over whatever topology the flags describe.
+func deploymentRunner(dep cli.DeploymentFlags) (Runner, error) {
 	tb, err := dep.Build()
 	if err != nil {
 		return nil, err

@@ -9,6 +9,7 @@ import (
 	"testing"
 	"time"
 
+	"liteview/internal/cli"
 	"liteview/internal/journal"
 )
 
@@ -209,6 +210,161 @@ func TestCrashMidScriptRecoversByteIdentical(t *testing.T) {
 	}
 	if h := srv.Healthz(); !h.Ready || len(h.Quarantined) != 0 {
 		t.Errorf("health after recovery: %+v", h)
+	}
+}
+
+// shardedDep is the deployment the sharded recovery test runs: a line
+// long enough to span two medium cells (8 nodes × 18 m = 126 m against
+// the ~108 m auto cell size) with three concurrent assessment lanes.
+// Both cells sit inside each other's detectability ring, so sharded
+// output must match the unsharded medium byte for byte.
+func shardedDep(seed uint64) cli.DeploymentFlags {
+	return cli.DeploymentFlags{
+		Topo:       "line",
+		Nodes:      8,
+		Spacing:    18,
+		Seed:       seed,
+		Warmup:     12 * time.Second,
+		Shard:      true,
+		MedWorkers: 3,
+	}
+}
+
+func shardedFlakyFactory(sw *crashSwitch) func(string, uint64) (Runner, error) {
+	return func(tenant string, seed uint64) (Runner, error) {
+		r, err := deploymentRunner(shardedDep(seed))
+		if err != nil {
+			return nil, err
+		}
+		return &flakyRunner{inner: r, sw: sw}, nil
+	}
+}
+
+// shardedScript walks the diagnostic path across both cells: the ping
+// and traceroute targets live in the far cell, so every command's
+// output depends on cross-cell deliveries.
+var shardedScript = []string{
+	"cd 192.168.0.1",
+	"ping 192.168.0.4",
+	"flaky traceroute 192.168.0.8",
+	"health 192.168.0.6",
+	"ping 192.168.0.8",
+	"stats",
+	"pwd",
+}
+
+// TestShardedMediumCrashRecoveryByteIdentical is the sharded medium's
+// §13 acceptance gate: a tenant running on a spatially sharded,
+// three-lane medium panics mid-script, the supervisor resurrects it by
+// replaying the journal, and the rest of the script is byte-identical
+// to an uninterrupted sharded run — which is itself byte-identical to
+// the plain unsharded medium on this topology.
+func TestShardedMediumCrashRecoveryByteIdentical(t *testing.T) {
+	const tenant = "cellular"
+	seed := TenantSeed(0, tenant)
+
+	// The deployment really is sharded and really spans cells.
+	probeDep := shardedDep(seed)
+	tb, err := probeDep.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cells, _, _ := tb.Med.ShardInfo(); !tb.Med.Sharded() || cells < 2 {
+		t.Fatalf("deployment not sharded across cells: sharded=%v cells=%d", tb.Med.Sharded(), cells)
+	}
+
+	// Uninterrupted sharded reference, and the unsharded oracle it must
+	// agree with (the sharded medium's §10 contract surfaced through the
+	// whole shell stack).
+	runScript := func(factory func(string, uint64) (Runner, error)) []string {
+		r, err := factory(tenant, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(shardedScript))
+		for i, line := range shardedScript {
+			o, err := r.Run(line)
+			if err != nil {
+				t.Fatalf("reference %q: %v", line, err)
+			}
+			out[i] = o
+		}
+		return out
+	}
+	want := runScript(shardedFlakyFactory(&crashSwitch{}))
+	plain := runScript(func(_ string, seed uint64) (Runner, error) {
+		dep := shardedDep(seed)
+		dep.Shard = false
+		dep.MedWorkers = 1
+		r, err := deploymentRunner(dep)
+		if err != nil {
+			return nil, err
+		}
+		return &flakyRunner{inner: r, sw: &crashSwitch{}}, nil
+	})
+	for i := range want {
+		if want[i] != plain[i] {
+			t.Errorf("sharded output diverged from unsharded medium at %q\nunsharded:\n%s\nsharded:\n%s",
+				shardedScript[i], plain[i], want[i])
+		}
+	}
+	if want[2] == "" || want[4] == "" || want[5] == "" {
+		t.Fatalf("reference transcript has empty outputs: %q", want)
+	}
+
+	// Crash the sharded tenant mid-script and recover through the journal.
+	sw := &crashSwitch{}
+	cfg := Config{
+		NewRunner:      shardedFlakyFactory(sw),
+		JournalDir:     t.TempDir(),
+		RestartBackoff: time.Millisecond,
+		TenantIdle:     -1,
+	}
+	srv, addr := startServer(t, cfg)
+	sw.arm()
+
+	c, err := Dial(addr, tenant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]string, len(shardedScript))
+	for i := 0; i < 2; i++ {
+		resp, err := c.Run(shardedScript[i])
+		if err != nil || resp.Error != "" {
+			t.Fatalf("%q: %v %q", shardedScript[i], err, resp.Error)
+		}
+		got[i] = resp.Output
+	}
+	resp, err := c.Run(shardedScript[2])
+	if err != nil {
+		t.Fatalf("crash command transport: %v", err)
+	}
+	if resp.Code != CodeTenantCrashed {
+		t.Fatalf("crash code = %q (%s), want %q", resp.Code, resp.Error, CodeTenantCrashed)
+	}
+	c.Close()
+
+	c2 := dialRecovered(t, addr, tenant)
+	defer c2.Close()
+	for i := 3; i < len(shardedScript); i++ {
+		resp, err := c2.Run(shardedScript[i])
+		if err != nil || resp.Error != "" {
+			t.Fatalf("post-recovery %q: %v %q", shardedScript[i], err, resp.Error)
+		}
+		got[i] = resp.Output
+	}
+	for i := range want {
+		if i == 2 {
+			continue // the crashed command produced no client-visible output
+		}
+		if got[i] != want[i] {
+			t.Errorf("command %q diverged after sharded-medium crash recovery\nwant:\n%s\ngot:\n%s",
+				shardedScript[i], want[i], got[i])
+		}
+	}
+
+	if m := srv.MetricsSnapshot(); m["serve.recovery.recovered"] != 1 {
+		t.Errorf("recovery.recovered = %v, want 1", m["serve.recovery.recovered"])
 	}
 }
 

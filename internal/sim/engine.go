@@ -68,6 +68,9 @@ type Engine struct {
 	// invisible to the timeline: a reused struct gets a fresh seq, so
 	// ordering is exactly what freshly allocated events would produce.
 	free []*Event
+	// workers is the ForkJoin concurrency budget (see lanes.go); 0 and
+	// 1 both mean strictly sequential.
+	workers int
 }
 
 // ErrPastEvent is returned when an event is scheduled before the current

@@ -1,0 +1,87 @@
+package sim
+
+import "sync"
+
+// Concurrent lanes: the engine's escape hatch from strict
+// single-threaded execution.
+//
+// The simulation stays a single timeline — events fire one at a time,
+// in (when, seq) order — but one *event* may fan independent read-only
+// work out over several OS threads and join it before committing any
+// observable effect. The canonical user is the sharded radio medium: a
+// frame delivery assesses hundreds of receivers grouped by spatial
+// cell, and cells are causally independent over the propagation-delay
+// lookahead (no transmission can influence another cell's state in
+// less than one frame airtime), so the per-cell assessments commute.
+// The barrier in ForkJoin is what turns that physical lookahead into a
+// determinism guarantee: all concurrent work completes before the
+// caller applies a single state change, and the caller commits results
+// in lane-index order, so the bytes a simulation produces are
+// identical for every worker count.
+//
+// The contract for fn passed to ForkJoin:
+//
+//   - it must not touch the engine (no scheduling, no clock reads via
+//     mutation, no RNG draws — randomness order is timeline order);
+//   - distinct lanes must not write shared state (per-lane caches are
+//     fine — that is the point of sharding);
+//   - all observable effects (stats, callbacks, telemetry, RNG) happen
+//     after ForkJoin returns, in an order chosen by lane index, never
+//     by completion.
+
+// SetWorkers sets the engine's concurrency budget for ForkJoin: the
+// maximum number of lanes assessed simultaneously (the caller's
+// goroutine counts as one). Values below 1 clamp to 1, which keeps
+// every ForkJoin inline — the sequential baseline. The budget is a
+// performance knob only: by the ForkJoin contract, results are
+// byte-identical at any setting.
+func (e *Engine) SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	e.workers = n
+}
+
+// Workers reports the engine's concurrency budget (at least 1).
+func (e *Engine) Workers() int {
+	if e.workers < 1 {
+		return 1
+	}
+	return e.workers
+}
+
+// ForkJoin runs fn(0) … fn(lanes-1), spreading lanes over up to
+// Workers() OS threads, and returns only when every lane has finished
+// (the lookahead barrier). With a budget of 1 — or a single lane — it
+// degrades to a plain loop on the caller's goroutine, so the
+// sequential and concurrent paths execute the same code per lane.
+// Lanes are distributed round-robin by index, so which goroutine runs
+// a lane is a pure function of (lane, workers) — nothing about the
+// interleaving can leak into results that honour the fn contract
+// above.
+func (e *Engine) ForkJoin(lanes int, fn func(lane int)) {
+	workers := e.Workers()
+	if workers > lanes {
+		workers = lanes
+	}
+	if workers <= 1 {
+		for i := 0; i < lanes; i++ {
+			fn(i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	for w := 1; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < lanes; i += workers {
+				fn(i)
+			}
+		}(w)
+	}
+	for i := 0; i < lanes; i += workers {
+		fn(i)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// TestForkJoinCoversEveryLane checks every lane index runs exactly once
+// for a spread of lane counts and worker budgets, including budgets
+// larger than the lane count.
+func TestForkJoinCoversEveryLane(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8, 64} {
+		for _, lanes := range []int{0, 1, 2, 7, 33} {
+			eng := NewEngine(1)
+			eng.SetWorkers(workers)
+			counts := make([]int32, lanes)
+			eng.ForkJoin(lanes, func(i int) { atomic.AddInt32(&counts[i], 1) })
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d lanes=%d: lane %d ran %d times", workers, lanes, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestForkJoinIsABarrier checks no lane work is outstanding when
+// ForkJoin returns: the commit phase that follows may rely on every
+// assessment being complete.
+func TestForkJoinIsABarrier(t *testing.T) {
+	eng := NewEngine(1)
+	eng.SetWorkers(4)
+	var running int32
+	for round := 0; round < 50; round++ {
+		eng.ForkJoin(16, func(i int) {
+			atomic.AddInt32(&running, 1)
+			atomic.AddInt32(&running, -1)
+		})
+		if n := atomic.LoadInt32(&running); n != 0 {
+			t.Fatalf("round %d: %d lanes still running after the barrier", round, n)
+		}
+	}
+}
+
+// TestForkJoinDeterministicByIndex is the lane-merge contract: results
+// written by lane index are identical at every worker count, because
+// each lane's computation is a pure function of its index.
+func TestForkJoinDeterministicByIndex(t *testing.T) {
+	run := func(workers int) []uint64 {
+		eng := NewEngine(7)
+		eng.SetWorkers(workers)
+		out := make([]uint64, 257)
+		eng.ForkJoin(len(out), func(i int) {
+			v := uint64(i) * 0x9e3779b97f4a7c15
+			v ^= v >> 29
+			out[i] = v
+		})
+		return out
+	}
+	base := run(1)
+	for _, workers := range []int{2, 3, 8} {
+		got := run(workers)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d: lane %d produced %x, sequential produced %x",
+					workers, i, got[i], base[i])
+			}
+		}
+	}
+}
+
+// TestWorkersClamp pins the budget accessor's floor.
+func TestWorkersClamp(t *testing.T) {
+	eng := NewEngine(1)
+	if eng.Workers() != 1 {
+		t.Fatalf("fresh engine Workers = %d, want 1", eng.Workers())
+	}
+	eng.SetWorkers(-3)
+	if eng.Workers() != 1 {
+		t.Fatalf("Workers after SetWorkers(-3) = %d, want 1", eng.Workers())
+	}
+	eng.SetWorkers(6)
+	if eng.Workers() != 6 {
+		t.Fatalf("Workers = %d, want 6", eng.Workers())
+	}
+}

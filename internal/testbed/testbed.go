@@ -43,6 +43,15 @@ type Options struct {
 	// default; LPL deployments want long periods — each broadcast costs
 	// a full sleep interval of repeats).
 	BeaconPeriod sim.Time
+	// ShardMedium partitions the radio medium into spatial cells
+	// (medium.SetSharding): ring-bounded fan-outs and, with
+	// MediumWorkers above one, concurrent per-cell delivery assessment.
+	// Output is byte-identical at every worker count.
+	ShardMedium bool
+	// MediumWorkers is the concurrency budget for sharded delivery
+	// assessment (0 keeps the engine sequential). Only meaningful with
+	// ShardMedium.
+	MediumWorkers int
 }
 
 // DefaultOptions keeps the propagation model defaults.
@@ -80,14 +89,18 @@ type Testbed struct {
 // subnets, comfortably inside the 16-bit 802.15.4 address space.
 const maxNodes = 250 * 250
 
+// ErrTooManyNodes is returned (wrapped) when a topology exceeds
+// maxNodes; callers reject over-cap deployments with errors.Is.
+var ErrTooManyNodes = errors.New("testbed: deployment exceeds the address space")
+
 // nodeName returns the management name of 1-based node x. The paper's
 // 30-mote testbed lives in 192.168.0.0/24; larger deployments continue
-// into 192.168.1.0/24 and beyond, 250 hosts per subnet.
+// into 192.168.1.0/24 and beyond, 250 hosts per subnet. Hosts are
+// numbered 1..250 within each subnet — the arithmetic is over x−1 so a
+// subnet's 250th node stays in it (node 500 is "192.168.1.250", not an
+// invalid host 0 in the next /24).
 func nodeName(x int) string {
-	if x <= 250 {
-		return fmt.Sprintf("192.168.0.%d", x)
-	}
-	return fmt.Sprintf("192.168.%d.%d", x/250, x%250)
+	return fmt.Sprintf("192.168.%d.%d", (x-1)/250, (x-1)%250+1)
 }
 
 func build(positions []phys.Position, opt Options) (*Testbed, error) {
@@ -95,7 +108,8 @@ func build(positions []phys.Position, opt Options) (*Testbed, error) {
 		return nil, errors.New("testbed: no nodes")
 	}
 	if len(positions) > maxNodes {
-		return nil, fmt.Errorf("testbed: more than %d nodes exceeds the 16-bit address space", maxNodes)
+		return nil, fmt.Errorf("%w: %d nodes, max %d (250 hosts in each of 250 /24 subnets)",
+			ErrTooManyNodes, len(positions), maxNodes)
 	}
 	eng := sim.NewEngine(opt.Seed)
 	model := phys.DefaultModel(opt.Seed)
@@ -106,6 +120,11 @@ func build(positions []phys.Position, opt Options) (*Testbed, error) {
 		model.AsymSigma = opt.AsymSigma
 	}
 	med := medium.New(eng, model)
+	if opt.ShardMedium {
+		if err := med.SetSharding(medium.Sharding{Workers: opt.MediumWorkers}); err != nil {
+			return nil, fmt.Errorf("testbed: %w", err)
+		}
+	}
 	tb := &Testbed{
 		Eng:     eng,
 		Med:     med,

@@ -1,6 +1,8 @@
 package testbed
 
 import (
+	"errors"
+	"fmt"
 	"testing"
 	"time"
 
@@ -203,5 +205,84 @@ func TestLargeDeploymentNaming(t *testing.T) {
 	}
 	if _, err := Grid(251, 250, 5, DefaultOptions(3)); err == nil {
 		t.Fatal("oversized deployment accepted")
+	}
+}
+
+// TestSubnetRollNaming is the regression for the /24 roll boundary: the
+// 250th host of every subnet used to be emitted as host 0 of the next
+// one ("192.168.2.0" for node 500 — an invalid host in the wrong /24),
+// and the very last node in the address space fell outside it entirely.
+func TestSubnetRollNaming(t *testing.T) {
+	cases := map[int]string{
+		1:        "192.168.0.1",
+		250:      "192.168.0.250", // last host of the first subnet
+		251:      "192.168.1.1",
+		500:      "192.168.1.250", // roll boundary: was "192.168.2.0"
+		501:      "192.168.2.1",
+		502:      "192.168.2.2", // the doc comment's example
+		750:      "192.168.2.250",
+		62250:    "192.168.248.250",
+		62251:    "192.168.249.1",
+		maxNodes: "192.168.249.250", // was "192.168.250.0", outside the space
+	}
+	for x, want := range cases {
+		if got := nodeName(x); got != want {
+			t.Errorf("nodeName(%d) = %q, want %q", x, got, want)
+		}
+	}
+	// No name may repeat and every host octet must stay in 1..250
+	// across the whole address space.
+	seen := make(map[string]bool, maxNodes)
+	for x := 1; x <= maxNodes; x++ {
+		name := nodeName(x)
+		if seen[name] {
+			t.Fatalf("duplicate name %q at node %d", name, x)
+		}
+		seen[name] = true
+		var a, b, c, d int
+		if _, err := fmt.Sscanf(name, "%d.%d.%d.%d", &a, &b, &c, &d); err != nil {
+			t.Fatalf("unparseable name %q", name)
+		}
+		if d < 1 || d > 250 || c < 0 || c > 249 {
+			t.Fatalf("node %d named %q: octets outside the 250×250 space", x, name)
+		}
+	}
+}
+
+// TestOverCapTopologyTypedError pins the typed rejection: callers gate
+// on errors.Is(err, ErrTooManyNodes).
+func TestOverCapTopologyTypedError(t *testing.T) {
+	_, err := Line(maxNodes+1, 1, DefaultOptions(1))
+	if !errors.Is(err, ErrTooManyNodes) {
+		t.Fatalf("over-cap error = %v, want errors.Is ErrTooManyNodes", err)
+	}
+	if _, err := Line(maxNodes, 1, DefaultOptions(1)); errors.Is(err, ErrTooManyNodes) {
+		t.Fatal("exactly-at-cap deployment rejected")
+	}
+}
+
+// TestShardMediumOption checks the deployment option wires sharding
+// into the medium and that a sharded warm-up reproduces the unsharded
+// packet trace on a single-ring deployment.
+func TestShardMediumOption(t *testing.T) {
+	opt := DefaultOptions(11)
+	opt.ShardMedium = true
+	opt.MediumWorkers = 4
+	tb, err := Line(5, 20, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !tb.Med.Sharded() {
+		t.Fatal("ShardMedium option did not shard the medium")
+	}
+	tb.WarmUp(30 * time.Second)
+	s := tb.Med.Stats()
+	base, err := Line(5, 20, DefaultOptions(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	base.WarmUp(30 * time.Second)
+	if bs := base.Med.Stats(); s != bs {
+		t.Fatalf("sharded warm-up diverged from unsharded: %+v vs %+v", s, bs)
 	}
 }

@@ -1,0 +1,107 @@
+package liteview
+
+// AllocsPerRun guards for the zero-alloc frame path: once pools and
+// caches are warm, a full one-hop delivery — stack encode, MAC
+// enqueue/CSMA, medium assessment + delivery, MAC decode + dedup,
+// stack dispatch, and (for unicast) the auto-ack exchange — must not
+// touch the allocator. These are tests, not benchmarks, so `go test`
+// alone catches an allocation regression without -bench flags.
+
+import (
+	"testing"
+
+	"liteview/internal/mac"
+	"liteview/internal/medium"
+	"liteview/internal/phys"
+	"liteview/internal/radio"
+	"liteview/internal/sim"
+	"liteview/internal/stack"
+)
+
+// buildFramePath wires two real nodes 5 m apart and returns the sender
+// stack, the engine, and a delivery counter.
+func buildFramePath(t *testing.T) (*sim.Engine, *stack.Stack, *int) {
+	t.Helper()
+	eng := sim.NewEngine(7)
+	med := medium.New(eng, phys.DefaultModel(7))
+	mkNode := func(id phys.NodeID, pos phys.Position) *stack.Stack {
+		rad, err := radio.New(17)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st *stack.Stack
+		m, err := mac.New(eng, med, rad, id, pos, mac.DefaultConfig(),
+			func(f mac.Frame, info medium.RxInfo) { st.OnFrame(f, info) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		st = stack.New(eng, m)
+		return st
+	}
+	tx := mkNode(1, phys.Position{})
+	rx := mkNode(2, phys.Position{X: 5})
+	got := 0
+	if err := rx.Subscribe(10, func(p *stack.Packet, _ phys.NodeID, _ medium.RxInfo) {
+		got += len(p.Data)
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return eng, tx, &got
+}
+
+func checkZeroAllocDelivery(t *testing.T, dst phys.NodeID) {
+	t.Helper()
+	eng, tx, got := buildFramePath(t)
+	pkt := &stack.Packet{Port: 10, Origin: 1, Dst: 2, TTL: 4, Data: make([]byte, 32)}
+	send := func() {
+		if err := tx.Send(pkt, dst, mac.TypeData, nil); err != nil {
+			t.Fatal(err)
+		}
+		eng.Run()
+	}
+	for i := 0; i < 16; i++ {
+		send() // warm link caches, event free list, frame pools
+	}
+	if allocs := testing.AllocsPerRun(200, send); allocs != 0 {
+		t.Fatalf("steady-state delivery to %v allocates %.1f allocs/op, want 0", dst, allocs)
+	}
+	if *got == 0 {
+		t.Fatal("no packets delivered")
+	}
+}
+
+func TestSteadyStateDeliveryZeroAllocBroadcast(t *testing.T) {
+	checkZeroAllocDelivery(t, phys.Broadcast)
+}
+
+func TestSteadyStateDeliveryZeroAllocUnicastAcked(t *testing.T) {
+	checkZeroAllocDelivery(t, 2)
+}
+
+// TestEnginePooledScheduleZeroAlloc pins the handle-free After/AfterArg
+// paths: a warm engine schedules and fires pooled events without
+// allocating, including the LPL-style many-ticker pattern.
+func TestEnginePooledScheduleZeroAlloc(t *testing.T) {
+	eng := sim.NewEngine(1)
+	fn := func() {}
+	tick := func() {
+		eng.After(1000, fn)
+		eng.Run()
+	}
+	for i := 0; i < 16; i++ {
+		tick()
+	}
+	if allocs := testing.AllocsPerRun(200, tick); allocs != 0 {
+		t.Fatalf("pooled After allocates %.1f allocs/op, want 0", allocs)
+	}
+	argFn := func(any) {}
+	arg := &struct{}{}
+	tickArg := func() {
+		eng.AfterArg(1000, argFn, arg)
+		eng.Run()
+	}
+	tickArg()
+	if allocs := testing.AllocsPerRun(200, tickArg); allocs != 0 {
+		t.Fatalf("pooled AfterArg allocates %.1f allocs/op, want 0", allocs)
+	}
+}

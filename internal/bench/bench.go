@@ -117,6 +117,7 @@ func All() []Experiment {
 		{"d6", "ablation: transmit-power tuning vs energy", EnergyTuning},
 		{"d7", "ablation: always-on vs low-power listening", DutyCycling},
 		{"chaos", "command behaviour under injected faults", Chaos},
+		{"kernel", "sim-kernel: timer wheel vs reference heap, zero-alloc frame path", Kernel},
 		{"recover", "self-healing: reroute after relay failure", Recovery},
 		{"scale", "medium scalability: commands on 400-node and sharded 10k-node grids", Scale},
 	}

@@ -77,10 +77,20 @@ var (
 
 // Encode serialises the frame, appending the FCS.
 func (f *Frame) Encode() ([]byte, error) {
+	return f.AppendEncode(nil)
+}
+
+// AppendEncode serialises the frame into dst's spare capacity and
+// returns the extended slice; the wire image is the appended region.
+// Encoding into a retained buffer's [:0] reslice makes steady-state
+// transmission allocation-free once the buffer has grown to frame size.
+func (f *Frame) AppendEncode(dst []byte) ([]byte, error) {
 	if len(f.Payload) > MaxPayload {
-		return nil, fmt.Errorf("%w: payload %d > %d", ErrFrameTooLong, len(f.Payload), MaxPayload)
+		return dst, fmt.Errorf("%w: payload %d > %d", ErrFrameTooLong, len(f.Payload), MaxPayload)
 	}
-	buf := make([]byte, headerLen+len(f.Payload)+fcsLen)
+	start := len(dst)
+	dst = append(dst, make([]byte, headerLen+len(f.Payload)+fcsLen)...)
+	buf := dst[start:]
 	buf[0] = byte(f.Type)
 	buf[1] = f.Seq
 	binary.BigEndian.PutUint16(buf[2:4], uint16(f.Dst))
@@ -88,7 +98,7 @@ func (f *Frame) Encode() ([]byte, error) {
 	copy(buf[headerLen:], f.Payload)
 	crc := Checksum(buf[:headerLen+len(f.Payload)])
 	binary.BigEndian.PutUint16(buf[headerLen+len(f.Payload):], crc)
-	return buf, nil
+	return dst, nil
 }
 
 // Decode parses raw bytes, verifying length bounds and the FCS. The

@@ -44,12 +44,12 @@ func (m *MAC) lplInit() {
 	if m.cfg.Linger <= 0 {
 		m.cfg.Linger = DefaultLinger
 	}
-	m.eng.After(m.rng.Jitter(m.cfg.SleepInterval), m.lplMaybeSleep)
+	m.eng.After(m.rng.Jitter(m.cfg.SleepInterval), m.lplSleepCb)
 }
 
 // lplBusy reports whether the MAC has reasons to keep the radio awake.
 func (m *MAC) lplBusy() bool {
-	return m.sending || len(m.queue) > 0 || m.awaitTimer != nil ||
+	return m.sending || m.qLen > 0 || m.ackArmed ||
 		m.eng.Now() < m.lingerUntil || m.rad.State() == radio.TX
 }
 
@@ -60,7 +60,7 @@ func (m *MAC) lplMaybeSleep() {
 		return
 	}
 	if m.lplBusy() {
-		m.eng.After(m.cfg.WakeWindow, m.lplMaybeSleep)
+		m.eng.After(m.cfg.WakeWindow, m.lplSleepCb)
 		return
 	}
 	m.rad.SetState(radio.Off)
@@ -69,7 +69,7 @@ func (m *MAC) lplMaybeSleep() {
 	if sleep < m.cfg.WakeWindow {
 		sleep = m.cfg.WakeWindow
 	}
-	m.eng.After(sleep, m.lplWake)
+	m.eng.After(sleep, m.lplWakeCb)
 }
 
 // lplWake opens the listen window.
@@ -80,7 +80,7 @@ func (m *MAC) lplWake() {
 	m.lplSleeping = false
 	m.rad.SetState(radio.RX)
 	m.kick() // traffic may have queued while asleep
-	m.eng.After(m.cfg.WakeWindow, m.lplMaybeSleep)
+	m.eng.After(m.cfg.WakeWindow, m.lplSleepCb)
 }
 
 // lplTouch extends the awake period after activity.
@@ -99,7 +99,7 @@ func (m *MAC) lplWakeForSend() {
 	if m.cfg.LPL && m.rad.State() == radio.Off {
 		m.lplSleeping = false
 		m.rad.SetState(radio.RX)
-		m.eng.After(m.cfg.WakeWindow, m.lplMaybeSleep)
+		m.eng.After(m.cfg.WakeWindow, m.lplSleepCb)
 	}
 }
 

@@ -79,11 +79,17 @@ var (
 	ErrNoAck         = errors.New("mac: no acknowledgement after retries")
 )
 
-// DeliverFunc receives intact decoded frames from the air.
+// DeliverFunc receives intact decoded frames from the air. f.Payload
+// is a borrow of a pooled transmission buffer, valid only for the
+// duration of the call: a handler that retains payload bytes past its
+// return must copy them (the buffer is reused by later transmissions).
 type DeliverFunc func(f Frame, info medium.RxInfo)
 
 // SentFunc is called when a queued frame leaves the MAC: err is nil
 // after successful transmission, ErrChannelAccess when CSMA gave up.
+// f.Payload is a borrow of the MAC's queue-slot buffer, valid only for
+// the duration of the call; a callback that retains the payload must
+// copy it first.
 type SentFunc func(f Frame, err error)
 
 // TxObserverFunc receives per-destination unicast transmit outcomes:
@@ -117,7 +123,25 @@ type outgoing struct {
 	queued  sim.Time
 	retries int
 	firstTx sim.Time
+	// raw is the slot's encode buffer: the frame is serialised once at
+	// enqueue time and the wire image reused across CSMA retries and
+	// retransmissions. frame.Payload aliases raw[headerLen:...], so the
+	// bytes stay valid exactly as long as the slot is occupied.
+	raw []byte
 }
+
+// ackJob carries one pending auto-ack through its turnaround and
+// completion events; jobs are pooled on the MAC so a receive burst does
+// not allocate per ack.
+type ackJob struct {
+	seq byte
+	dst phys.NodeID
+	ep  uint64
+}
+
+// ackPoolCap bounds the per-MAC ackJob pool; in practice at most a
+// couple of acks are in flight (turnaround + airtime ≪ frame spacing).
+const ackPoolCap = 8
 
 // MAC is the per-node link layer. It implements medium.Receiver.
 type MAC struct {
@@ -129,13 +153,41 @@ type MAC struct {
 	pos     phys.Position
 	cfg     Config
 	deliver DeliverFunc
-	queue   []outgoing
+	// The transmit queue is a fixed ring of QueueCap slots: q[qHead] is
+	// the in-service frame, qLen the occupancy. Slots keep their encode
+	// buffers across reuse, so steady-state Send does not allocate.
+	q       []outgoing
+	qHead   int
+	qLen    int
 	sending bool
 	seq     byte
-	// awaitSeq/awaitDst/awaitTimer track the pending auto-ack.
-	awaitSeq   byte
-	awaitDst   phys.NodeID
-	awaitTimer *sim.Event
+	// awaitSeq/awaitDst/ackArmed track the pending auto-ack wait. The
+	// timeout itself is a pooled (handle-free) event; because AckWait is
+	// constant, timeouts fire in arm order, so a disarm simply counts one
+	// stale firing to swallow (ackStale) instead of cancelling a handle.
+	awaitSeq byte
+	awaitDst phys.NodeID
+	ackArmed bool
+	ackStale int
+	// CSMA state for the in-service frame. attempt/transmit completions
+	// are pre-bound method values (one chain in flight at a time), so the
+	// per-round state lives here instead of in per-event closures.
+	be           int
+	csmaRetries  int
+	attemptEpoch uint64
+	attemptCb    func()
+	deferCb      func()
+	txDoneCb     func()
+	ackTimeoutCb func()
+	// Auto-ack transmission path: pooled jobs, pre-bound callbacks, and
+	// a reused encode buffer (the medium copies the bytes synchronously).
+	ackPool    []*ackJob
+	ackStartCb func(any)
+	ackDoneCb  func(any)
+	ackBuf     []byte
+	// Pre-bound LPL duty-cycle callbacks (see lpl.go).
+	lplSleepCb func()
+	lplWakeCb  func()
 	// LPL duty-cycle state.
 	lplSleeping bool
 	lingerUntil sim.Time
@@ -177,8 +229,19 @@ func New(eng *sim.Engine, med *medium.Medium, rad *radio.Radio, id phys.NodeID, 
 		pos:     pos,
 		cfg:     cfg,
 		deliver: deliver,
+		q:       make([]outgoing, cfg.QueueCap),
 		dupSeq:  make(map[phys.NodeID]byte),
 	}
+	// Bind the hot-path callbacks once; scheduling a method value at the
+	// call site would allocate a fresh closure per event.
+	m.attemptCb = m.attemptFire
+	m.deferCb = m.deferAttempt
+	m.txDoneCb = m.txDone
+	m.ackTimeoutCb = m.onAckTimeout
+	m.ackStartCb = m.ackStart
+	m.ackDoneCb = m.ackDone
+	m.lplSleepCb = m.lplMaybeSleep
+	m.lplWakeCb = m.lplWake
 	if err := med.Attach(m); err != nil {
 		return nil, err
 	}
@@ -218,7 +281,7 @@ func (m *MAC) Radio() *radio.Radio { return m.rad }
 
 // QueueLen returns the current transmit queue occupancy (the "Queue"
 // figure in ping output).
-func (m *MAC) QueueLen() int { return len(m.queue) }
+func (m *MAC) QueueLen() int { return m.qLen }
 
 // Stats returns a snapshot of the MAC counters.
 func (m *MAC) Stats() Stats { return m.stats }
@@ -240,7 +303,7 @@ func (m *MAC) SetTxObserver(fn TxObserverFunc) { m.txObserver = fn }
 func (m *MAC) emitQueueDepth() {
 	if m.tel.Recording() {
 		m.tel.Metrics().Gauge("mac.queue." + strconv.FormatUint(uint64(m.id), 10)).
-			Set(float64(len(m.queue)))
+			Set(float64(m.qLen))
 	}
 }
 
@@ -256,12 +319,16 @@ func (m *MAC) SetRxFault(fn func(from phys.NodeID) bool) { m.rxFault = fn }
 // touch the radio.
 func (m *MAC) Reset() {
 	m.epoch++
-	m.queue = nil
-	m.sending = false
-	if m.awaitTimer != nil {
-		m.eng.Cancel(m.awaitTimer)
-		m.awaitTimer = nil
+	for i := range m.q {
+		slot := &m.q[i]
+		slot.frame = Frame{}
+		slot.sent = nil
+		slot.queued, slot.retries, slot.firstTx = 0, 0, 0
+		// slot.raw keeps its backing array for reuse after reboot.
 	}
+	m.qHead, m.qLen = 0, 0
+	m.sending = false
+	m.disarmAckWait()
 	m.dupSeq = make(map[phys.NodeID]byte)
 	m.dupSeqQ = nil
 	m.lplSleeping = false
@@ -273,7 +340,9 @@ func (m *MAC) Reset() {
 func (m *MAC) Boot() { m.lplInit() }
 
 // Send queues a frame for CSMA/CA transmission. The source address and
-// sequence number are filled in by the MAC. sent may be nil.
+// sequence number are filled in by the MAC; the payload is copied into
+// the queue slot's encode buffer, so the caller's slice may be reused
+// the moment Send returns. sent may be nil.
 func (m *MAC) Send(f Frame, sent SentFunc) error {
 	if m.rad.State() == radio.Off {
 		if !m.cfg.LPL {
@@ -281,27 +350,39 @@ func (m *MAC) Send(f Frame, sent SentFunc) error {
 		}
 		m.lplWakeForSend()
 	}
-	if len(m.queue) >= m.cfg.QueueCap {
+	if m.qLen >= m.cfg.QueueCap {
 		m.stats.QueueDrops++
 		if m.tel.Recording() {
 			m.tel.Emit(m.id, telemetry.LayerMAC, "queue-drop",
 				telemetry.Node("dst", f.Dst),
-				telemetry.Int("depth", len(m.queue)))
+				telemetry.Int("depth", m.qLen))
 		}
 		return ErrQueueFull
 	}
 	f.Src = m.id
 	m.seq++
 	f.Seq = m.seq
-	if _, err := (&f).Encode(); err != nil {
+	slot := &m.q[(m.qHead+m.qLen)%len(m.q)]
+	raw, err := f.AppendEncode(slot.raw[:0])
+	if err != nil {
 		return err
 	}
-	m.queue = append(m.queue, outgoing{frame: f, sent: sent, queued: m.eng.Now()})
+	slot.raw = raw
+	// Re-point the payload at the slot's wire image: the queue must not
+	// alias caller memory, and the encode done here is the one reused for
+	// every (re)transmission of this frame.
+	f.Payload = raw[headerLen : len(raw)-fcsLen]
+	slot.frame = f
+	slot.sent = sent
+	slot.queued = m.eng.Now()
+	slot.retries = 0
+	slot.firstTx = 0
+	m.qLen++
 	if m.tel.Recording() {
 		m.tel.Emit(m.id, telemetry.LayerMAC, "enqueue",
 			telemetry.Node("dst", f.Dst),
 			telemetry.Int("type", int(f.Type)),
-			telemetry.Int("depth", len(m.queue)))
+			telemetry.Int("depth", m.qLen))
 		m.emitQueueDepth()
 	}
 	m.kick()
@@ -310,134 +391,169 @@ func (m *MAC) Send(f Frame, sent SentFunc) error {
 
 // kick starts servicing the queue head if the MAC is idle.
 func (m *MAC) kick() {
-	if m.sending || len(m.queue) == 0 {
+	if m.sending || m.qLen == 0 {
 		return
 	}
 	m.sending = true
 	m.attempt(m.cfg.MinBE, 0)
 }
 
-// attempt performs one backoff-then-CCA round for the queue head.
+// attempt schedules one backoff-then-CCA round for the queue head. At
+// most one attempt chain is in flight per MAC (the chain either
+// finishes the head or schedules its successor), so the round state
+// lives in be/csmaRetries and the callback is the pre-bound attemptCb.
 func (m *MAC) attempt(be, retries int) {
+	m.be, m.csmaRetries = be, retries
+	m.attemptEpoch = m.epoch
 	backoff := sim.Time(m.rng.Intn(1<<be)) * UnitBackoff
-	ep := m.epoch
-	m.eng.After(backoff, func() {
-		if m.epoch != ep {
-			return // link layer was reset meanwhile
-		}
-		if len(m.queue) == 0 { // queue flushed meanwhile
-			m.sending = false
-			return
-		}
-		if m.rad.State() == radio.Off {
-			if !m.cfg.LPL {
-				m.finish(ErrRadioOff)
-				return
-			}
-			m.lplWakeForSend()
-		}
-		if m.rad.State() == radio.TX {
-			// Our own auto-ack is on the air; defer one backoff unit.
-			m.eng.After(UnitBackoff, func() { m.attempt(be, retries) })
-			return
-		}
-		if m.med.ChannelBusy(m, m.cfg.CCAThresholdDBm) {
-			m.stats.BackoffRetries++
-			if m.tel.Recording() {
-				m.tel.Emit(m.id, telemetry.LayerMAC, "cca-busy",
-					telemetry.Int("round", retries+1))
-			}
-			if retries+1 > m.cfg.MaxCSMABackoffs {
-				m.stats.ChannelAccess++
-				m.finish(ErrChannelAccess)
-				return
-			}
-			nextBE := be + 1
-			if nextBE > m.cfg.MaxBE {
-				nextBE = m.cfg.MaxBE
-			}
-			m.attempt(nextBE, retries+1)
-			return
-		}
-		m.transmit()
-	})
+	m.eng.After(backoff, m.attemptCb)
 }
 
-// transmit puts the queue head on the air and schedules completion.
-func (m *MAC) transmit() {
-	out := m.queue[0]
-	raw, err := out.frame.Encode()
-	if err != nil {
-		m.finish(err)
+// deferAttempt re-runs the current round after a one-unit defer (our
+// own auto-ack was on the air at CCA time).
+func (m *MAC) deferAttempt() { m.attempt(m.be, m.csmaRetries) }
+
+// attemptFire performs the CCA round scheduled by attempt.
+func (m *MAC) attemptFire() {
+	if m.epoch != m.attemptEpoch {
+		return // link layer was reset meanwhile
+	}
+	if m.qLen == 0 { // queue flushed meanwhile
+		m.sending = false
 		return
 	}
+	if m.rad.State() == radio.Off {
+		if !m.cfg.LPL {
+			m.finish(ErrRadioOff)
+			return
+		}
+		m.lplWakeForSend()
+	}
+	if m.rad.State() == radio.TX {
+		// Our own auto-ack is on the air; defer one backoff unit.
+		m.eng.After(UnitBackoff, m.deferCb)
+		return
+	}
+	if m.med.ChannelBusy(m, m.cfg.CCAThresholdDBm) {
+		m.stats.BackoffRetries++
+		if m.tel.Recording() {
+			m.tel.Emit(m.id, telemetry.LayerMAC, "cca-busy",
+				telemetry.Int("round", m.csmaRetries+1))
+		}
+		if m.csmaRetries+1 > m.cfg.MaxCSMABackoffs {
+			m.stats.ChannelAccess++
+			m.finish(ErrChannelAccess)
+			return
+		}
+		nextBE := m.be + 1
+		if nextBE > m.cfg.MaxBE {
+			nextBE = m.cfg.MaxBE
+		}
+		m.attempt(nextBE, m.csmaRetries+1)
+		return
+	}
+	m.transmit()
+}
+
+// transmit puts the queue head's pre-encoded wire image on the air and
+// schedules completion. The medium copies the bytes synchronously, so
+// the slot buffer stays ours.
+func (m *MAC) transmit() {
+	head := &m.q[m.qHead]
 	m.rad.SetState(radio.TX)
-	airtime, err := m.med.Transmit(m, raw)
+	airtime, err := m.med.Transmit(m, head.raw)
 	if err != nil {
 		m.rad.SetState(radio.RX)
 		m.finish(err)
 		return
 	}
-	head := &m.queue[0]
 	if head.firstTx == 0 {
 		head.firstTx = m.eng.Now()
 	}
-	ep := m.epoch
-	m.eng.After(airtime+radio.TurnaroundTime, func() {
-		if m.epoch != ep {
-			return // link layer was reset mid-flight
-		}
-		m.rad.SetState(radio.RX)
-		m.stats.Sent++
-		switch out.frame.Type {
-		case TypeData:
-			m.stats.SentData++
-		case TypeBeacon:
-			m.stats.SentBeacon++
-		case TypeControl:
-			m.stats.SentControl++
-		case TypeAck:
-			m.stats.SentMACAcks++
-		}
-		if m.tel.Recording() {
-			m.tel.Emit(m.id, telemetry.LayerMAC, "sent",
-				telemetry.Node("dst", out.frame.Dst),
-				telemetry.Int("type", int(out.frame.Type)),
-				telemetry.Int("seq", int(out.frame.Seq)),
-				telemetry.Int("tries", out.retries+1))
-		}
-		if m.cfg.LinkAcks && out.frame.Dst != phys.Broadcast {
-			m.armAckWait(out.frame)
-			return
-		}
-		// LPL broadcast: repeat the frame until every neighbor's wake
-		// window has been covered.
-		if m.cfg.LPL && out.frame.Dst == phys.Broadcast && len(m.queue) > 0 {
-			if !m.lplBroadcastDone(m.queue[0].firstTx) {
-				m.stats.FrameRetries++
-				m.attempt(0, 0)
-				return
-			}
-		}
-		m.finish(nil)
-	})
+	m.eng.After(airtime+radio.TurnaroundTime, m.txDoneCb)
 }
 
-// armAckWait starts the auto-ack timeout for the queue head.
+// txDone is the end-of-airtime completion for the queue head.
+func (m *MAC) txDone() {
+	if m.epoch != m.attemptEpoch {
+		return // link layer was reset mid-flight
+	}
+	if m.qLen == 0 { // defensive: reset handling should have tripped the epoch
+		m.sending = false
+		return
+	}
+	head := &m.q[m.qHead]
+	m.rad.SetState(radio.RX)
+	m.stats.Sent++
+	switch head.frame.Type {
+	case TypeData:
+		m.stats.SentData++
+	case TypeBeacon:
+		m.stats.SentBeacon++
+	case TypeControl:
+		m.stats.SentControl++
+	case TypeAck:
+		m.stats.SentMACAcks++
+	}
+	if m.tel.Recording() {
+		m.tel.Emit(m.id, telemetry.LayerMAC, "sent",
+			telemetry.Node("dst", head.frame.Dst),
+			telemetry.Int("type", int(head.frame.Type)),
+			telemetry.Int("seq", int(head.frame.Seq)),
+			telemetry.Int("tries", head.retries+1))
+	}
+	if m.cfg.LinkAcks && head.frame.Dst != phys.Broadcast {
+		m.armAckWait(head.frame)
+		return
+	}
+	// LPL broadcast: repeat the frame until every neighbor's wake
+	// window has been covered.
+	if m.cfg.LPL && head.frame.Dst == phys.Broadcast {
+		if !m.lplBroadcastDone(head.firstTx) {
+			m.stats.FrameRetries++
+			m.attempt(0, 0)
+			return
+		}
+	}
+	m.finish(nil)
+}
+
+// armAckWait starts the auto-ack timeout for the queue head. The
+// timeout is a pooled handle-free event; disarmAckWait neutralises it
+// by counting a stale firing rather than cancelling.
 func (m *MAC) armAckWait(f Frame) {
 	m.awaitSeq = f.Seq
 	m.awaitDst = f.Dst
-	m.awaitTimer = m.eng.MustSchedule(m.cfg.AckWait, m.onAckTimeout)
+	m.ackArmed = true
+	m.eng.After(m.cfg.AckWait, m.ackTimeoutCb)
+}
+
+// disarmAckWait neutralises the pending ack timeout, if any. AckWait is
+// a per-MAC constant, so outstanding timeout events fire in arm order:
+// counting one stale firing per disarm swallows exactly the disarmed
+// timers and no others.
+func (m *MAC) disarmAckWait() {
+	if m.ackArmed {
+		m.ackArmed = false
+		m.ackStale++
+	}
 }
 
 // onAckTimeout retries the queue head or abandons it.
 func (m *MAC) onAckTimeout() {
-	m.awaitTimer = nil
-	if len(m.queue) == 0 {
+	if m.ackStale > 0 {
+		m.ackStale-- // a disarmed (acked or reset) wait; ignore
+		return
+	}
+	if !m.ackArmed {
+		return
+	}
+	m.ackArmed = false
+	if m.qLen == 0 {
 		m.sending = false
 		return
 	}
-	head := &m.queue[0]
+	head := &m.q[m.qHead]
 	lplRetry := m.cfg.LPL && m.lplShouldRetry(head)
 	if head.retries < m.cfg.MaxFrameRetries || lplRetry {
 		head.retries++
@@ -478,46 +594,86 @@ func (m *MAC) onAckTimeout() {
 
 // autoAck transmits the hardware acknowledgement for a received unicast
 // frame, one turnaround after reception, bypassing the CSMA queue as
-// the CC2420's auto-ack does.
+// the CC2420's auto-ack does. The pending ack rides a pooled ackJob
+// through pre-bound start/done callbacks, so the receive path stays
+// allocation-free.
 func (m *MAC) autoAck(f Frame) {
-	ep := m.epoch
-	m.eng.After(radio.TurnaroundTime, func() {
-		if m.epoch != ep {
-			return // link layer was reset meanwhile
-		}
-		if m.rad.State() != radio.RX {
-			return // busy transmitting; the peer will retry
-		}
-		ack := Frame{Type: TypeAck, Seq: f.Seq, Dst: f.Src, Src: m.id}
-		raw, err := ack.Encode()
-		if err != nil {
-			return
-		}
-		m.rad.SetState(radio.TX)
-		airtime, err := m.med.Transmit(m, raw)
-		if err != nil {
-			m.rad.SetState(radio.RX)
-			return
-		}
-		m.eng.After(airtime+radio.TurnaroundTime, func() {
-			if m.epoch != ep {
-				return
-			}
-			m.rad.SetState(radio.RX)
-			m.stats.Sent++
-			m.stats.SentMACAcks++
-		})
-	})
+	var j *ackJob
+	if n := len(m.ackPool); n > 0 {
+		j = m.ackPool[n-1]
+		m.ackPool[n-1] = nil
+		m.ackPool = m.ackPool[:n-1]
+	} else {
+		j = &ackJob{}
+	}
+	j.seq, j.dst, j.ep = f.Seq, f.Src, m.epoch
+	m.eng.AfterArg(radio.TurnaroundTime, m.ackStartCb, j)
+}
+
+func (m *MAC) releaseAck(j *ackJob) {
+	if len(m.ackPool) < ackPoolCap {
+		m.ackPool = append(m.ackPool, j)
+	}
+}
+
+// ackStart fires one turnaround after reception and puts the ack on the
+// air.
+func (m *MAC) ackStart(a any) {
+	j := a.(*ackJob)
+	if m.epoch != j.ep {
+		m.releaseAck(j)
+		return // link layer was reset meanwhile
+	}
+	if m.rad.State() != radio.RX {
+		m.releaseAck(j)
+		return // busy transmitting; the peer will retry
+	}
+	ack := Frame{Type: TypeAck, Seq: j.seq, Dst: j.dst, Src: m.id}
+	raw, err := ack.AppendEncode(m.ackBuf[:0])
+	if err != nil {
+		m.releaseAck(j)
+		return
+	}
+	m.ackBuf = raw // the medium copies synchronously; reuse next time
+	m.rad.SetState(radio.TX)
+	airtime, err := m.med.Transmit(m, raw)
+	if err != nil {
+		m.rad.SetState(radio.RX)
+		m.releaseAck(j)
+		return
+	}
+	m.eng.AfterArg(airtime+radio.TurnaroundTime, m.ackDoneCb, j)
+}
+
+// ackDone returns the radio to RX once the ack's airtime ends.
+func (m *MAC) ackDone(a any) {
+	j := a.(*ackJob)
+	ep := j.ep
+	m.releaseAck(j)
+	if m.epoch != ep {
+		return
+	}
+	m.rad.SetState(radio.RX)
+	m.stats.Sent++
+	m.stats.SentMACAcks++
 }
 
 // finish pops the queue head, notifies, and services the next frame.
+// The popped slot's encode buffer stays with the ring; out.frame's
+// payload aliases it and is valid only for the duration of the
+// callbacks below (see the SentFunc borrow contract).
 func (m *MAC) finish(err error) {
-	if len(m.queue) == 0 {
+	if m.qLen == 0 {
 		m.sending = false
 		return
 	}
-	out := m.queue[0]
-	m.queue = m.queue[1:]
+	slot := &m.q[m.qHead]
+	out := *slot
+	slot.frame = Frame{}
+	slot.sent = nil
+	slot.queued, slot.retries, slot.firstTx = 0, 0, 0
+	m.qHead = (m.qHead + 1) % len(m.q)
+	m.qLen--
 	m.sending = false
 	m.emitQueueDepth()
 	if m.tel.Recording() && err != nil {
@@ -562,9 +718,8 @@ func (m *MAC) OnFrame(raw []byte, info medium.RxInfo) {
 		return
 	}
 	if f.Type == TypeAck {
-		if f.Dst == m.id && m.awaitTimer != nil && f.Seq == m.awaitSeq && f.Src == m.awaitDst {
-			m.eng.Cancel(m.awaitTimer)
-			m.awaitTimer = nil
+		if f.Dst == m.id && m.ackArmed && f.Seq == m.awaitSeq && f.Src == m.awaitDst {
+			m.disarmAckWait()
 			m.stats.AckedOK++
 			if m.tel.Recording() {
 				m.tel.Emit(m.id, telemetry.LayerMAC, "acked",

@@ -34,7 +34,11 @@ func buildPair(t *testing.T, seed uint64, dist float64) (*sim.Engine, *testNode,
 			t.Fatal(err)
 		}
 		m, err := New(eng, med, rad, id, phys.Position{X: x}, DefaultConfig(),
-			func(f Frame, info medium.RxInfo) { n.got = append(n.got, rxRecord{f, info}) })
+			func(f Frame, info medium.RxInfo) {
+				// Delivered payloads are borrows; copy to retain.
+				f.Payload = append([]byte(nil), f.Payload...)
+				n.got = append(n.got, rxRecord{f, info})
+			})
 		if err != nil {
 			t.Fatal(err)
 		}

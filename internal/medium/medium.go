@@ -200,7 +200,14 @@ type transmission struct {
 	// pruned marks a transmission prune decided to drop, so per-cell
 	// ledgers can be compacted independently of slice identity.
 	pruned bool
+	// seq is the medium-wide transmission number, carried here so the
+	// delivery event needs only the transmission pointer as its payload.
+	seq uint64
 }
+
+// txPoolCap bounds the transmission free list; the live set is bounded
+// by the interference-overlap window, so the pool stays small too.
+const txPoolCap = 1024
 
 // FadeMarginDB is the headroom the reachability index keeps above the
 // radio sensitivity floor: a node is indexed as reachable when the link
@@ -248,7 +255,17 @@ type Medium struct {
 	// active holds transmissions that may still overlap a frame in
 	// flight; pruned lazily.
 	active []*transmission
-	stats  Stats
+	// txPool recycles transmission structs (and their frame buffers)
+	// once prune retires them: a pruned transmission's delivery has
+	// fired and nothing below the medium may retain the shared frame
+	// past its OnFrame callback (DESIGN §15), so the buffer is free for
+	// reuse. reclaim is prune's scratch list of the cycle's casualties.
+	txPool  []*transmission
+	reclaim []*transmission
+	// deliverCb is the delivery event callback, bound once so Transmit
+	// schedules without allocating a closure.
+	deliverCb func(any)
+	stats     Stats
 	// lossFn, when set, force-drops deliveries (failure injection for
 	// tests: returning true corrupts the frame at the receiver).
 	lossFn func(from, to phys.NodeID, frame []byte) bool
@@ -329,7 +346,7 @@ func (m *Medium) SetTelemetry(rec *telemetry.Recorder) { m.tel = rec }
 
 // New returns a medium running on eng with the given propagation model.
 func New(eng *sim.Engine, model *phys.Model) *Medium {
-	return &Medium{
+	m := &Medium{
 		eng:     eng,
 		model:   model,
 		rng:     eng.Rand().Fork("medium"),
@@ -340,6 +357,14 @@ func New(eng *sim.Engine, model *phys.Model) *Medium {
 		links:   make(map[uint32]*linkKeys),
 		prr:     make(map[prrKey]float64),
 	}
+	m.deliverCb = m.deliverEvent
+	return m
+}
+
+// deliverEvent is the AfterArg trampoline for scheduled deliveries.
+func (m *Medium) deliverEvent(a any) {
+	t := a.(*transmission)
+	m.deliver(t, t.seq)
 }
 
 // SetReachabilityIndex enables or disables the link-gain cache and
@@ -464,7 +489,7 @@ func (m *Medium) prune() {
 		}
 	}
 	keep := m.active[:0]
-	dropped := false
+	reclaim := m.reclaim[:0]
 	for _, t := range m.active {
 		// Keep frames still awaiting delivery, and any ended frame that
 		// overlapped an undelivered one (o overlaps t iff o.end > t.start,
@@ -474,7 +499,7 @@ func (m *Medium) prune() {
 			keep = append(keep, t)
 		} else {
 			t.pruned = true
-			dropped = true
+			reclaim = append(reclaim, t)
 		}
 	}
 	// Zero the tail so dropped transmissions can be collected.
@@ -482,7 +507,7 @@ func (m *Medium) prune() {
 		m.active[i] = nil
 	}
 	m.active = keep
-	if dropped && m.shard != nil {
+	if len(reclaim) > 0 && m.shard != nil {
 		// Compact every cell ledger. The keep filter is per-transmission
 		// (the pruned flag), so ledgers can be filtered independently of
 		// the global list and of one another.
@@ -499,6 +524,19 @@ func (m *Medium) prune() {
 			c.ledger = kl
 		}
 	}
+	// A pruned transmission's delivery has fired and every ledger
+	// reference is compacted away, so its struct — and its frame buffer,
+	// which nothing below the medium may retain past OnFrame — goes back
+	// to the pool.
+	for i, t := range reclaim {
+		if len(m.txPool) < txPoolCap {
+			frame := t.frame[:0]
+			*t = transmission{frame: frame}
+			m.txPool = append(m.txPool, t)
+		}
+		reclaim[i] = nil
+	}
+	m.reclaim = reclaim[:0]
 }
 
 // budgetBetween returns the static link budget from → to, consulting
@@ -635,16 +673,22 @@ func (m *Medium) Transmit(tx Receiver, frame []byte) (sim.Time, error) {
 	m.prune()
 	airtime := radio.FrameAirtime(len(frame))
 	txDBm := radio.PowerDBm(tx.PowerLevel())
-	t := &transmission{
-		from:    tx.NodeID(),
-		pos:     tx.Position(),
-		channel: tx.Channel(),
-		txDBm:   txDBm,
-		start:   m.eng.Now(),
-		end:     m.eng.Now() + airtime,
-		frame:   append([]byte(nil), frame...),
-		indexed: m.indexed,
+	var t *transmission
+	if n := len(m.txPool); n > 0 {
+		t = m.txPool[n-1]
+		m.txPool[n-1] = nil
+		m.txPool = m.txPool[:n-1]
+	} else {
+		t = &transmission{}
 	}
+	t.from = tx.NodeID()
+	t.pos = tx.Position()
+	t.channel = tx.Channel()
+	t.txDBm = txDBm
+	t.start = m.eng.Now()
+	t.end = m.eng.Now() + airtime
+	t.frame = append(t.frame[:0], frame...)
+	t.indexed = m.indexed
 	if m.indexed {
 		// Capture the fan-out now: detaching a node mid-flight must not
 		// change the other receivers' outcomes (deliver re-checks
@@ -673,7 +717,8 @@ func (m *Medium) Transmit(tx Receiver, frame []byte) (sim.Time, error) {
 			telemetry.Float("dbm", t.txDBm),
 			telemetry.Int("bytes", len(t.frame)))
 	}
-	m.eng.After(airtime, func() { m.deliver(t, seq) })
+	t.seq = seq
+	m.eng.AfterArg(airtime, m.deliverCb, t)
 	return airtime, nil
 }
 

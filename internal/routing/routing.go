@@ -498,7 +498,9 @@ func (r *Router) onPacket(p *stack.Packet, from phys.NodeID, info medium.RxInfo)
 	p.TTL--
 	next, err := r.strat.nextHop(p)
 	if errors.Is(err, ErrRouteDiscovery) {
-		r.park(p)
+		// The dispatched packet is a borrow of the stack's scratch;
+		// parking retains it past this callback, so clone.
+		r.park(p.Clone())
 		return
 	}
 	if err != nil {
@@ -518,7 +520,9 @@ func (r *Router) onPacket(p *stack.Packet, from phys.NodeID, info medium.RxInfo)
 			telemetry.Int("ttl", int(p.TTL)),
 			telemetry.Int("port", int(r.port)))
 	}
-	r.enqueue(p, next, false)
+	// Clone: the forward queue holds the packet past this callback, but
+	// p borrows the stack's scratch (Handler contract).
+	r.enqueue(p.Clone(), next, false)
 }
 
 // deliverLocal hands the inner packet to the local subscriber.

@@ -30,10 +30,19 @@ type Time = time.Duration
 // handle) or Engine.After (handle-free, recycled through the engine's
 // free list).
 type Event struct {
-	when    Time
-	seq     uint64
-	fn      func()
-	index   int // heap index; -1 once removed
+	when Time
+	seq  uint64
+	fn   func()
+	// fnArg/arg is the single-argument fast path used by AfterArg: a
+	// method value bound once at construction plus a per-fire argument,
+	// so hot callers need no per-event closure. When fnArg is set it is
+	// invoked instead of fn.
+	fnArg func(any)
+	arg   any
+	// next chains events within a wheel slot (intrusive list; see
+	// wheel.go). nil outside a slot.
+	next    *Event
+	queued  bool // currently resident in the wheel/overflow/cur structure
 	stopped bool
 	// pooled marks events scheduled through the handle-free After path.
 	// No caller holds a reference to a pooled event, so the engine may
@@ -49,9 +58,9 @@ func (e *Event) When() Time { return e.when }
 // Stopped reports whether the event has been cancelled.
 func (e *Event) Stopped() bool { return e.stopped }
 
-// freeListCap bounds the engine's event free list so a burst of traffic
-// does not pin memory forever.
-const freeListCap = 1024
+// defaultFreeListCap is the free list's floor: the engine always keeps
+// up to this many recycled event structs regardless of load.
+const defaultFreeListCap = 1024
 
 // Engine is a single-threaded discrete-event simulator. It is not safe
 // for concurrent use; all model code runs inside event callbacks on the
@@ -59,7 +68,7 @@ const freeListCap = 1024
 // and may run concurrently with one another.
 type Engine struct {
 	now     Time
-	queue   []*Event
+	wheel   timerWheel
 	seq     uint64
 	fired   uint64
 	stopped bool
@@ -68,6 +77,13 @@ type Engine struct {
 	// invisible to the timeline: a reused struct gets a fresh seq, so
 	// ordering is exactly what freshly allocated events would produce.
 	free []*Event
+	// freeCap, when non-zero, fixes the free list bound; zero selects
+	// the adaptive default max(defaultFreeListCap, pending high-water).
+	freeCap int
+	// pending counts live (not fired, not cancelled) queued events;
+	// highWater is its maximum so far and sizes the adaptive free list.
+	pending   int
+	highWater int
 	// workers is the ForkJoin concurrency budget (see lanes.go); 0 and
 	// 1 both mean strictly sequential.
 	workers int
@@ -91,98 +107,37 @@ func (e *Engine) Now() Time { return e.now }
 // perturb the draws seen by others.
 func (e *Engine) Rand() *Rand { return e.rng }
 
-// Pending reports the number of events still queued.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending reports the number of events still queued. Cancelled events
+// are not pending even while their tombstones await collection inside
+// the wheel.
+func (e *Engine) Pending() int { return e.pending }
 
 // Fired reports how many events have executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
 
-// less orders the queue by (when, seq): virtual time first, scheduling
-// order as the tiebreak. seq is unique, so the order is total and every
-// valid heap pops the same sequence.
-func (e *Engine) less(i, j int) bool {
-	a, b := e.queue[i], e.queue[j]
-	if a.when != b.when {
-		return a.when < b.when
+// SetFreeListCap bounds the pooled-event free list. n > 0 fixes the
+// bound; n == 0 restores the adaptive default, which tracks the
+// pending-event high-water mark (with a defaultFreeListCap floor) so a
+// 10k-node burst keeps its event structs instead of churning the
+// allocator every cycle. Negative n is ignored.
+func (e *Engine) SetFreeListCap(n int) {
+	if n < 0 {
+		return
 	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) swap(i, j int) {
-	q := e.queue
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-
-// siftUp restores the heap property from leaf i toward the root. The
-// dominant scheduling pattern — a ticker or delivery event placed after
-// everything currently queued — exits after a single comparison, which
-// is the schedule-at-tail fast path.
-func (e *Engine) siftUp(i int) {
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
-			break
-		}
-		e.swap(i, parent)
-		i = parent
+	e.freeCap = n
+	if n > 0 && len(e.free) > n {
+		clear(e.free[n:])
+		e.free = e.free[:n]
 	}
 }
 
-// siftDown restores the heap property from node i toward the leaves.
-func (e *Engine) siftDown(i int) {
-	n := len(e.queue)
-	for {
-		left := 2*i + 1
-		if left >= n {
-			break
-		}
-		least := left
-		if right := left + 1; right < n && e.less(right, left) {
-			least = right
-		}
-		if !e.less(least, i) {
-			break
-		}
-		e.swap(i, least)
-		i = least
-	}
-}
-
-// push enqueues ev.
+// push enqueues ev and maintains the pending accounting.
 func (e *Engine) push(ev *Event) {
-	ev.index = len(e.queue)
-	e.queue = append(e.queue, ev)
-	e.siftUp(ev.index)
-}
-
-// popHead removes and returns the earliest event.
-func (e *Engine) popHead() *Event {
-	ev := e.queue[0]
-	n := len(e.queue) - 1
-	e.swap(0, n)
-	e.queue[n] = nil
-	e.queue = e.queue[:n]
-	if n > 0 {
-		e.siftDown(0)
-	}
-	ev.index = -1
-	return ev
-}
-
-// removeAt removes the event at heap index i.
-func (e *Engine) removeAt(i int) {
-	n := len(e.queue) - 1
-	if i != n {
-		e.swap(i, n)
-	}
-	e.queue[n].index = -1
-	e.queue[n] = nil
-	e.queue = e.queue[:n]
-	if i != n {
-		e.siftDown(i)
-		e.siftUp(i)
+	ev.queued = true
+	e.wheel.insert(ev)
+	e.pending++
+	if e.pending > e.highWater {
+		e.highWater = e.pending
 	}
 }
 
@@ -202,8 +157,17 @@ func (e *Engine) takeEvent(t Time, fn func(), pooled bool) *Event {
 
 // recycle returns a pooled event's struct to the free list.
 func (e *Engine) recycle(ev *Event) {
-	if len(e.free) < freeListCap {
+	limit := e.freeCap
+	if limit == 0 {
+		limit = e.highWater
+		if limit < defaultFreeListCap {
+			limit = defaultFreeListCap
+		}
+	}
+	if len(e.free) < limit {
 		ev.fn = nil
+		ev.fnArg = nil
+		ev.arg = nil
 		e.free = append(e.free, ev)
 	}
 }
@@ -258,17 +222,39 @@ func (e *Engine) After(delay Time, fn func()) {
 	e.push(e.takeEvent(e.now+delay, fn, true))
 }
 
+// AfterArg is After for callbacks that need one argument: fn is
+// typically a method value bound once at construction and arg the
+// per-fire payload, so hot paths (frame deliveries carrying their
+// transmission) schedule without allocating a closure. Storing a
+// pointer in arg does not allocate. The same rules as After apply:
+// handle-free, recycled after firing, panics on a negative delay or
+// nil fn.
+func (e *Engine) AfterArg(delay Time, fn func(any), arg any) {
+	if delay < 0 {
+		panic(fmt.Errorf("%w: delay %v", ErrPastEvent, delay))
+	}
+	if fn == nil {
+		panic(errors.New("sim: nil event callback"))
+	}
+	ev := e.takeEvent(e.now+delay, nil, true)
+	ev.fnArg, ev.arg = fn, arg
+	e.push(ev)
+}
+
 // Cancel removes a pending event. Cancelling an already-fired or
-// already-cancelled event is a no-op.
+// already-cancelled event is a no-op. Cancellation is lazy: the event
+// stops counting as pending immediately, while its struct is discarded
+// when the wheel next touches it.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.stopped || ev.index < 0 {
-		if ev != nil {
-			ev.stopped = true
-		}
+	if ev == nil {
+		return
+	}
+	if ev.stopped || !ev.queued {
+		ev.stopped = true
 		return
 	}
 	ev.stopped = true
-	e.removeAt(ev.index)
+	e.pending--
 }
 
 // Stop makes the current Run/RunUntil call return once the executing
@@ -287,24 +273,19 @@ func (e *Engine) Run() uint64 {
 func (e *Engine) RunUntil(deadline Time) uint64 {
 	e.stopped = false
 	var fired uint64
-	for len(e.queue) > 0 && !e.stopped {
-		if e.queue[0].when > deadline {
+	for !e.stopped {
+		next := e.wheel.head()
+		if next == nil {
+			break
+		}
+		if next.when > deadline {
 			if deadline > e.now && deadline != Time(math.MaxInt64) {
 				e.now = deadline
 			}
 			return fired
 		}
-		next := e.popHead()
-		e.now = next.when
-		e.fired++
+		e.fire(e.wheel.pop())
 		fired++
-		fn := next.fn
-		// Recycle before firing: a callback that reschedules itself (the
-		// ticker pattern) reuses the struct it just vacated.
-		if next.pooled {
-			e.recycle(next)
-		}
-		fn()
 	}
 	if deadline > e.now && deadline != Time(math.MaxInt64) && !e.stopped {
 		e.now = deadline
@@ -312,27 +293,40 @@ func (e *Engine) RunUntil(deadline Time) uint64 {
 	return fired
 }
 
+// fire advances the clock to ev and runs its callback.
+func (e *Engine) fire(ev *Event) {
+	e.pending--
+	e.now = ev.when
+	e.fired++
+	fn, fnArg, arg := ev.fn, ev.fnArg, ev.arg
+	// Recycle before firing: a callback that reschedules itself (the
+	// ticker pattern) reuses the struct it just vacated.
+	if ev.pooled {
+		e.recycle(ev)
+	}
+	if fnArg != nil {
+		fnArg(arg)
+	} else {
+		fn()
+	}
+}
+
 // NextEventTime reports the timestamp of the earliest pending event.
 func (e *Engine) NextEventTime() (Time, bool) {
-	if len(e.queue) == 0 {
+	next := e.wheel.head()
+	if next == nil {
 		return 0, false
 	}
-	return e.queue[0].when, true
+	return next.when, true
 }
 
 // Step fires exactly one event if any is pending and reports whether one
 // fired.
 func (e *Engine) Step() bool {
-	if len(e.queue) == 0 {
+	next := e.wheel.head()
+	if next == nil {
 		return false
 	}
-	next := e.popHead()
-	e.now = next.when
-	e.fired++
-	fn := next.fn
-	if next.pooled {
-		e.recycle(next)
-	}
-	fn()
+	e.fire(e.wheel.pop())
 	return true
 }

@@ -1,0 +1,223 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refQueue is the oracle: a deliberately naive pending set whose pop is
+// a linear scan for the (when, seq) minimum. Correctness is obvious by
+// inspection, which is the point — the timer wheel must reproduce its
+// pop sequence exactly, ties, cancellations and all.
+type refQueue struct {
+	evs []*Event
+}
+
+func (r *refQueue) add(ev *Event) { r.evs = append(r.evs, ev) }
+
+// pop removes and returns the earliest live event, discarding stopped
+// ones along the way; nil when nothing live is pending.
+func (r *refQueue) pop() *Event {
+	best := -1
+	for i := 0; i < len(r.evs); i++ {
+		ev := r.evs[i]
+		if ev.stopped {
+			r.evs[i] = r.evs[len(r.evs)-1]
+			r.evs = r.evs[:len(r.evs)-1]
+			i--
+			continue
+		}
+		if best < 0 || evLess(ev, r.evs[best]) {
+			best = i
+		}
+	}
+	if best < 0 {
+		return nil
+	}
+	ev := r.evs[best]
+	r.evs[best] = r.evs[len(r.evs)-1]
+	r.evs = r.evs[:len(r.evs)-1]
+	return ev
+}
+
+// runWheelOracle drives the wheel and the reference queue through the
+// same randomized schedule/peek/cancel/pop sequence and asserts the
+// wheel pops the identical events in the identical order.
+func runWheelOracle(t *testing.T, seed int64, ops int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	var w timerWheel
+	var ref refQueue
+	var seq uint64
+	var now Time
+	var live []*Event // cancellable candidates still thought queued
+	schedule := func() {
+		var delta int64
+		switch rng.Intn(5) {
+		case 0:
+			delta = 0 // same-instant tie, ordered by seq alone
+		case 1:
+			delta = rng.Int63n(1 << 12) // sub-tick
+		case 2:
+			delta = rng.Int63n(1 << 22) // level 0-1
+		case 3:
+			delta = rng.Int63n(1 << 40) // mid levels
+		case 4:
+			delta = rng.Int63n(1 << 55) // beyond horizon: overflow heap
+		}
+		seq++
+		ev := &Event{when: now + Time(delta), seq: seq, queued: true}
+		w.insert(ev)
+		ref.add(ev)
+		live = append(live, ev)
+	}
+	pop := func() {
+		want := ref.pop()
+		got := w.head()
+		if (want == nil) != (got == nil) {
+			t.Fatalf("seed %d: wheel head = %v, reference = %v (now=%v)", seed, got, want, now)
+		}
+		if got == nil {
+			return
+		}
+		w.pop()
+		if got != want {
+			t.Fatalf("seed %d: wheel popped (when=%v seq=%d), reference (when=%v seq=%d)",
+				seed, got.when, got.seq, want.when, want.seq)
+		}
+		if got.when < now {
+			t.Fatalf("seed %d: pop went backwards: %v < %v", seed, got.when, now)
+		}
+		now = got.when
+	}
+	for i := 0; i < ops; i++ {
+		switch r := rng.Intn(10); {
+		case r < 4:
+			schedule()
+		case r < 6: // cancel a random candidate, lazily as Engine.Cancel does
+			if len(live) == 0 {
+				continue
+			}
+			j := rng.Intn(len(live))
+			ev := live[j]
+			live[j] = live[len(live)-1]
+			live = live[:len(live)-1]
+			if ev.queued && !ev.stopped {
+				ev.stopped = true
+			}
+		case r < 7: // peek only: advances the cursor without removing
+			w.head()
+		default:
+			pop()
+		}
+	}
+	for { // drain; the final nil-vs-nil comparison closes the ledger
+		want := ref.pop()
+		got := w.head()
+		if (want == nil) != (got == nil) {
+			t.Fatalf("seed %d: drain mismatch: wheel=%v reference=%v", seed, got, want)
+		}
+		if got == nil {
+			return
+		}
+		w.pop()
+		if got != want {
+			t.Fatalf("seed %d: drain popped (when=%v seq=%d), reference (when=%v seq=%d)",
+				seed, got.when, got.seq, want.when, want.seq)
+		}
+		now = got.when
+	}
+}
+
+// TestWheelOracle is the satellite differential harness: many seeds,
+// each a few thousand mixed operations.
+func TestWheelOracle(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		runWheelOracle(t, seed, 4000)
+	}
+}
+
+// FuzzWheelOracle lets the fuzzer hunt for operation sequences (via the
+// seed) that break wheel-vs-reference agreement.
+func FuzzWheelOracle(f *testing.F) {
+	for _, s := range []int64{0, 1, 42, 1 << 40} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		runWheelOracle(t, seed, 600)
+	})
+}
+
+// TestCancelNotPending pins the Pending() accounting fix: a cancelled
+// but unfired event must drop out of the pending count immediately,
+// even while its tombstone still sits inside the wheel.
+func TestCancelNotPending(t *testing.T) {
+	e := NewEngine(1)
+	var evs []*Event
+	for i := 0; i < 5; i++ {
+		ev, err := e.Schedule(Time(i+1)*1000, func() {})
+		if err != nil {
+			t.Fatal(err)
+		}
+		evs = append(evs, ev)
+	}
+	if got := e.Pending(); got != 5 {
+		t.Fatalf("Pending() = %d before cancel, want 5", got)
+	}
+	e.Cancel(evs[1])
+	e.Cancel(evs[3])
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d after two cancels, want 3", got)
+	}
+	e.Cancel(evs[3]) // double cancel must not double-count
+	if got := e.Pending(); got != 3 {
+		t.Fatalf("Pending() = %d after double cancel, want 3", got)
+	}
+	if fired := e.Run(); fired != 3 {
+		t.Fatalf("Run fired %d events, want 3", fired)
+	}
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after run, want 0", got)
+	}
+	e.Cancel(evs[0]) // cancelling a fired event is a no-op
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending() = %d after post-fire cancel, want 0", got)
+	}
+}
+
+// TestFreeListAdaptiveCap exercises the free-list sizing option: by
+// default the list grows to the pending high-water mark, and an
+// explicit SetFreeListCap bounds it.
+func TestFreeListAdaptiveCap(t *testing.T) {
+	e := NewEngine(1)
+	const burst = 3 * defaultFreeListCap
+	for i := 0; i < burst; i++ {
+		e.After(Time(i), func() {})
+	}
+	if e.highWater != burst {
+		t.Fatalf("highWater = %d, want %d", e.highWater, burst)
+	}
+	e.Run()
+	if len(e.free) != burst {
+		t.Fatalf("adaptive free list kept %d structs, want the high-water %d", len(e.free), burst)
+	}
+	e.SetFreeListCap(10)
+	if len(e.free) != 10 {
+		t.Fatalf("free list = %d after SetFreeListCap(10), want 10", len(e.free))
+	}
+	for i := 0; i < 50; i++ {
+		e.After(Time(i), func() {})
+	}
+	e.Run()
+	if len(e.free) != 10 {
+		t.Fatalf("free list = %d after capped run, want 10", len(e.free))
+	}
+	e.SetFreeListCap(-1) // ignored
+	if e.freeCap != 10 {
+		t.Fatalf("freeCap = %d after negative set, want 10", e.freeCap)
+	}
+	e.SetFreeListCap(0) // back to adaptive
+	if e.freeCap != 0 {
+		t.Fatalf("freeCap = %d after reset, want 0 (adaptive)", e.freeCap)
+	}
+}

@@ -129,7 +129,22 @@ func (p *Packet) Encode() ([]byte, error) {
 	if PadBytesPerHop*len(p.Pad) > PayloadCeiling-len(p.Data) {
 		return nil, ErrPadFull
 	}
-	buf := make([]byte, pktHeaderLen+len(p.Data)+PadBytesPerHop*len(p.Pad))
+	return p.AppendEncode(make([]byte, 0, pktHeaderLen+len(p.Data)+PadBytesPerHop*len(p.Pad)))
+}
+
+// AppendEncode serialises the packet into dst's spare capacity and
+// returns the extended slice. Encoding into a retained buffer's [:0]
+// reslice makes steady-state sends allocation-free.
+func (p *Packet) AppendEncode(dst []byte) ([]byte, error) {
+	if len(p.Data) > PayloadCeiling {
+		return dst, ErrDataTooLong
+	}
+	if PadBytesPerHop*len(p.Pad) > PayloadCeiling-len(p.Data) {
+		return dst, ErrPadFull
+	}
+	start := len(dst)
+	dst = append(dst, make([]byte, pktHeaderLen+len(p.Data)+PadBytesPerHop*len(p.Pad))...)
+	buf := dst[start:]
 	buf[0] = p.Port
 	binary.BigEndian.PutUint16(buf[1:3], uint16(p.Origin))
 	binary.BigEndian.PutUint16(buf[3:5], uint16(p.Dst))
@@ -143,40 +158,53 @@ func (p *Packet) Encode() ([]byte, error) {
 		buf[off+1] = byte(lq.RSSI)
 		off += 2
 	}
-	return buf, nil
+	return dst, nil
 }
 
 // DecodePacket parses a serialised packet. The returned packet owns
 // copies of its data and padding.
 func DecodePacket(raw []byte) (*Packet, error) {
+	p := &Packet{}
+	if err := DecodePacketInto(p, raw); err != nil {
+		return nil, err
+	}
+	p.Data = append([]byte(nil), p.Data...)
+	return p, nil
+}
+
+// DecodePacketInto parses a serialised packet into p, reusing p's pad
+// storage. p.Data ALIASES raw — the caller owns the lifetime question:
+// the stack's dispatch path hands such packets to handlers as borrows
+// (see Handler), and anything retained past the callback must be
+// Cloned. On error p is left in an unspecified state.
+func DecodePacketInto(p *Packet, raw []byte) error {
 	if len(raw) < pktHeaderLen {
-		return nil, ErrPacketTooSmall
+		return ErrPacketTooSmall
 	}
 	dataLen := int(raw[7])
 	if pktHeaderLen+dataLen > len(raw) {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
 	padBytes := len(raw) - pktHeaderLen - dataLen
 	if padBytes%PadBytesPerHop != 0 {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
-	p := &Packet{
-		Port:   raw[0],
-		Origin: phys.NodeID(binary.BigEndian.Uint16(raw[1:3])),
-		Dst:    phys.NodeID(binary.BigEndian.Uint16(raw[3:5])),
-		TTL:    raw[5],
-		Flags:  raw[6],
-		Data:   append([]byte(nil), raw[pktHeaderLen:pktHeaderLen+dataLen]...),
-	}
+	p.Port = raw[0]
+	p.Origin = phys.NodeID(binary.BigEndian.Uint16(raw[1:3]))
+	p.Dst = phys.NodeID(binary.BigEndian.Uint16(raw[3:5]))
+	p.TTL = raw[5]
+	p.Flags = raw[6]
+	p.Data = raw[pktHeaderLen : pktHeaderLen+dataLen]
+	p.Pad = p.Pad[:0]
 	off := pktHeaderLen + dataLen
 	for off < len(raw) {
 		p.Pad = append(p.Pad, LinkQuality{LQI: raw[off], RSSI: int8(raw[off+1])})
 		off += 2
 	}
 	if dataLen+PadBytesPerHop*len(p.Pad) > PayloadCeiling {
-		return nil, ErrBadLength
+		return ErrBadLength
 	}
-	return p, nil
+	return nil
 }
 
 // Clone returns a deep copy, used when a packet forks (e.g. localhost

@@ -13,7 +13,11 @@ import (
 
 // Handler receives packets addressed to a subscribed port. from is the
 // one-hop transmitter (the MAC source); info carries that hop's radio
-// metadata. Handlers own the packet.
+// metadata. The packet is a BORROW: p, its Data (which aliases a pooled
+// receive buffer), and its Pad are valid only for the duration of the
+// call, and a handler that retains any of them must p.Clone() first.
+// Localhost deliveries (SendLocal) pass an owned clone, but the
+// contract is uniform so handlers need not distinguish the two paths.
 type Handler func(p *Packet, from phys.NodeID, info medium.RxInfo)
 
 // Sniffer observes every intact frame the node hears, regardless of
@@ -48,6 +52,10 @@ type Stack struct {
 	stats    Stats
 	// tel, when set, receives port-dispatch telemetry events.
 	tel *telemetry.Recorder
+	// rx is the dispatch scratch packet (handlers get a borrow of it);
+	// txBuf is the reused Send encode buffer (the MAC copies at enqueue).
+	rx    Packet
+	txBuf []byte
 }
 
 // SetTelemetry points the stack at a telemetry recorder (nil detaches).
@@ -71,7 +79,8 @@ func (s *Stack) OnFrame(f mac.Frame, info medium.RxInfo) {
 		s.stats.FilteredDst++
 		return
 	}
-	p, err := DecodePacket(f.Payload)
+	p := &s.rx
+	err := DecodePacketInto(p, f.Payload)
 	if err != nil {
 		s.stats.Malformed++
 		if s.tel.Recording() {
@@ -146,10 +155,11 @@ func (s *Stack) AddSniffer(sn Sniffer) {
 // neighbors). ftype classifies the frame for overhead accounting. sent
 // may be nil.
 func (s *Stack) Send(p *Packet, nextHop phys.NodeID, ftype mac.FrameType, sent mac.SentFunc) error {
-	raw, err := p.Encode()
+	raw, err := p.AppendEncode(s.txBuf[:0])
 	if err != nil {
 		return err
 	}
+	s.txBuf = raw // the MAC copies into its queue slot; reuse next send
 	return s.mac.Send(mac.Frame{Type: ftype, Dst: nextHop, Payload: raw}, sent)
 }
 
